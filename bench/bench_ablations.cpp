@@ -1,0 +1,200 @@
+// E12 (extension) — ablations of the design choices DESIGN.md calls out:
+//
+//   A. the Lemma 2 refinement (per-subgraph optimal semilightpath) vs plain
+//      first-fit realization of the auxiliary paths;
+//   B. the G_rc weight normalization: paper's Σw/N(e) vs the true mean
+//      Σw/|Λ_avail(e)|;
+//   C. the ϑ search: the paper's doubling increments vs an exact linear
+//      boundary scan vs bisection;
+//   D. the G_c exponent base a.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "rwa/approx_router.hpp"
+#include "rwa/loadcost_router.hpp"
+#include "rwa/mincog.hpp"
+#include "sim/simulator.hpp"
+#include "support/stats.hpp"
+#include "topology/network_builder.hpp"
+
+namespace {
+
+using namespace wdm;
+
+net::WdmNetwork loaded_nsfnet(int W, double occupancy, std::uint64_t seed,
+                              topo::CostModel cost_model =
+                                  topo::CostModel::kUnit) {
+  support::Rng rng(seed);
+  topo::NetworkOptions opt;
+  opt.num_wavelengths = W;
+  opt.cost_model = cost_model;
+  net::WdmNetwork n = topo::build_network(topo::nsfnet(), opt, rng);
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+    n.available(e).for_each([&](net::Wavelength l) {
+      if (rng.bernoulli(occupancy)) n.reserve(e, l);
+    });
+  }
+  return n;
+}
+
+sim::SimMetrics run_sim(const rwa::Router& router, double erlang,
+                        double duration) {
+  support::Rng rng(1);
+  topo::NetworkOptions nopt;
+  nopt.num_wavelengths = 8;
+  net::WdmNetwork network = topo::build_network(topo::nsfnet(), nopt, rng);
+  sim::SimOptions opt;
+  opt.traffic.arrival_rate = erlang;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = duration;
+  opt.seed = 77;
+  sim::Simulator sim(std::move(network), router, opt);
+  return sim.run();
+}
+
+double pair_bottleneck_load(const net::WdmNetwork& n,
+                            const rwa::RouteResult& r) {
+  double worst = 0.0;
+  for (const net::Hop& h : r.route.primary.hops) {
+    worst = std::max(worst, n.link_load(h.edge));
+  }
+  for (const net::Hop& h : r.route.backup.hops) {
+    worst = std::max(worst, n.link_load(h.edge));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = wdm::bench::quick_mode(argc, argv);
+  const double duration = quick ? 20.0 : 80.0;
+  const int trials = quick ? 40 : 300;
+  wdm::bench::banner("E12 (ext) — design-choice ablations",
+                     "A: Lemma 2 refinement; B: G_rc normalization; C: ϑ "
+                     "search strategy; D: G_c exponent base.");
+
+  {  // A — refinement on/off, per-request cost on loaded networks + sim.
+    support::RunningStats delta;
+    int both = 0, only_refined = 0;
+    rwa::ApproxDisjointRouter refined(true), unrefined(false);
+    for (int i = 0; i < trials; ++i) {
+      // Per-wavelength random costs: the refinement's per-subgraph optimal
+      // semilightpath can actually pick cheaper wavelengths than first-fit
+      // (under unit costs the two realizations tie almost everywhere).
+      net::WdmNetwork n = loaded_nsfnet(
+          8, 0.4, 100 + i, topo::CostModel::kRandomPerWavelength);
+      support::Rng rng(200 + i);
+      const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+      auto t = s;
+      while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+      const rwa::RouteResult a = refined.route(n, s, t);
+      const rwa::RouteResult b = unrefined.route(n, s, t);
+      if (a.found && !b.found) ++only_refined;
+      if (a.found && b.found) {
+        ++both;
+        delta.add(b.total_cost(n) / a.total_cost(n));
+      }
+    }
+    const sim::SimMetrics ma = run_sim(refined, 40.0, duration);
+    const sim::SimMetrics mb = run_sim(unrefined, 40.0, duration);
+    wdm::support::TextTable table(
+        {"variant", "pairs found (of both-arm trials)",
+         "cost vs refined (mean ratio)", "sim blocking @40E"});
+    table.add_row({"Lemma 2 refinement (paper)", "baseline", "1.0000",
+                   wdm::support::TextTable::num(ma.blocking_probability(), 4)});
+    table.add_row({"first-fit realization",
+                   wdm::support::TextTable::integer(both) + " (+" +
+                       wdm::support::TextTable::integer(only_refined) +
+                       " only refined finds)",
+                   wdm::support::TextTable::num(delta.mean(), 4),
+                   wdm::support::TextTable::num(mb.blocking_probability(), 4)});
+    wdm::bench::print_table(table);
+  }
+
+  {  // B — G_rc normalization in the §4.2 router.
+    rwa::LoadCostRouter paper({}, /*grc_mean_over_available=*/false);
+    rwa::LoadCostRouter mean_avail({}, /*grc_mean_over_available=*/true);
+    wdm::support::TextTable table(
+        {"G_rc weight", "blocking @40E", "mean rho", "mean route cost"});
+    for (const rwa::Router* r :
+         {static_cast<const rwa::Router*>(&paper),
+          static_cast<const rwa::Router*>(&mean_avail)}) {
+      const sim::SimMetrics m = run_sim(*r, 40.0, duration);
+      table.add_row({r->name(),
+                     wdm::support::TextTable::num(m.blocking_probability(), 4),
+                     wdm::support::TextTable::num(m.network_load.mean(), 4),
+                     wdm::support::TextTable::num(m.route_cost.mean(), 3)});
+    }
+    wdm::bench::print_table(table);
+  }
+
+  {  // C — ϑ search strategy.
+    wdm::support::TextTable table({"search", "feasible", "mean probes",
+                                   "max probes", "mean accepted ϑ"});
+    for (const auto& [label, strat] :
+         {std::pair<const char*, rwa::ThetaSearch>{
+              "doubling (paper)", rwa::ThetaSearch::kDoubling},
+          {"linear boundary scan", rwa::ThetaSearch::kLinearScan},
+          {"bisection (tol 1e-3)", rwa::ThetaSearch::kBisection}}) {
+      support::RunningStats probes, theta;
+      int feasible = 0;
+      for (int i = 0; i < trials; ++i) {
+        net::WdmNetwork n = loaded_nsfnet(8, 0.55, 300 + i);
+        support::Rng rng(400 + i);
+        const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+        auto t = s;
+        while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+        rwa::MinCogOptions opt;
+        opt.search = strat;
+        const rwa::MinCogResult mc = rwa::find_two_paths_mincog(n, s, t, opt);
+        if (!mc.found) continue;
+        ++feasible;
+        probes.add(mc.iterations);
+        theta.add(mc.theta);
+      }
+      table.add_row({label, wdm::support::TextTable::integer(feasible),
+                     wdm::support::TextTable::num(probes.mean(), 2),
+                     wdm::support::TextTable::num(probes.max(), 0),
+                     wdm::support::TextTable::num(theta.mean(), 4)});
+    }
+    wdm::bench::print_table(table);
+  }
+
+  {  // D — G_c exponent base: bottleneck load of delivered pairs.
+    wdm::support::TextTable table(
+        {"base a", "feasible", "mean pair bottleneck load"});
+    for (double a : {1.1, 2.0, 8.0, 64.0}) {
+      support::RunningStats bottleneck;
+      int feasible = 0;
+      rwa::MinCogOptions mopt;
+      mopt.load_base = a;
+      rwa::MinLoadRouter router(mopt);
+      for (int i = 0; i < trials; ++i) {
+        net::WdmNetwork n = loaded_nsfnet(8, 0.55, 500 + i);
+        support::Rng rng(600 + i);
+        const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+        auto t = s;
+        while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+        const rwa::RouteResult r = router.route(n, s, t);
+        if (!r.found) continue;
+        ++feasible;
+        bottleneck.add(pair_bottleneck_load(n, r));
+      }
+      table.add_row({wdm::support::TextTable::num(a, 1),
+                     wdm::support::TextTable::integer(feasible),
+                     wdm::support::TextTable::num(bottleneck.mean(), 4)});
+    }
+    wdm::bench::print_table(table);
+  }
+
+  wdm::bench::note(
+      "Reading: A shows the Lemma 2 step is where the approximation's cost "
+      "quality comes from; B quantifies the N(e)-vs-|Λ_avail| discrepancy we "
+      "flagged in the paper's G_rc formula; C shows the doubling search "
+      "probes far fewer G_c constructions than a boundary scan at slightly "
+      "coarser ϑ; D shows a steeper exponent biases Suurballe towards "
+      "colder links at equal feasibility.");
+  return 0;
+}

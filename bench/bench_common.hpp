@@ -1,0 +1,33 @@
+// Shared scaffolding for the experiment harness (E1–E10): banner printing
+// and the --quick flag that shrinks replication for smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace wdm::bench {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("==== %s ====\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+inline void print_table(const support::TextTable& t) {
+  std::fputs(t.to_string().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+inline void note(const std::string& s) {
+  std::printf("note: %s\n", s.c_str());
+}
+
+}  // namespace wdm::bench

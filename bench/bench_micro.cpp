@@ -1,0 +1,108 @@
+// E11 — google-benchmark micro-suite for the primitives the routing stack
+// is built on: Dijkstra heap backends (the Theorem 1 log-factor term),
+// layered-graph construction + solve (the nW² term), auxiliary-graph
+// construction, and Suurballe.
+#include <benchmark/benchmark.h>
+
+#include "graph/dijkstra.hpp"
+#include "graph/suurballe.hpp"
+#include "rwa/aux_graph.hpp"
+#include "rwa/layered_graph.hpp"
+#include "support/rng.hpp"
+#include "test_util_bench.hpp"
+#include "topology/network_builder.hpp"
+
+namespace {
+
+using namespace wdm;
+
+std::pair<graph::Digraph, std::vector<double>> bench_graph(int n) {
+  support::Rng rng(static_cast<std::uint64_t>(n));
+  return test::random_digraph_bench(n, 6 * n, rng);
+}
+
+template <typename Heap>
+void BM_DijkstraHeap(benchmark::State& state) {
+  const auto [g, w] = bench_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = graph::dijkstra_with<Heap>(g, w, 0);
+    benchmark::DoNotOptimize(tree.dist.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_DijkstraBinary(benchmark::State& s) { BM_DijkstraHeap<graph::BinaryHeap>(s); }
+void BM_DijkstraQuad(benchmark::State& s) { BM_DijkstraHeap<graph::QuadHeap>(s); }
+void BM_DijkstraPairing(benchmark::State& s) { BM_DijkstraHeap<graph::PairingHeap>(s); }
+
+BENCHMARK(BM_DijkstraBinary)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_DijkstraQuad)->Range(64, 4096)->Complexity();
+BENCHMARK(BM_DijkstraPairing)->Range(64, 4096)->Complexity();
+
+void BM_Suurballe(benchmark::State& state) {
+  const auto [g, w] = bench_graph(static_cast<int>(state.range(0)));
+  const graph::NodeId t = g.num_nodes() - 1;
+  for (auto _ : state) {
+    auto pair = graph::suurballe(g, w, 0, t);
+    benchmark::DoNotOptimize(&pair);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Suurballe)->Range(64, 4096)->Complexity();
+
+net::WdmNetwork micro_network(int W) {
+  support::Rng rng(5);
+  topo::NetworkOptions opt;
+  opt.num_wavelengths = W;
+  return topo::build_network(topo::nsfnet(), opt, rng);
+}
+
+void BM_LayeredBuild(benchmark::State& state) {
+  const net::WdmNetwork n = micro_network(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto lg = rwa::LayeredGraph::build(n, 0, 13);
+    benchmark::DoNotOptimize(&lg);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LayeredBuild)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_OptimalSemilightpath(benchmark::State& state) {
+  const net::WdmNetwork n = micro_network(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto p = rwa::optimal_semilightpath(n, 0, 13);
+    benchmark::DoNotOptimize(&p);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimalSemilightpath)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_AuxGraphBuild(benchmark::State& state) {
+  const net::WdmNetwork n = micro_network(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto aux = rwa::build_aux_graph(n, 0, 13);
+    benchmark::DoNotOptimize(&aux);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AuxGraphBuild)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_AuxGraphLoadWeighted(benchmark::State& state) {
+  net::WdmNetwork n = micro_network(8);
+  support::Rng rng(11);
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+    n.available(e).for_each([&](net::Wavelength l) {
+      if (rng.bernoulli(0.4)) n.reserve(e, l);
+    });
+  }
+  rwa::AuxGraphOptions opt;
+  opt.weighting = rwa::AuxWeighting::kLoadExponential;
+  opt.theta = 0.7;
+  for (auto _ : state) {
+    auto aux = rwa::build_aux_graph(n, 0, 13, opt);
+    benchmark::DoNotOptimize(&aux);
+  }
+}
+BENCHMARK(BM_AuxGraphLoadWeighted);
+
+}  // namespace

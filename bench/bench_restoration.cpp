@@ -1,0 +1,91 @@
+// E8 — §1's taxonomy: *activate* (pre-reserved backup, the paper's choice)
+// vs *passive* (recompute on failure) restoration, and no restoration at
+// all. We inject Poisson fiber cuts on NSFNET under live traffic and
+// measure recovery success and latency.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rwa/approx_router.hpp"
+#include "sim/simulator.hpp"
+#include "support/stats.hpp"
+#include "topology/network_builder.hpp"
+
+namespace {
+
+using namespace wdm;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = wdm::bench::quick_mode(argc, argv);
+  wdm::bench::banner(
+      "E8 / §1 — active vs passive failure restoration",
+      "Expected shape: active restoration recovers ~100% of primary-path "
+      "failures with millisecond-scale switchover; passive restoration is "
+      "orders of magnitude slower and fails when the residual network has "
+      "no spare route at failure time; no-restoration drops everything.");
+
+  rwa::ApproxDisjointRouter router;
+  wdm::support::TextTable table(
+      {"mode", "primary failures", "recovered", "success rate", "switchover",
+       "recompute", "mean delay", "p99-ish delay", "dropped", "backup lost",
+       "reprovisioned"});
+
+  struct ModeArm {
+    const char* label;
+    sim::RestorationMode mode;
+    bool reprovision;
+  };
+  for (const auto& [label, mode, reprovision] :
+       {ModeArm{"active (paper)", sim::RestorationMode::kActive, false},
+        ModeArm{"active + reprovision", sim::RestorationMode::kActive, true},
+        ModeArm{"passive", sim::RestorationMode::kPassive, false},
+        ModeArm{"none", sim::RestorationMode::kNone, false}}) {
+    const topo::Topology t = topo::nsfnet();
+    support::Rng rng(3);
+    topo::NetworkOptions nopt;
+    nopt.num_wavelengths = 8;
+    net::WdmNetwork network = topo::build_network(t, nopt, rng);
+
+    sim::SimOptions opt;
+    opt.traffic.arrival_rate = quick ? 8.0 : 15.0;
+    opt.traffic.mean_holding = 2.0;
+    opt.duration = quick ? 60.0 : 300.0;
+    opt.seed = 17;
+    opt.restoration = mode;
+    opt.failures.reprovision_backup = reprovision;
+    opt.failures.duplex_failure_rate = 0.02;
+    opt.failures.mean_repair = 3.0;
+    opt.reverse_of = t.reverse_of;
+    sim::Simulator sim(std::move(network), router, opt);
+    const sim::SimMetrics m = sim.run();
+
+    const double success =
+        m.recoveries_attempted
+            ? static_cast<double>(m.recoveries_succeeded) /
+                  static_cast<double>(m.recoveries_attempted)
+            : 0.0;
+    const double mean_delay =
+        m.recovery_delays.empty() ? 0.0 : support::mean_of(m.recovery_delays);
+    const double p99 = m.recovery_delays.empty()
+                           ? 0.0
+                           : support::percentile(m.recovery_delays, 0.99);
+    table.add_row({label,
+                   wdm::support::TextTable::integer(m.primary_failures),
+                   wdm::support::TextTable::integer(m.recoveries_succeeded),
+                   wdm::support::TextTable::num(success, 4),
+                   wdm::support::TextTable::integer(m.switchover_recoveries),
+                   wdm::support::TextTable::integer(m.recompute_recoveries),
+                   wdm::support::TextTable::num(mean_delay, 4),
+                   wdm::support::TextTable::num(p99, 4),
+                   wdm::support::TextTable::integer(m.dropped_on_failure),
+                   wdm::support::TextTable::integer(m.backup_lost),
+                   wdm::support::TextTable::integer(m.backups_reprovisioned)});
+  }
+  wdm::bench::print_table(table);
+  wdm::bench::note(
+      "Delay model: active = constant lightpath switchover (1 ms); passive "
+      "= signaling (50 ms) + 10 ms per hop of the recomputed route. Time "
+      "units are the simulator's holding-time units scaled to seconds.");
+  return 0;
+}

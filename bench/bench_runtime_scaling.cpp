@@ -1,0 +1,114 @@
+// E3 — Theorem 1: the approximate algorithm runs in
+// O(nd + nW² + m log n + nW log(nW)) time. We time the full §3.3 pipeline
+// (auxiliary graph + Suurballe + 2× layered-graph refinement) across sweeps
+// of n (Waxman topologies, fixed density) and W (fixed topology), reporting
+// per-query times; the per-query cost should grow near-linearly in n at
+// fixed degree and near-quadratically in W.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rwa/approx_router.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+#include "topology/network_builder.hpp"
+
+namespace {
+
+using namespace wdm;
+
+support::RunningStats time_queries(const net::WdmNetwork& network,
+                                   int queries, std::uint64_t seed) {
+  support::Rng rng(seed);
+  rwa::ApproxDisjointRouter router;
+  support::RunningStats us;
+  const auto n = static_cast<std::int64_t>(network.num_nodes());
+  for (int q = 0; q < queries; ++q) {
+    const auto s = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
+    auto t = s;
+    while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
+    support::Stopwatch sw;
+    (void)router.route(network, s, t);
+    us.add(sw.elapsed_us());
+  }
+  return us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = wdm::bench::quick_mode(argc, argv);
+  const int queries = quick ? 10 : 60;
+  wdm::bench::banner(
+      "E3 / Theorem 1 — runtime scaling of the §3.3 approximate algorithm",
+      "Expected shape: near-linear growth in n at fixed average degree and "
+      "W; superlinear (≈quadratic) growth in W at fixed topology from the "
+      "nW² conversion-arc term.");
+
+  {
+    wdm::support::TextTable table(
+        {"n", "links", "W", "mean us/query", "p-ish max us", "us/(n)"});
+    for (int n : quick ? std::vector<int>{25, 50, 100}
+                       : std::vector<int>{25, 50, 100, 200, 400}) {
+      support::Rng rng(static_cast<std::uint64_t>(n) * 31 + 5);
+      // Fixed average degree (~6 directed) so the sweep isolates n.
+      const topo::Topology t = topo::random_connected(n, 2 * n, rng);
+      topo::NetworkOptions opt;
+      opt.num_wavelengths = 8;
+      opt.cost_model = topo::CostModel::kLength;
+      net::WdmNetwork network = topo::build_network(t, opt, rng);
+      const auto stats =
+          time_queries(network, queries, static_cast<std::uint64_t>(n));
+      table.add_row({wdm::support::TextTable::integer(n),
+                     wdm::support::TextTable::integer(network.num_links()),
+                     "8", wdm::support::TextTable::num(stats.mean(), 1),
+                     wdm::support::TextTable::num(stats.max(), 1),
+                     wdm::support::TextTable::num(
+                         stats.mean() / static_cast<double>(n), 3)});
+    }
+    wdm::bench::print_table(table);
+  }
+
+  {
+    wdm::support::TextTable table(
+        {"topology", "W", "mean us/query", "us/W^2"});
+    for (int W : quick ? std::vector<int>{4, 8, 16}
+                       : std::vector<int>{2, 4, 8, 16, 32}) {
+      support::Rng rng(99);
+      topo::NetworkOptions opt;
+      opt.num_wavelengths = W;
+      net::WdmNetwork network =
+          topo::build_network(topo::nsfnet(), opt, rng);
+      const auto stats =
+          time_queries(network, queries, static_cast<std::uint64_t>(W) + 77);
+      table.add_row(
+          {"nsfnet14", wdm::support::TextTable::integer(W),
+           wdm::support::TextTable::num(stats.mean(), 1),
+           wdm::support::TextTable::num(
+               stats.mean() / (static_cast<double>(W) * W), 3)});
+    }
+    wdm::bench::print_table(table);
+  }
+
+  {
+    wdm::support::TextTable table({"degree-regime", "n", "links",
+                                   "mean us/query"});
+    for (const auto& [label, extra] :
+         std::vector<std::pair<const char*, int>>{
+             {"sparse (tree+n/4)", 60 / 4},
+             {"medium (tree+n)", 60},
+             {"dense (tree+3n)", 180}}) {
+      support::Rng rng(7);
+      const topo::Topology t = topo::random_connected(60, extra, rng);
+      topo::NetworkOptions opt;
+      opt.num_wavelengths = 8;
+      net::WdmNetwork network = topo::build_network(t, opt, rng);
+      const auto stats = time_queries(network, queries, 11);
+      table.add_row({label, "60",
+                     wdm::support::TextTable::integer(network.num_links()),
+                     wdm::support::TextTable::num(stats.mean(), 1)});
+    }
+    wdm::bench::print_table(table);
+  }
+  return 0;
+}

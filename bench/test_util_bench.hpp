@@ -1,0 +1,27 @@
+// Minimal random-graph helper for the graph-level benches (mirrors
+// tests/test_util.hpp without pulling the test tree into bench targets).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::test {
+
+inline std::pair<graph::Digraph, std::vector<double>> random_digraph_bench(
+    int n, int m, support::Rng& rng, double lo = 1.0, double hi = 10.0) {
+  graph::Digraph g(n);
+  std::vector<double> w;
+  for (int i = 0; i < m; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+    auto v = u;
+    while (v == u) v = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+    g.add_edge(u, v);
+    w.push_back(rng.uniform(lo, hi));
+  }
+  return {std::move(g), std::move(w)};
+}
+
+}  // namespace wdm::test

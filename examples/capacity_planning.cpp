@@ -1,0 +1,53 @@
+// Capacity planning: how many wavelengths per fiber does a target blocking
+// probability need? Sweeps W on NSFNET under fixed offered load for the
+// §4.2 router — the "what do I buy" question a network operator asks of
+// this library.
+//
+//   $ ./capacity_planning [erlang] [target_blocking]    (default 30 0.01)
+#include <cstdio>
+#include <cstdlib>
+
+#include "rwa/loadcost_router.hpp"
+#include "sim/simulator.hpp"
+#include "topology/network_builder.hpp"
+
+using namespace wdm;
+
+int main(int argc, char** argv) {
+  const double erlang = argc > 1 ? std::atof(argv[1]) : 30.0;
+  const double target = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  std::printf("NSFNET-14, offered load %.1f Erlang, target blocking %.2f%%\n",
+              erlang, 100.0 * target);
+  std::printf("%4s %10s %10s %10s\n", "W", "blocking", "mean rho", "verdict");
+
+  rwa::LoadCostRouter router;
+  int recommended = -1;
+  for (int W : {2, 4, 6, 8, 12, 16, 24, 32}) {
+    support::Rng rng(1);
+    topo::NetworkOptions nopt;
+    nopt.num_wavelengths = W;
+    net::WdmNetwork network = topo::build_network(topo::nsfnet(), nopt, rng);
+
+    sim::SimOptions opt;
+    opt.traffic.arrival_rate = erlang;
+    opt.traffic.mean_holding = 1.0;
+    opt.duration = 120.0;
+    opt.seed = 31;
+    sim::Simulator sim(std::move(network), router, opt);
+    const sim::SimMetrics m = sim.run();
+    const bool ok = m.blocking_probability() <= target;
+    if (ok && recommended < 0) recommended = W;
+    std::printf("%4d %9.3f%% %10.3f %10s\n", W,
+                100.0 * m.blocking_probability(), m.network_load.mean(),
+                ok ? "meets" : "misses");
+  }
+  if (recommended > 0) {
+    std::printf("\n=> smallest W meeting the target: %d wavelengths/fiber "
+                "(with full protection: primary + reserved backup)\n",
+                recommended);
+  } else {
+    std::printf("\n=> no W in the sweep meets the target at this load\n");
+  }
+  return 0;
+}

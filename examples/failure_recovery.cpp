@@ -1,0 +1,75 @@
+// Failure recovery walkthrough: provision a protected connection, cut a
+// fiber on its primary path, and show the activate-mode switchover — then
+// contrast with what a passive scheme would have to do at failure time.
+//
+//   $ ./failure_recovery
+#include <cstdio>
+
+#include "rwa/approx_router.hpp"
+#include "rwa/layered_graph.hpp"
+#include "topology/network_builder.hpp"
+
+using namespace wdm;
+
+namespace {
+
+void show_links(const net::WdmNetwork& network, const char* label,
+                const net::Semilightpath& p) {
+  std::printf("%s:", label);
+  for (const net::Hop& h : p.hops) {
+    std::printf(" %d->%d(λ%d)", network.graph().tail(h.edge),
+                network.graph().head(h.edge), h.lambda);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  net::WdmNetwork network = topo::nsfnet_network(8, 0.5);
+  const net::NodeId s = 1, t = 11;
+
+  // 1. Provision with a pre-reserved backup (the paper's activate approach).
+  const rwa::RouteResult r = rwa::ApproxDisjointRouter().route(network, s, t);
+  if (!r.found) {
+    std::printf("no protected route available\n");
+    return 1;
+  }
+  r.route.reserve_in(network);
+  std::printf("provisioned protected connection %d -> %d\n", s, t);
+  show_links(network, "  primary", r.route.primary);
+  show_links(network, "  backup ", r.route.backup);
+
+  // 2. Cut a fiber on the primary path (both directions of the duplex).
+  const graph::EdgeId cut = r.route.primary.hops[0].edge;
+  std::printf("\n*** fiber cut on link %d->%d ***\n",
+              network.graph().tail(cut), network.graph().head(cut));
+  network.set_link_failed(cut, true);
+
+  // 3. Activate recovery: the backup is already reserved and lit — traffic
+  //    switches over immediately; no routing, no signaling.
+  std::printf("activate recovery: switch to backup (pre-reserved) — "
+              "service restored in ~switchover time\n");
+  show_links(network, "  now serving on", r.route.backup);
+
+  // 4. What passive recovery would have had to do *after* the failure:
+  //    recompute a route against whatever is left right now.
+  net::Semilightpath passive = rwa::optimal_semilightpath(network, s, t);
+  if (passive.found) {
+    std::printf("\npassive alternative (computed after the cut, cost %.2f):\n",
+                passive.cost(network));
+    show_links(network, "  recomputed", passive);
+    std::printf("  -> pays signaling + per-hop setup at failure time, and "
+                "only succeeds if spare capacity happens to exist.\n");
+  } else {
+    std::printf("\npassive alternative: NO route available post-failure — "
+                "the connection would have been lost.\n");
+  }
+
+  // 5. Repair and clean up.
+  network.set_link_failed(cut, false);
+  r.route.release_in(network);
+  std::printf("\nfiber repaired, connection torn down, ρ = %.3f\n",
+              network.network_load());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "graph/bellman_ford.hpp"
+
+#include "support/check.hpp"
+
+namespace wdm::graph {
+
+std::optional<ShortestPathTree> bellman_ford(
+    const Digraph& g, std::span<const double> w, NodeId src,
+    std::span<const std::uint8_t> edge_enabled) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  WDM_CHECK(g.valid_node(src));
+  WDM_CHECK(w.size() == static_cast<std::size_t>(g.num_edges()));
+  WDM_CHECK(edge_enabled.empty() ||
+            edge_enabled.size() == static_cast<std::size_t>(g.num_edges()));
+
+  ShortestPathTree tree;
+  tree.dist.assign(n, kInf);
+  tree.pred_edge.assign(n, kInvalidEdge);
+  tree.dist[static_cast<std::size_t>(src)] = 0.0;
+
+  auto relax_round = [&]() {
+    bool changed = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!edge_enabled.empty() && !edge_enabled[static_cast<std::size_t>(e)]) {
+        continue;
+      }
+      const auto u = static_cast<std::size_t>(g.tail(e));
+      if (tree.dist[u] == kInf) continue;
+      const auto v = static_cast<std::size_t>(g.head(e));
+      const double dv = tree.dist[u] + w[static_cast<std::size_t>(e)];
+      if (dv < tree.dist[v]) {
+        tree.dist[v] = dv;
+        tree.pred_edge[v] = e;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  for (NodeId round = 0; changed && round + 1 < g.num_nodes(); ++round) {
+    changed = relax_round();
+  }
+  if (changed && relax_round()) {
+    return std::nullopt;  // still improving after n-1 rounds: negative cycle
+  }
+  return tree;
+}
+
+}  // namespace wdm::graph

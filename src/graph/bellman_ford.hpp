@@ -1,0 +1,20 @@
+// Bellman–Ford shortest paths: the reference oracle for Dijkstra in property
+// tests, and the general-weight backend for reduced-cost initialization when
+// a caller supplies potentials of unknown sign.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+
+namespace wdm::graph {
+
+/// Runs Bellman–Ford from `src`. Returns std::nullopt when a negative cycle
+/// is reachable from `src`.
+std::optional<ShortestPathTree> bellman_ford(
+    const Digraph& g, std::span<const double> w, NodeId src,
+    std::span<const std::uint8_t> edge_enabled = {});
+
+}  // namespace wdm::graph

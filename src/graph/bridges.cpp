@@ -1,0 +1,145 @@
+#include "graph/bridges.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace wdm::graph {
+
+namespace {
+
+/// Undirected view: group directed edges by unordered endpoint pair; each
+/// group is one or more undirected edges. For bridge purposes a pair with
+/// >= 2 directed edges in *distinct unordered slots*... — we count
+/// multiplicity as the number of distinct undirected edges, where an
+/// antiparallel duplex (u->v plus v->u) forms ONE undirected edge and any
+/// additional directed edge on the same pair forms more.
+struct UndirectedEdge {
+  NodeId u, v;
+  std::vector<EdgeId> directed;  // all directed edges mapped onto this edge
+};
+
+}  // namespace
+
+BridgeAnalysis find_bridges(const Digraph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  // Build undirected multigraph: pair -> list of directed edge ids. The
+  // number of undirected parallel edges between (u, v) is
+  // max(#(u->v), #(v->u)): each forward/backward pair shares a fiber.
+  std::map<std::pair<NodeId, NodeId>, std::pair<std::vector<EdgeId>,
+                                                std::vector<EdgeId>>>
+      by_pair;  // (fwd edges, bwd edges) keyed by (min, max)
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    NodeId a = g.tail(e);
+    NodeId b = g.head(e);
+    if (a == b) continue;  // self loops are never bridges
+    const bool swapped = a > b;
+    if (swapped) std::swap(a, b);
+    auto& slot = by_pair[{a, b}];
+    (swapped ? slot.second : slot.first).push_back(e);
+  }
+
+  std::vector<UndirectedEdge> edges;
+  for (const auto& [pair, slot] : by_pair) {
+    const std::size_t count = std::max(slot.first.size(), slot.second.size());
+    for (std::size_t k = 0; k < count; ++k) {
+      UndirectedEdge ue;
+      ue.u = pair.first;
+      ue.v = pair.second;
+      if (k < slot.first.size()) ue.directed.push_back(slot.first[k]);
+      if (k < slot.second.size()) ue.directed.push_back(slot.second[k]);
+      edges.push_back(std::move(ue));
+    }
+  }
+
+  // Adjacency over undirected edges.
+  std::vector<std::vector<std::pair<NodeId, int>>> adj(n);  // (other, ue idx)
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    adj[static_cast<std::size_t>(edges[i].u)].emplace_back(
+        edges[i].v, static_cast<int>(i));
+    adj[static_cast<std::size_t>(edges[i].v)].emplace_back(
+        edges[i].u, static_cast<int>(i));
+  }
+
+  // Iterative Tarjan bridge DFS.
+  std::vector<int> disc(n, -1), low(n, 0);
+  std::vector<std::uint8_t> ue_bridge(edges.size(), 0);
+  int timer = 0;
+  struct Frame {
+    NodeId v;
+    int parent_edge;  // undirected edge index used to enter v
+    std::size_t next_child = 0;
+  };
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (disc[static_cast<std::size_t>(root)] != -1) continue;
+    std::vector<Frame> stack{{root, -1}};
+    disc[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto vi = static_cast<std::size_t>(f.v);
+      if (f.next_child < adj[vi].size()) {
+        const auto [w, ue] = adj[vi][f.next_child++];
+        if (ue == f.parent_edge) continue;  // don't reuse the entry edge
+        const auto wi = static_cast<std::size_t>(w);
+        if (disc[wi] == -1) {
+          disc[wi] = low[wi] = timer++;
+          stack.push_back(Frame{w, ue});
+        } else {
+          low[vi] = std::min(low[vi], disc[wi]);
+        }
+      } else {
+        // Post-visit: propagate low to parent, decide bridge.
+        const int pe = f.parent_edge;
+        stack.pop_back();
+        if (pe >= 0) {
+          const auto& edge = edges[static_cast<std::size_t>(pe)];
+          const NodeId parent =
+              stack.back().v;  // the node we entered f.v from
+          const auto pi = static_cast<std::size_t>(parent);
+          low[pi] = std::min(low[pi], low[vi]);
+          if (low[vi] > disc[pi]) {
+            ue_bridge[static_cast<std::size_t>(pe)] = 1;
+          }
+          (void)edge;
+        }
+      }
+    }
+  }
+
+  BridgeAnalysis out;
+  out.is_bridge.assign(static_cast<std::size_t>(g.num_edges()), 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!ue_bridge[i]) continue;
+    ++out.num_bridges;
+    for (EdgeId e : edges[i].directed) {
+      out.is_bridge[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+
+  // 2-edge-connected components: flood fill over non-bridge undirected
+  // edges.
+  out.component.assign(n, -1);
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (out.component[static_cast<std::size_t>(root)] != -1) continue;
+    const int comp = out.num_components++;
+    std::vector<NodeId> stack{root};
+    out.component[static_cast<std::size_t>(root)] = comp;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const auto& [w, ue] : adj[static_cast<std::size_t>(v)]) {
+        if (ue_bridge[static_cast<std::size_t>(ue)]) continue;
+        if (out.component[static_cast<std::size_t>(w)] == -1) {
+          out.component[static_cast<std::size_t>(w)] = comp;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wdm::graph

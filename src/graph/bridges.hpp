@@ -1,0 +1,40 @@
+// Bridge (cut-edge) detection and 2-edge-connected components on the
+// underlying undirected structure of a digraph.
+//
+// Survivability use: a request (s, t) can carry an edge-disjoint backup iff
+// no undirected bridge separates s from t — checking the 2-edge-connected
+// component labels is O(1) per request after an O(n + m) preprocessing
+// pass, versus a max-flow per request. rwa::ProtectabilityReport builds on
+// this for whole-topology audits.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wdm::graph {
+
+struct BridgeAnalysis {
+  /// Per directed edge: 1 when the corresponding undirected edge is a
+  /// bridge. Antiparallel directed edges u->v / v->u count as ONE undirected
+  /// edge (a duplex fiber), so they never bridge each other.
+  std::vector<std::uint8_t> is_bridge;
+  /// 2-edge-connected component id per node (nodes in the same component
+  /// are connected by two edge-disjoint undirected paths).
+  std::vector<int> component;
+  int num_components = 0;
+  int num_bridges = 0;  // undirected bridge count
+
+  /// Two edge-disjoint undirected paths exist between u and v.
+  bool two_edge_connected(NodeId u, NodeId v) const {
+    return component[static_cast<std::size_t>(u)] ==
+           component[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Runs Tarjan's bridge-finding DFS over the undirected view of `g`
+/// (parallel undirected edges between the same pair are honored: a pair
+/// joined by two distinct fibers is never separated by one cut).
+BridgeAnalysis find_bridges(const Digraph& g);
+
+}  // namespace wdm::graph

@@ -1,0 +1,88 @@
+// Directed multigraph with stable integer node/edge ids.
+//
+// The workhorse structure for the whole library: the physical WDM topology,
+// the wavelength-layered graph, and the paper's auxiliary graphs G', G_c and
+// G_rc are all Digraphs. Edge attributes (weights, wavelength sets, loads)
+// live in parallel arrays indexed by EdgeId, owned by the layer that needs
+// them — the graph itself stores pure structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wdm::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates a graph with `n` isolated nodes.
+  explicit Digraph(NodeId n);
+
+  /// Adds an isolated node; returns its id (dense, starting at 0).
+  NodeId add_node();
+
+  /// Adds a directed edge tail -> head; returns its id (dense, in insertion
+  /// order). Parallel edges and self-loops are permitted — WDM fibers between
+  /// the same node pair are distinct edges.
+  EdgeId add_edge(NodeId tail, NodeId head);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(out_.size()); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(tail_.size()); }
+
+  NodeId tail(EdgeId e) const { return tail_[static_cast<std::size_t>(e)]; }
+  NodeId head(EdgeId e) const { return head_[static_cast<std::size_t>(e)]; }
+
+  /// Edge ids leaving / entering `v`, in insertion order.
+  std::span<const EdgeId> out_edges(NodeId v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  std::span<const EdgeId> in_edges(NodeId v) const {
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  int out_degree(NodeId v) const {
+    return static_cast<int>(out_[static_cast<std::size_t>(v)].size());
+  }
+  int in_degree(NodeId v) const {
+    return static_cast<int>(in_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// max over nodes of max(in_degree, out_degree) — the paper's `d`.
+  int max_degree() const;
+
+  bool valid_node(NodeId v) const { return v >= 0 && v < num_nodes(); }
+  bool valid_edge(EdgeId e) const { return e >= 0 && e < num_edges(); }
+
+  /// First edge tail -> head, or kInvalidEdge. O(out_degree(tail)).
+  EdgeId find_edge(NodeId tail, NodeId head) const;
+
+  void reserve(NodeId nodes, EdgeId edges);
+
+  /// Nodes reachable from `src` (by out-edges); `enabled` optionally masks
+  /// edges (empty span = all enabled; otherwise enabled[e] != 0 keeps e).
+  std::vector<std::uint8_t> reachable_from(
+      NodeId src, std::span<const std::uint8_t> enabled = {}) const;
+
+  /// True if every node is reachable from node 0 AND node 0 is reachable from
+  /// every node (strong connectivity via two BFS passes).
+  bool strongly_connected() const;
+
+  /// The reverse graph (every edge flipped; edge ids preserved).
+  Digraph reversed() const;
+
+ private:
+  std::vector<NodeId> tail_;
+  std::vector<NodeId> head_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace wdm::graph

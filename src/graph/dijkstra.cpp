@@ -1,0 +1,33 @@
+#include "graph/dijkstra.hpp"
+
+namespace wdm::graph {
+
+ShortestPathTree dijkstra(const Digraph& g, std::span<const double> w,
+                          NodeId src, const DijkstraOptions& opt) {
+  return dijkstra_with<QuadHeap>(g, w, src, opt);
+}
+
+Path shortest_path(const Digraph& g, std::span<const double> w, NodeId s,
+                   NodeId t, std::span<const std::uint8_t> edge_enabled) {
+  DijkstraOptions opt;
+  opt.target = t;
+  opt.edge_enabled = edge_enabled;
+  const ShortestPathTree tree = dijkstra(g, w, s, opt);
+  return extract_path(g, tree, t);
+}
+
+// Explicit instantiations of the heap backends exercised by tests/benches.
+template ShortestPathTree dijkstra_with<BinaryHeap>(const Digraph&,
+                                                    std::span<const double>,
+                                                    NodeId,
+                                                    const DijkstraOptions&);
+template ShortestPathTree dijkstra_with<QuadHeap>(const Digraph&,
+                                                  std::span<const double>,
+                                                  NodeId,
+                                                  const DijkstraOptions&);
+template ShortestPathTree dijkstra_with<PairingHeap>(const Digraph&,
+                                                     std::span<const double>,
+                                                     NodeId,
+                                                     const DijkstraOptions&);
+
+}  // namespace wdm::graph

@@ -1,0 +1,32 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace wdm::graph {
+
+std::string to_dot(const Digraph& g, const DotOptions& opt) {
+  std::ostringstream out;
+  out << "digraph " << opt.graph_name << " {\n";
+  out << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  n" << v;
+    if (opt.node_label) out << " [label=\"" << opt.node_label(v) << "\"]";
+    out << ";\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out << "  n" << g.tail(e) << " -> n" << g.head(e);
+    const bool hl = opt.edge_highlight && opt.edge_highlight(e);
+    if (opt.edge_label || hl) {
+      out << " [";
+      if (opt.edge_label) out << "label=\"" << opt.edge_label(e) << "\"";
+      if (opt.edge_label && hl) out << ", ";
+      if (hl) out << "color=red, penwidth=2.0";
+      out << "]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace wdm::graph

@@ -1,0 +1,22 @@
+// Graphviz DOT export — used by the Fig. 1 reproduction (E1) and examples.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace wdm::graph {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Optional labelers; defaults print bare ids.
+  std::function<std::string(NodeId)> node_label;
+  std::function<std::string(EdgeId)> edge_label;
+  /// Subset of nodes/edges to highlight (rendered bold/red).
+  std::function<bool(EdgeId)> edge_highlight;
+};
+
+std::string to_dot(const Digraph& g, const DotOptions& opt = {});
+
+}  // namespace wdm::graph

@@ -1,0 +1,104 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace wdm::graph {
+
+Dinic::Dinic(int num_nodes) : adj_(static_cast<std::size_t>(num_nodes)) {
+  WDM_CHECK(num_nodes >= 0);
+}
+
+int Dinic::add_arc(int u, int v, std::int64_t capacity) {
+  WDM_CHECK(u >= 0 && static_cast<std::size_t>(u) < adj_.size());
+  WDM_CHECK(v >= 0 && static_cast<std::size_t>(v) < adj_.size());
+  WDM_CHECK(capacity >= 0);
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  au.push_back(Arc{v, capacity, static_cast<int>(av.size())});
+  av.push_back(Arc{u, 0, static_cast<int>(au.size()) - 1});
+  arc_pos_.emplace_back(u, static_cast<int>(au.size()) - 1);
+  return static_cast<int>(arc_pos_.size()) - 1;
+}
+
+bool Dinic::bfs(int s, int t) {
+  level_.assign(adj_.size(), -1);
+  std::queue<int> q;
+  level_[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const Arc& a : adj_[static_cast<std::size_t>(v)]) {
+      if (a.cap > 0 && level_[static_cast<std::size_t>(a.to)] < 0) {
+        level_[static_cast<std::size_t>(a.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+std::int64_t Dinic::dfs(int v, int t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(v)];
+  auto& arcs = adj_[static_cast<std::size_t>(v)];
+  for (; it < arcs.size(); ++it) {
+    Arc& a = arcs[it];
+    if (a.cap <= 0 || level_[static_cast<std::size_t>(a.to)] !=
+                          level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const std::int64_t got = dfs(a.to, t, std::min(pushed, a.cap));
+    if (got > 0) {
+      a.cap -= got;
+      adj_[static_cast<std::size_t>(a.to)][static_cast<std::size_t>(a.rev)]
+          .cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(int s, int t) {
+  WDM_CHECK(s != t);
+  std::int64_t total = 0;
+  while (bfs(s, t)) {
+    iter_.assign(adj_.size(), 0);
+    while (true) {
+      const std::int64_t got =
+          dfs(s, t, std::numeric_limits<std::int64_t>::max());
+      if (got == 0) break;
+      total += got;
+    }
+  }
+  return total;
+}
+
+std::int64_t Dinic::flow_on(int id) const {
+  const auto [node, slot] = arc_pos_.at(static_cast<std::size_t>(id));
+  const Arc& a =
+      adj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(slot)];
+  // Flow equals the reverse arc's acquired capacity.
+  return adj_[static_cast<std::size_t>(a.to)][static_cast<std::size_t>(a.rev)]
+      .cap;
+}
+
+int edge_disjoint_path_count(const Digraph& g, NodeId s, NodeId t,
+                             std::span<const std::uint8_t> edge_enabled) {
+  WDM_CHECK(g.valid_node(s) && g.valid_node(t) && s != t);
+  Dinic dinic(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!edge_enabled.empty() && !edge_enabled[static_cast<std::size_t>(e)]) {
+      continue;
+    }
+    dinic.add_arc(g.tail(e), g.head(e), 1);
+  }
+  return static_cast<int>(dinic.max_flow(s, t));
+}
+
+}  // namespace wdm::graph

@@ -1,0 +1,48 @@
+// Dinic's max-flow on integer capacities. Used as the existence oracle for
+// edge-disjoint path pairs (unit capacities): Suurballe finds a pair iff the
+// s-t edge connectivity is >= 2 — the property tests cross-check the two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wdm::graph {
+
+class Dinic {
+ public:
+  explicit Dinic(int num_nodes);
+
+  /// Adds a directed arc u -> v with the given capacity; returns its arc id.
+  int add_arc(int u, int v, std::int64_t capacity);
+
+  /// Computes the max flow s -> t. May be called once per instance.
+  std::int64_t max_flow(int s, int t);
+
+  /// Flow pushed through arc `id` (valid after max_flow).
+  std::int64_t flow_on(int id) const;
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t cap;
+    int rev;  // index of the reverse arc in adj_[to]
+  };
+
+  bool bfs(int s, int t);
+  std::int64_t dfs(int v, int t, std::int64_t pushed);
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::pair<int, int>> arc_pos_;  // public id -> (node, slot)
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+/// Number of pairwise edge-disjoint s->t paths in `g` (s-t edge connectivity),
+/// restricted to the enabled subgraph.
+int edge_disjoint_path_count(const Digraph& g, NodeId s, NodeId t,
+                             std::span<const std::uint8_t> edge_enabled = {});
+
+}  // namespace wdm::graph

@@ -1,0 +1,140 @@
+#include "graph/mincostflow.hpp"
+
+#include <algorithm>
+
+#include "graph/heaps.hpp"
+#include "support/check.hpp"
+
+namespace wdm::graph {
+
+MinCostFlow::MinCostFlow(int num_nodes)
+    : adj_(static_cast<std::size_t>(num_nodes)) {
+  WDM_CHECK(num_nodes >= 0);
+}
+
+int MinCostFlow::add_arc(int u, int v, std::int64_t capacity, double cost) {
+  WDM_CHECK(u >= 0 && static_cast<std::size_t>(u) < adj_.size());
+  WDM_CHECK(v >= 0 && static_cast<std::size_t>(v) < adj_.size());
+  WDM_CHECK(capacity >= 0);
+  WDM_CHECK_MSG(cost >= 0.0, "min-cost flow requires nonnegative arc costs");
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  au.push_back(Arc{v, capacity, cost, static_cast<int>(av.size())});
+  av.push_back(Arc{u, 0, -cost, static_cast<int>(au.size()) - 1});
+  arc_pos_.emplace_back(u, static_cast<int>(au.size()) - 1);
+  return static_cast<int>(arc_pos_.size()) - 1;
+}
+
+MinCostFlow::Result MinCostFlow::min_cost_flow(int s, int t,
+                                               std::int64_t target) {
+  WDM_CHECK(s != t);
+  const std::size_t n = adj_.size();
+  std::vector<double> potential(n, 0.0);  // costs nonnegative: zero init valid
+  Result result;
+
+  while (result.flow < target) {
+    // Dijkstra over reduced costs.
+    std::vector<double> dist(n, kInf);
+    std::vector<std::pair<int, int>> pred(n, {-1, -1});  // (node, arc slot)
+    QuadHeap heap(n);
+    dist[static_cast<std::size_t>(s)] = 0.0;
+    heap.push(static_cast<std::size_t>(s), 0.0);
+    while (!heap.empty()) {
+      const auto [uid, du] = heap.pop_min();
+      const int u = static_cast<int>(uid);
+      auto& arcs = adj_[uid];
+      for (std::size_t slot = 0; slot < arcs.size(); ++slot) {
+        const Arc& a = arcs[slot];
+        if (a.cap <= 0) continue;
+        const double rc = a.cost + potential[uid] -
+                          potential[static_cast<std::size_t>(a.to)];
+        const double dv = du + (rc < 0.0 ? 0.0 : rc);
+        if (dv < dist[static_cast<std::size_t>(a.to)]) {
+          dist[static_cast<std::size_t>(a.to)] = dv;
+          pred[static_cast<std::size_t>(a.to)] = {u, static_cast<int>(slot)};
+          heap.push_or_decrease(static_cast<std::size_t>(a.to), dv);
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(t)] == kInf) break;  // no more paths
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+    // Find bottleneck along the augmenting path, then push.
+    std::int64_t push = target - result.flow;
+    for (int v = t; v != s;) {
+      const auto [u, slot] = pred[static_cast<std::size_t>(v)];
+      push = std::min(push, adj_[static_cast<std::size_t>(u)]
+                                [static_cast<std::size_t>(slot)].cap);
+      v = u;
+    }
+    for (int v = t; v != s;) {
+      const auto [u, slot] = pred[static_cast<std::size_t>(v)];
+      Arc& a = adj_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)];
+      a.cap -= push;
+      adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(a.rev)].cap +=
+          push;
+      result.cost += a.cost * static_cast<double>(push);
+      v = u;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+std::int64_t MinCostFlow::flow_on(int id) const {
+  const auto [node, slot] = arc_pos_.at(static_cast<std::size_t>(id));
+  const Arc& a =
+      adj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(slot)];
+  return adj_[static_cast<std::size_t>(a.to)][static_cast<std::size_t>(a.rev)]
+      .cap;
+}
+
+std::optional<std::vector<Path>> min_cost_disjoint_paths(
+    const Digraph& g, std::span<const double> w, NodeId s, NodeId t, int k,
+    std::span<const std::uint8_t> edge_enabled) {
+  WDM_CHECK(g.valid_node(s) && g.valid_node(t) && s != t);
+  WDM_CHECK(k >= 1);
+  WDM_CHECK(w.size() == static_cast<std::size_t>(g.num_edges()));
+  MinCostFlow mcf(g.num_nodes());
+  std::vector<int> arc_of_edge(static_cast<std::size_t>(g.num_edges()), -1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!edge_enabled.empty() && !edge_enabled[static_cast<std::size_t>(e)]) {
+      continue;
+    }
+    arc_of_edge[static_cast<std::size_t>(e)] =
+        mcf.add_arc(g.tail(e), g.head(e), 1, w[static_cast<std::size_t>(e)]);
+  }
+  const auto res = mcf.min_cost_flow(s, t, k);
+  if (res.flow < k) return std::nullopt;
+
+  // Decompose the k-unit flow into paths.
+  std::vector<std::vector<EdgeId>> out(static_cast<std::size_t>(g.num_nodes()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const int arc = arc_of_edge[static_cast<std::size_t>(e)];
+    if (arc >= 0 && mcf.flow_on(arc) > 0) {
+      out[static_cast<std::size_t>(g.tail(e))].push_back(e);
+    }
+  }
+  std::vector<Path> paths;
+  for (int i = 0; i < k; ++i) {
+    Path p;
+    NodeId v = s;
+    while (v != t) {
+      auto& choices = out[static_cast<std::size_t>(v)];
+      WDM_CHECK_MSG(!choices.empty(), "flow decomposition stuck");
+      const EdgeId e = choices.back();
+      choices.pop_back();
+      p.edges.push_back(e);
+      v = g.head(e);
+    }
+    p.found = true;
+    p.cost = path_weight(p, w);
+    paths.push_back(std::move(p));
+  }
+  std::sort(paths.begin(), paths.end(),
+            [](const Path& a, const Path& b) { return a.cost < b.cost; });
+  return paths;
+}
+
+}  // namespace wdm::graph

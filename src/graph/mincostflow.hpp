@@ -1,0 +1,54 @@
+// Successive-shortest-path min-cost flow with Johnson potentials.
+//
+// With unit capacities and target flow k this computes the min-total-weight
+// set of k edge-disjoint s->t paths — for k = 2 it must agree with Suurballe,
+// which the property tests exploit as an independent oracle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+
+namespace wdm::graph {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  /// Adds a directed arc u -> v. Costs must be nonnegative.
+  int add_arc(int u, int v, std::int64_t capacity, double cost);
+
+  struct Result {
+    std::int64_t flow = 0;
+    double cost = 0.0;
+  };
+
+  /// Sends up to `target` units s -> t along successively cheapest paths.
+  /// May be called once per instance.
+  Result min_cost_flow(int s, int t, std::int64_t target);
+
+  std::int64_t flow_on(int id) const;
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t cap;
+    double cost;
+    int rev;
+  };
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::pair<int, int>> arc_pos_;
+};
+
+/// Min-total-weight k edge-disjoint s->t paths, or nullopt when fewer than k
+/// disjoint paths exist. Paths are returned cheapest-first.
+std::optional<std::vector<Path>> min_cost_disjoint_paths(
+    const Digraph& g, std::span<const double> w, NodeId s, NodeId t, int k,
+    std::span<const std::uint8_t> edge_enabled = {});
+
+}  // namespace wdm::graph

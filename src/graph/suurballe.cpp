@@ -1,0 +1,216 @@
+#include "graph/suurballe.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/heaps.hpp"
+#include "support/check.hpp"
+
+namespace wdm::graph {
+
+namespace {
+
+bool edge_on(std::span<const std::uint8_t> mask, EdgeId e) {
+  return mask.empty() || mask[static_cast<std::size_t>(e)] != 0;
+}
+
+/// Decomposes the 2-unit flow given by `in_flow` (edge ids carrying one unit
+/// each) into two s->t paths by walking unused flow edges. Costs are filled
+/// from `w`.
+DisjointPair decompose_two_paths(const Digraph& g, std::span<const double> w,
+                                 NodeId s, NodeId t,
+                                 const std::vector<EdgeId>& flow_edges) {
+  std::vector<std::vector<EdgeId>> out(static_cast<std::size_t>(g.num_nodes()));
+  for (EdgeId e : flow_edges) {
+    out[static_cast<std::size_t>(g.tail(e))].push_back(e);
+  }
+  DisjointPair pair;
+  Path* paths[2] = {&pair.first, &pair.second};
+  for (Path* p : paths) {
+    NodeId v = s;
+    while (v != t) {
+      auto& choices = out[static_cast<std::size_t>(v)];
+      WDM_CHECK_MSG(!choices.empty(), "flow decomposition stuck — not a 2-flow");
+      const EdgeId e = choices.back();
+      choices.pop_back();
+      p->edges.push_back(e);
+      v = g.head(e);
+      WDM_CHECK_MSG(p->edges.size() <= flow_edges.size(),
+                    "flow decomposition cycled");
+    }
+    p->found = true;
+    p->cost = path_weight(*p, w);
+  }
+  pair.found = true;
+  // Canonical order: cheaper path first (primary).
+  if (pair.second.cost < pair.first.cost) std::swap(pair.first, pair.second);
+  return pair;
+}
+
+}  // namespace
+
+DisjointPair suurballe(const Digraph& g, std::span<const double> w, NodeId s,
+                       NodeId t, std::span<const std::uint8_t> edge_enabled) {
+  WDM_CHECK(g.valid_node(s) && g.valid_node(t));
+  WDM_CHECK_MSG(s != t, "suurballe requires distinct endpoints");
+  const auto m = static_cast<std::size_t>(g.num_edges());
+  WDM_CHECK(w.size() == m);
+
+  DisjointPair result;
+
+  // Round 1: full shortest-path tree from s (the paper's first iteration of
+  // Find_Two_Paths on G'^1 = G').
+  DijkstraOptions opt;
+  opt.edge_enabled = edge_enabled;
+  const ShortestPathTree tree1 = dijkstra(g, w, s, opt);
+  if (!tree1.reached(t)) return result;
+  const Path p1 = extract_path(g, tree1, t);
+
+  std::vector<std::uint8_t> on_p1(m, 0);
+  for (EdgeId e : p1.edges) on_p1[static_cast<std::size_t>(e)] = 1;
+
+  // Round 2: Dijkstra over reduced costs w'(e) = w(e) + d(tail) - d(head),
+  // with p1's edges usable only backwards at cost 0 (the paper's E_reserve).
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> dist(n, kInf);
+  // Predecessor arc: edge id, plus whether it was traversed in reverse.
+  std::vector<EdgeId> pred(n, kInvalidEdge);
+  std::vector<std::uint8_t> pred_rev(n, 0);
+
+  QuadHeap heap(n);
+  dist[static_cast<std::size_t>(s)] = 0.0;
+  heap.push(static_cast<std::size_t>(s), 0.0);
+  auto reduced = [&](EdgeId e) {
+    const double r = w[static_cast<std::size_t>(e)] +
+                     tree1.distance(g.tail(e)) - tree1.distance(g.head(e));
+    // Clamp tiny negatives from floating-point cancellation.
+    return r < 0.0 ? 0.0 : r;
+  };
+  while (!heap.empty()) {
+    const auto [uid, du] = heap.pop_min();
+    const auto u = static_cast<NodeId>(uid);
+    if (u == t) break;
+    for (EdgeId e : g.out_edges(u)) {
+      if (!edge_on(edge_enabled, e) || on_p1[static_cast<std::size_t>(e)]) {
+        continue;
+      }
+      if (!tree1.reached(g.head(e))) continue;  // reduced cost undefined
+      const auto v = static_cast<std::size_t>(g.head(e));
+      const double dv = du + reduced(e);
+      if (dv < dist[v]) {
+        dist[v] = dv;
+        pred[v] = e;
+        pred_rev[v] = 0;
+        heap.push_or_decrease(v, dv);
+      }
+    }
+    for (EdgeId e : g.in_edges(u)) {
+      if (!on_p1[static_cast<std::size_t>(e)]) continue;
+      // Traverse backwards: head -> tail, reduced cost 0.
+      const auto v = static_cast<std::size_t>(g.tail(e));
+      const double dv = du;
+      if (dv < dist[v]) {
+        dist[v] = dv;
+        pred[v] = e;
+        pred_rev[v] = 1;
+        heap.push_or_decrease(v, dv);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(t)] == kInf) return result;  // no pair
+
+  // Cancel interlacing edges (the paper's E_intersect): an edge of p1 used in
+  // reverse by round 2 drops out of the union.
+  std::vector<std::uint8_t> in_flow(m, 0);
+  for (EdgeId e : p1.edges) in_flow[static_cast<std::size_t>(e)] = 1;
+  for (NodeId v = t; v != s;) {
+    const EdgeId e = pred[static_cast<std::size_t>(v)];
+    WDM_CHECK(e != kInvalidEdge);
+    if (pred_rev[static_cast<std::size_t>(v)]) {
+      in_flow[static_cast<std::size_t>(e)] = 0;
+      v = g.head(e);
+    } else {
+      in_flow[static_cast<std::size_t>(e)] = 1;
+      v = g.tail(e);
+    }
+  }
+
+  std::vector<EdgeId> flow_edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_flow[static_cast<std::size_t>(e)]) flow_edges.push_back(e);
+  }
+  return decompose_two_paths(g, w, s, t, flow_edges);
+}
+
+DisjointPair suurballe_node_disjoint(
+    const Digraph& g, std::span<const double> w, NodeId s, NodeId t,
+    std::span<const std::uint8_t> edge_enabled) {
+  WDM_CHECK(g.valid_node(s) && g.valid_node(t));
+  WDM_CHECK(s != t);
+  // Split every node v into v_in (id v) and v_out (id v + n); internal arc
+  // v_in -> v_out carries zero weight; original edges run u_out -> v_in.
+  const NodeId n = g.num_nodes();
+  Digraph split(2 * n);
+  std::vector<double> sw;
+  std::vector<EdgeId> orig;  // original edge id per split edge, -1 = internal
+  for (NodeId v = 0; v < n; ++v) {
+    split.add_edge(v, v + n);
+    sw.push_back(0.0);
+    orig.push_back(kInvalidEdge);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!edge_on(edge_enabled, e)) continue;
+    split.add_edge(g.tail(e) + n, g.head(e));
+    sw.push_back(w[static_cast<std::size_t>(e)]);
+    orig.push_back(e);
+  }
+  DisjointPair sp = suurballe(split, sw, s + n, t);
+  if (!sp.found) return sp;
+  auto project = [&](const Path& p) {
+    Path out;
+    out.found = true;
+    for (EdgeId e : p.edges) {
+      const EdgeId oe = orig[static_cast<std::size_t>(e)];
+      if (oe != kInvalidEdge) out.edges.push_back(oe);
+    }
+    out.cost = path_weight(out, w);
+    return out;
+  };
+  DisjointPair result;
+  result.found = true;
+  result.first = project(sp.first);
+  result.second = project(sp.second);
+  if (result.second.cost < result.first.cost) {
+    std::swap(result.first, result.second);
+  }
+  return result;
+}
+
+DisjointPair naive_two_step(const Digraph& g, std::span<const double> w,
+                            NodeId s, NodeId t,
+                            std::span<const std::uint8_t> edge_enabled) {
+  WDM_CHECK(g.valid_node(s) && g.valid_node(t));
+  WDM_CHECK(s != t);
+  DisjointPair result;
+  const Path p1 = shortest_path(g, w, s, t, edge_enabled);
+  if (!p1.found) return result;
+  std::vector<std::uint8_t> mask;
+  if (edge_enabled.empty()) {
+    mask.assign(static_cast<std::size_t>(g.num_edges()), 1);
+  } else {
+    mask.assign(edge_enabled.begin(), edge_enabled.end());
+  }
+  for (EdgeId e : p1.edges) mask[static_cast<std::size_t>(e)] = 0;
+  const Path p2 = shortest_path(g, w, s, t, mask);
+  if (!p2.found) return result;
+  result.found = true;
+  result.first = p1;
+  result.second = p2;
+  if (result.second.cost < result.first.cost) {
+    std::swap(result.first, result.second);
+  }
+  return result;
+}
+
+}  // namespace wdm::graph

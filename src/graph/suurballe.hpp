@@ -1,0 +1,47 @@
+// Suurballe's algorithm [Suurballe, Networks 1974]: a min-total-cost pair of
+// edge-disjoint s->t paths, computed with two Dijkstra passes over reduced
+// costs. This is the `Find_Two_Paths` procedure of the paper (§3.3.2), run
+// there on the auxiliary graph G'.
+//
+// Round 1 grows a full shortest-path tree; round 2 runs Dijkstra on the
+// reduced-cost graph in which the round-1 path is reversed with cost 0
+// (the paper's E_reserve), after which interlacing edges cancel
+// (E_intersect) and the union decomposes into the two paths.
+#pragma once
+
+#include <span>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+
+namespace wdm::graph {
+
+struct DisjointPair {
+  Path first;   // valid iff found
+  Path second;  // valid iff found
+  bool found = false;
+
+  double total_cost() const { return first.cost + second.cost; }
+};
+
+/// Minimum-total-weight pair of edge-disjoint paths s -> t, or found == false
+/// when no such pair exists. Weights must be nonnegative. The optional mask
+/// restricts the computation to a subgraph. Requires s != t.
+DisjointPair suurballe(const Digraph& g, std::span<const double> w, NodeId s,
+                       NodeId t, std::span<const std::uint8_t> edge_enabled = {});
+
+/// Node-disjoint variant via the standard node-splitting transform: returns a
+/// min-total-weight pair of internally node-disjoint paths. (Extension beyond
+/// the paper — protects against single *node* failures.)
+DisjointPair suurballe_node_disjoint(
+    const Digraph& g, std::span<const double> w, NodeId s, NodeId t,
+    std::span<const std::uint8_t> edge_enabled = {});
+
+/// Baseline for E10: greedily take the shortest path, delete its edges, take
+/// the next shortest path. Cheaper per query but fails on "trap" topologies
+/// where the first path uses edges both disjoint paths need.
+DisjointPair naive_two_step(const Digraph& g, std::span<const double> w,
+                            NodeId s, NodeId t,
+                            std::span<const std::uint8_t> edge_enabled = {});
+
+}  // namespace wdm::graph

@@ -1,0 +1,124 @@
+#include "graph/yen.hpp"
+
+#include <algorithm>
+
+#include "graph/dijkstra.hpp"
+#include "support/check.hpp"
+
+namespace wdm::graph {
+
+KShortestPathEnumerator::KShortestPathEnumerator(
+    const Digraph& g, std::span<const double> w, NodeId s, NodeId t,
+    std::span<const std::uint8_t> edge_enabled)
+    : g_(g), w_(w), s_(s), t_(t) {
+  WDM_CHECK(g.valid_node(s) && g.valid_node(t));
+  WDM_CHECK(s != t);
+  WDM_CHECK(w.size() == static_cast<std::size_t>(g.num_edges()));
+  if (edge_enabled.empty()) {
+    base_mask_.assign(static_cast<std::size_t>(g.num_edges()), 1);
+  } else {
+    WDM_CHECK(edge_enabled.size() == static_cast<std::size_t>(g.num_edges()));
+    base_mask_.assign(edge_enabled.begin(), edge_enabled.end());
+  }
+}
+
+std::optional<Path> KShortestPathEnumerator::next() {
+  if (exhausted_) return std::nullopt;
+  if (!primed_) {
+    primed_ = true;
+    Path first = shortest_path(g_, w_, s_, t_, base_mask_);
+    if (!first.found) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    output_.push_back(first);
+    return first;
+  }
+  seed_candidates_from(output_.back());
+  if (candidates_.empty()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  auto it = candidates_.begin();
+  Path p;
+  p.found = true;
+  p.cost = it->first;
+  p.edges = it->second;
+  candidates_.erase(it);
+  output_.push_back(p);
+  return p;
+}
+
+void KShortestPathEnumerator::seed_candidates_from(const Path& last) {
+  const auto last_nodes = last.nodes(g_);
+  std::vector<std::uint8_t> mask(base_mask_);
+
+  // Deviate at each position along the last output path.
+  for (std::size_t i = 0; i < last.edges.size(); ++i) {
+    const NodeId spur = last_nodes[i];
+    std::vector<EdgeId> root(last.edges.begin(),
+                             last.edges.begin() + static_cast<std::ptrdiff_t>(i));
+    double root_cost = 0.0;
+    for (EdgeId e : root) root_cost += w_[static_cast<std::size_t>(e)];
+
+    // Ban the continuation edge of every previously output path sharing this
+    // root prefix.
+    std::vector<EdgeId> banned_edges;
+    for (const Path& prev : output_) {
+      if (prev.edges.size() <= i) continue;
+      if (!std::equal(root.begin(), root.end(), prev.edges.begin())) continue;
+      const EdgeId cont = prev.edges[i];
+      if (mask[static_cast<std::size_t>(cont)]) {
+        mask[static_cast<std::size_t>(cont)] = 0;
+        banned_edges.push_back(cont);
+      }
+    }
+    // Ban root nodes (except the spur) to keep paths loopless: disable all
+    // their incident edges.
+    std::vector<EdgeId> banned_node_edges;
+    for (std::size_t k = 0; k < i; ++k) {
+      const NodeId v = last_nodes[k];
+      for (EdgeId e : g_.out_edges(v)) {
+        if (mask[static_cast<std::size_t>(e)]) {
+          mask[static_cast<std::size_t>(e)] = 0;
+          banned_node_edges.push_back(e);
+        }
+      }
+      for (EdgeId e : g_.in_edges(v)) {
+        if (mask[static_cast<std::size_t>(e)]) {
+          mask[static_cast<std::size_t>(e)] = 0;
+          banned_node_edges.push_back(e);
+        }
+      }
+    }
+
+    Path spur_path = shortest_path(g_, w_, spur, t_, mask);
+    if (spur_path.found) {
+      std::vector<EdgeId> full = root;
+      full.insert(full.end(), spur_path.edges.begin(), spur_path.edges.end());
+      if (seen_.insert(full).second) {
+        candidates_.emplace(root_cost + spur_path.cost, std::move(full));
+      }
+    }
+
+    // Restore the mask for the next deviation index.
+    for (EdgeId e : banned_edges) mask[static_cast<std::size_t>(e)] = 1;
+    for (EdgeId e : banned_node_edges) mask[static_cast<std::size_t>(e)] = 1;
+  }
+}
+
+std::vector<Path> yen_k_shortest(const Digraph& g, std::span<const double> w,
+                                 NodeId s, NodeId t, int k,
+                                 std::span<const std::uint8_t> edge_enabled) {
+  WDM_CHECK(k >= 0);
+  KShortestPathEnumerator en(g, w, s, t, edge_enabled);
+  std::vector<Path> out;
+  for (int i = 0; i < k; ++i) {
+    auto p = en.next();
+    if (!p) break;
+    out.push_back(std::move(*p));
+  }
+  return out;
+}
+
+}  // namespace wdm::graph

@@ -1,0 +1,53 @@
+// Yen's algorithm for loopless k-shortest paths, exposed as an incremental
+// enumerator. The exact robust-routing solver (rwa/exact_router) pulls
+// candidate primary paths from this enumerator in nondecreasing lower-bound
+// cost until its admissible pruning bound closes the search.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+
+namespace wdm::graph {
+
+class KShortestPathEnumerator {
+ public:
+  /// The graph / weight spans must outlive the enumerator. Weights must be
+  /// nonnegative. Requires s != t.
+  KShortestPathEnumerator(const Digraph& g, std::span<const double> w,
+                          NodeId s, NodeId t,
+                          std::span<const std::uint8_t> edge_enabled = {});
+
+  /// Next loopless path in nondecreasing cost, or nullopt when exhausted.
+  std::optional<Path> next();
+
+  /// Paths emitted so far.
+  std::size_t emitted() const { return output_.size(); }
+
+ private:
+  void seed_candidates_from(const Path& last);
+
+  const Digraph& g_;
+  std::span<const double> w_;
+  NodeId s_, t_;
+  std::vector<std::uint8_t> base_mask_;
+
+  std::vector<Path> output_;
+  // Candidates ordered by (cost, edge sequence); the edge-sequence set
+  // prevents duplicate insertion.
+  std::set<std::pair<double, std::vector<EdgeId>>> candidates_;
+  std::set<std::vector<EdgeId>> seen_;
+  bool primed_ = false;
+  bool exhausted_ = false;
+};
+
+/// Convenience wrapper: up to k shortest loopless paths.
+std::vector<Path> yen_k_shortest(const Digraph& g, std::span<const double> w,
+                                 NodeId s, NodeId t, int k,
+                                 std::span<const std::uint8_t> edge_enabled = {});
+
+}  // namespace wdm::graph

@@ -1,0 +1,121 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace wdm::ilp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound;  // parent LP relaxation value
+
+  bool operator<(const Node& o) const {
+    return bound > o.bound;  // min-heap on bound (best-bound first)
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if integral.
+int pick_branch_variable(const Model& model, const std::vector<double>& x,
+                         double tol) {
+  int best = -1;
+  double best_frac = tol;
+  for (int i = 0; i < model.num_variables(); ++i) {
+    if (!model.variable(i).integer) continue;
+    const double v = x[static_cast<std::size_t>(i)];
+    const double frac = std::abs(v - std::round(v));
+    // Distance from the nearest half-integer point, inverted: prefer the
+    // variable closest to 0.5 fractionality.
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IpSolution solve_ip(const Model& model, const IpOptions& opt) {
+  IpSolution sol;
+  const auto n = static_cast<std::size_t>(model.num_variables());
+
+  Node root;
+  root.lower.resize(n);
+  root.upper.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    root.lower[i] = model.variable(static_cast<int>(i)).lower;
+    root.upper[i] = model.variable(static_cast<int>(i)).upper;
+  }
+  root.bound = -kInfinity;
+
+  std::priority_queue<Node> open;
+  open.push(std::move(root));
+
+  double incumbent = kInfinity;
+  std::vector<double> incumbent_x;
+
+  while (!open.empty()) {
+    if (sol.nodes_explored >= opt.max_nodes) {
+      sol.status = incumbent < kInfinity ? IpStatus::kNodeLimit
+                                         : IpStatus::kInfeasible;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent - opt.absolute_gap) continue;  // pruned
+    ++sol.nodes_explored;
+
+    const LpSolution lp = solve_lp(model, node.lower, node.upper);
+    if (lp.status == LpStatus::kInfeasible) continue;
+    WDM_CHECK_MSG(lp.status != LpStatus::kUnbounded,
+                  "IP relaxation unbounded — add explicit variable bounds");
+    if (lp.objective >= incumbent - opt.absolute_gap) continue;
+
+    const int branch_var =
+        pick_branch_variable(model, lp.x, opt.integrality_tol);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      incumbent = lp.objective;
+      incumbent_x = lp.x;
+      // Snap integer variables exactly.
+      for (int i = 0; i < model.num_variables(); ++i) {
+        if (model.variable(i).integer) {
+          incumbent_x[static_cast<std::size_t>(i)] =
+              std::round(incumbent_x[static_cast<std::size_t>(i)]);
+        }
+      }
+      continue;
+    }
+
+    const double v = lp.x[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.upper[static_cast<std::size_t>(branch_var)] = std::floor(v);
+    down.bound = lp.objective;
+    Node up = std::move(node);
+    up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+    up.bound = lp.objective;
+    if (down.lower[static_cast<std::size_t>(branch_var)] <=
+        down.upper[static_cast<std::size_t>(branch_var)]) {
+      open.push(std::move(down));
+    }
+    if (up.lower[static_cast<std::size_t>(branch_var)] <=
+        up.upper[static_cast<std::size_t>(branch_var)]) {
+      open.push(std::move(up));
+    }
+  }
+
+  if (incumbent < kInfinity) {
+    if (sol.status != IpStatus::kNodeLimit) sol.status = IpStatus::kOptimal;
+    sol.x = std::move(incumbent_x);
+    sol.objective = incumbent;
+  }
+  return sol;
+}
+
+}  // namespace wdm::ilp

@@ -1,0 +1,32 @@
+// Branch & bound for mixed 0/1 programs over the simplex LP relaxation.
+//
+// Best-bound node selection, most-fractional branching, bound tightening via
+// per-node lower/upper vectors (the model itself is shared, never copied).
+// Scope matches the paper's §3.1 IP: binary flow variables, continuous
+// linearized conversion costs, minimization.
+#pragma once
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace wdm::ilp {
+
+enum class IpStatus { kOptimal, kInfeasible, kNodeLimit };
+
+struct IpOptions {
+  long max_nodes = 100000;
+  double integrality_tol = 1e-6;
+  /// Prune nodes whose bound is within this of the incumbent.
+  double absolute_gap = 1e-9;
+};
+
+struct IpSolution {
+  IpStatus status = IpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  long nodes_explored = 0;
+};
+
+IpSolution solve_ip(const Model& model, const IpOptions& opt = {});
+
+}  // namespace wdm::ilp

@@ -1,0 +1,63 @@
+#include "ilp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace wdm::ilp {
+
+int Model::add_variable(double lower, double upper, double objective,
+                        bool integer, std::string name) {
+  WDM_CHECK_MSG(lower <= upper, "variable bounds crossed");
+  vars_.push_back(Variable{lower, upper, objective, integer, std::move(name)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+void Model::add_constraint(std::vector<LinearTerm> terms, Sense sense,
+                           double rhs) {
+  // Merge duplicate variables so the simplex sees clean rows.
+  std::map<int, double> merged;
+  for (const LinearTerm& t : terms) {
+    WDM_CHECK(t.var >= 0 && t.var < num_variables());
+    merged[t.var] += t.coeff;
+  }
+  Constraint c;
+  c.sense = sense;
+  c.rhs = rhs;
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) c.terms.push_back(LinearTerm{var, coeff});
+  }
+  cons_.push_back(std::move(c));
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  WDM_CHECK(x.size() == vars_.size());
+  double z = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) z += vars_[i].objective * x[i];
+  return z;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  WDM_CHECK(x.size() == vars_.size());
+  double v = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    v = std::max(v, vars_[i].lower - x[i]);
+    if (vars_[i].upper < kInfinity) v = std::max(v, x[i] - vars_[i].upper);
+  }
+  for (const Constraint& c : cons_) {
+    double lhs = 0.0;
+    for (const LinearTerm& t : c.terms) {
+      lhs += t.coeff * x[static_cast<std::size_t>(t.var)];
+    }
+    switch (c.sense) {
+      case Sense::kLe: v = std::max(v, lhs - c.rhs); break;
+      case Sense::kGe: v = std::max(v, c.rhs - lhs); break;
+      case Sense::kEq: v = std::max(v, std::abs(lhs - c.rhs)); break;
+    }
+  }
+  return v;
+}
+
+}  // namespace wdm::ilp

@@ -1,0 +1,77 @@
+// Mixed 0/1 linear-program model builder.
+//
+// Built for the paper's §3.1 integer program (Eqs. 3–21): a few hundred
+// binary x/y flow variables and continuous z/t conversion-cost variables on
+// the bench-scale instances. The model is solver-agnostic data; see
+// simplex.hpp (LP relaxation) and branch_and_bound.hpp (integer solve).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wdm::ilp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLe, kGe, kEq };
+
+struct LinearTerm {
+  int var;
+  double coeff;
+};
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  bool integer = false;
+  std::string name;
+};
+
+struct Constraint {
+  std::vector<LinearTerm> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+class Model {
+ public:
+  /// Adds a variable; returns its index.
+  int add_variable(double lower, double upper, double objective, bool integer,
+                   std::string name = {});
+
+  int add_binary(double objective, std::string name = {}) {
+    return add_variable(0.0, 1.0, objective, /*integer=*/true, std::move(name));
+  }
+
+  int add_continuous(double lower, double upper, double objective,
+                     std::string name = {}) {
+    return add_variable(lower, upper, objective, /*integer=*/false,
+                        std::move(name));
+  }
+
+  /// Adds `Σ terms sense rhs`. Terms with duplicate variables are summed.
+  void add_constraint(std::vector<LinearTerm> terms, Sense sense, double rhs);
+
+  int num_variables() const { return static_cast<int>(vars_.size()); }
+  int num_constraints() const { return static_cast<int>(cons_.size()); }
+  const Variable& variable(int i) const {
+    return vars_[static_cast<std::size_t>(i)];
+  }
+  const Constraint& constraint(int i) const {
+    return cons_[static_cast<std::size_t>(i)];
+  }
+
+  /// Objective value of an assignment.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Max violation of any constraint or bound (for test assertions).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> cons_;
+};
+
+}  // namespace wdm::ilp

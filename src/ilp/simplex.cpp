@@ -1,0 +1,264 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace wdm::ilp {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Dense tableau: rows = constraints, columns = structural + slack +
+/// artificial variables, plus the rhs column. Basis tracked per row.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows * cols, 0.0), b_(rows, 0.0),
+        basis_(rows, -1) {}
+
+  double& at(std::size_t r, std::size_t c) { return a_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return a_[r * cols_ + c]; }
+  double& rhs(std::size_t r) { return b_[r]; }
+  double rhs(std::size_t r) const { return b_[r]; }
+  int& basis(std::size_t r) { return basis_[r]; }
+  int basis(std::size_t r) const { return basis_[r]; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double piv = at(pr, pc);
+    WDM_DCHECK(std::abs(piv) > kTol);
+    const double inv = 1.0 / piv;
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    b_[pr] *= inv;
+    at(pr, pc) = 1.0;  // kill rounding noise
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (std::abs(f) < kTol) {
+        at(r, pc) = 0.0;
+        continue;
+      }
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= f * at(pr, c);
+      b_[r] -= f * b_[pr];
+      at(r, pc) = 0.0;
+    }
+    basis_[pr] = static_cast<int>(pc);
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<int> basis_;
+};
+
+/// Minimizes the objective `obj` (size = tableau cols) over the current
+/// basic feasible tableau, restricted to columns < `active_cols`.
+/// Returns false on unboundedness. `obj_row` is maintained as reduced costs.
+bool run_simplex(Tableau& t, std::vector<double>& obj_row, double& obj_value,
+                 std::size_t active_cols) {
+  while (true) {
+    // Bland: entering = smallest column with reduced cost < -tol.
+    std::size_t enter = active_cols;
+    for (std::size_t c = 0; c < active_cols; ++c) {
+      if (obj_row[c] < -kTol) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == active_cols) return true;  // optimal
+
+    // Ratio test; Bland tie-break on smallest basis variable.
+    std::size_t leave = t.rows();
+    double best_ratio = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      const double a = t.at(r, enter);
+      if (a > kTol) {
+        const double ratio = t.rhs(r) / a;
+        if (leave == t.rows() || ratio < best_ratio - kTol ||
+            (ratio < best_ratio + kTol && t.basis(r) < t.basis(leave))) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == t.rows()) return false;  // unbounded
+
+    t.pivot(leave, enter);
+    // Update the objective row.
+    const double f = obj_row[enter];
+    for (std::size_t c = 0; c < t.cols(); ++c) obj_row[c] -= f * t.at(leave, c);
+    obj_value -= f * t.rhs(leave);
+    obj_row[enter] = 0.0;
+  }
+}
+
+}  // namespace
+
+LpSolution solve_lp(const Model& model, std::span<const double> lower,
+                    std::span<const double> upper) {
+  const auto n = static_cast<std::size_t>(model.num_variables());
+  WDM_CHECK(lower.empty() || lower.size() == n);
+  WDM_CHECK(upper.empty() || upper.size() == n);
+  auto lb_of = [&](std::size_t i) {
+    return lower.empty() ? model.variable(static_cast<int>(i)).lower
+                         : lower[i];
+  };
+  auto ub_of = [&](std::size_t i) {
+    return upper.empty() ? model.variable(static_cast<int>(i)).upper
+                         : upper[i];
+  };
+
+  LpSolution sol;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lb_of(i) > ub_of(i) + kTol) return sol;  // trivially infeasible
+  }
+
+  // Shift x = y + lb so y >= 0; finite upper bounds become rows y <= ub - lb.
+  std::vector<std::size_t> ub_rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ub_of(i) < kInfinity) ub_rows.push_back(i);
+  }
+  const std::size_t m =
+      static_cast<std::size_t>(model.num_constraints()) + ub_rows.size();
+
+  // Column layout: [0, n) structural y, [n, n+m) slack/surplus (one per row,
+  // unused slots for equality rows), [n+m, n+2m) artificials (lazily used).
+  const std::size_t slack0 = n;
+  const std::size_t art0 = n + m;
+  const std::size_t cols = n + 2 * m;
+  Tableau t(m, cols);
+
+  std::vector<double> row_shift(m, 0.0);  // rhs adjustment from lb shift
+  std::vector<Sense> sense(m, Sense::kLe);
+
+  for (std::size_t r = 0; r < static_cast<std::size_t>(model.num_constraints());
+       ++r) {
+    const Constraint& c = model.constraint(static_cast<int>(r));
+    sense[r] = c.sense;
+    double rhs = c.rhs;
+    for (const LinearTerm& term : c.terms) {
+      const auto v = static_cast<std::size_t>(term.var);
+      t.at(r, v) += term.coeff;
+      rhs -= term.coeff * lb_of(v);
+    }
+    t.rhs(r) = rhs;
+  }
+  for (std::size_t k = 0; k < ub_rows.size(); ++k) {
+    const std::size_t r = static_cast<std::size_t>(model.num_constraints()) + k;
+    const std::size_t v = ub_rows[k];
+    sense[r] = Sense::kLe;
+    t.at(r, v) = 1.0;
+    t.rhs(r) = ub_of(v) - lb_of(v);
+  }
+  (void)row_shift;
+
+  // Normalize rows to rhs >= 0, attach slack/surplus, then artificials where
+  // no natural basis column exists.
+  std::vector<std::uint8_t> is_artificial(cols, 0);
+  std::size_t num_art = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.rhs(r) < 0.0) {
+      for (std::size_t c = 0; c < cols; ++c) t.at(r, c) = -t.at(r, c);
+      t.rhs(r) = -t.rhs(r);
+      if (sense[r] == Sense::kLe) {
+        sense[r] = Sense::kGe;
+      } else if (sense[r] == Sense::kGe) {
+        sense[r] = Sense::kLe;
+      }
+    }
+    const std::size_t slack = slack0 + r;
+    if (sense[r] == Sense::kLe) {
+      t.at(r, slack) = 1.0;
+      t.basis(r) = static_cast<int>(slack);
+    } else {
+      if (sense[r] == Sense::kGe) t.at(r, slack) = -1.0;  // surplus
+      const std::size_t art = art0 + r;
+      t.at(r, art) = 1.0;
+      t.basis(r) = static_cast<int>(art);
+      is_artificial[art] = 1;
+      ++num_art;
+    }
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_art > 0) {
+    std::vector<double> obj(cols, 0.0);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (is_artificial[c]) obj[c] = 1.0;
+    }
+    // Reduce against the starting basis (artificials are basic).
+    double value = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto bc = static_cast<std::size_t>(t.basis(r));
+      if (is_artificial[bc]) {
+        for (std::size_t c = 0; c < cols; ++c) obj[c] -= t.at(r, c);
+        value -= t.rhs(r);
+      }
+    }
+    if (!run_simplex(t, obj, value, cols)) {
+      // Phase-1 objective is bounded below by 0; unbounded cannot happen.
+      WDM_CHECK_MSG(false, "phase-1 simplex reported unbounded");
+    }
+    if (-value > 1e-7) return sol;  // infeasible (value tracks -objective)
+
+    // Drive any artificial still in the basis out (degenerate zero rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto bc = static_cast<std::size_t>(t.basis(r));
+      if (!is_artificial[bc]) continue;
+      std::size_t pivot_col = cols;
+      for (std::size_t c = 0; c < art0; ++c) {
+        if (std::abs(t.at(r, c)) > kTol) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col < cols) t.pivot(r, pivot_col);
+      // else: the row is all-zero over real columns — redundant; the basic
+      // artificial stays at value 0 and is harmless in phase 2 because its
+      // column is excluded from pricing.
+    }
+  }
+
+  // Phase 2: minimize the true objective over non-artificial columns.
+  std::vector<double> obj(cols, 0.0);
+  double value = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    obj[i] = model.variable(static_cast<int>(i)).objective;
+    value += obj[i] * lb_of(i);  // constant from the lb shift
+  }
+  // Reduce against the current basis.
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto bc = static_cast<std::size_t>(t.basis(r));
+    const double f = obj[bc];
+    if (f != 0.0) {
+      for (std::size_t c = 0; c < cols; ++c) obj[c] -= f * t.at(r, c);
+      value -= f * t.rhs(r);
+      obj[bc] = 0.0;
+    }
+  }
+  // `value` accumulates -(objective shift); track actual objective directly:
+  // after reduction, objective = value0 - Σ f*rhs where value started at the
+  // lb-shift constant. run_simplex keeps subtracting consistently.
+  if (!run_simplex(t, obj, value, art0)) {
+    sol.status = LpStatus::kUnbounded;
+    return sol;
+  }
+
+  // Read out the solution.
+  std::vector<double> y(cols, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    y[static_cast<std::size_t>(t.basis(r))] = t.rhs(r);
+  }
+  sol.x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) sol.x[i] = y[i] + lb_of(i);
+  sol.objective = model.objective_value(sol.x);
+  sol.status = LpStatus::kOptimal;
+  return sol;
+}
+
+}  // namespace wdm::ilp

@@ -1,0 +1,28 @@
+// Dense two-phase primal simplex for the LP relaxations inside branch &
+// bound. Bland's rule throughout (no cycling); dense tableau — the §3.1 IP
+// instances the benches solve have at most a few hundred rows/columns, where
+// a dense tableau is both simplest and fast enough.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace wdm::ilp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;  // per model variable (original space)
+  double objective = 0.0;
+};
+
+/// Solves the LP relaxation of `model` (integrality dropped). Optional bound
+/// overrides (same length as the variable count) replace the model's bounds
+/// — branch & bound tightens bounds per node without copying the model.
+LpSolution solve_lp(const Model& model, std::span<const double> lower = {},
+                    std::span<const double> upper = {});
+
+}  // namespace wdm::ilp

@@ -1,0 +1,108 @@
+// The paper's auxiliary graphs: G' (§3.3.1), G_c (§4.1) and G_rc (§4.2).
+//
+// All three share one topology recipe over the residual network:
+//   * every usable physical link e = <u,v> contributes two *edge-nodes*,
+//     u_out^e and v_in^e, joined by a "link arc" u_out^e -> v_in^e;
+//   * at every node v, a "transit arc" v_in^e -> v_out^e' exists iff some
+//     λ ∈ Λ_avail(e) can be converted at v into some λ' ∈ Λ_avail(e');
+//   * hub nodes s' and t'' attach to s's outgoing / t's incoming edge-nodes
+//     with zero-weight arcs.
+// They differ in which links qualify and how arcs are weighted:
+//   G'   — all links with Λ_avail ≠ ∅; link arc = mean traversal cost over
+//          Λ_avail(e); transit arc = mean allowed conversion cost.
+//   G_c  — only links with load U(e)/N(e) < ϑ; link arc = a^((U+1)/N) −
+//          a^(U/N) (exponential load penalty); transit arcs weight 0.
+//   G_rc — same ϑ filter as G_c; link arc = Σ_{λ∈Λ_avail} w(e,λ) / N(e)
+//          (the paper's formula — note it divides by N(e), not |Λ_avail(e)|;
+//          we implement it as written and flag the discrepancy here);
+//          transit arc = mean allowed conversion cost, as in G'.
+//
+// Because each physical link owns exactly one link arc, edge-disjoint paths
+// in the auxiliary graph project to edge-disjoint link sets in G — the fact
+// Lemma 2 rests on.
+#pragma once
+
+#include <span>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+#include "wdm/network.hpp"
+
+namespace wdm::rwa {
+
+enum class AuxWeighting {
+  kCost,              // G'  (§3.3.1)
+  kLoadExponential,   // G_c (§4.1)
+  kCostLoadFiltered,  // G_rc (§4.2)
+};
+
+struct AuxGraphOptions {
+  AuxWeighting weighting = AuxWeighting::kCost;
+  /// Load threshold ϑ for G_c / G_rc: links with U(e)/N(e) >= ϑ are dropped.
+  /// Ignored by G'.
+  double theta = 1.0;
+  /// Make the ϑ filter inclusive (keep links with load == ϑ). The paper's
+  /// filter is strict; the inclusive variant lets the exact-threshold oracle
+  /// probe "links of load <= L" without floating-point epsilon games.
+  bool include_at_threshold = false;
+  /// The exponent base a > 1 of the G_c load penalty.
+  double load_base = 2.0;
+  /// Optional physical-subgraph restriction composed with the other filters.
+  std::span<const std::uint8_t> link_enabled = {};
+
+  /// Ablation knob for G_rc: the paper's link weight divides the summed
+  /// available-wavelength costs by N(e); `true` divides by |Λ_avail(e)|
+  /// instead (a true mean, removing the discount partially-loaded links get
+  /// under the paper's formula). See bench_ablations.
+  bool grc_mean_over_available = false;
+
+  /// Node-protection gadget (extension beyond the paper): route all transit
+  /// at an intermediate physical node through a single hub arc, so
+  /// edge-disjoint auxiliary paths are additionally *internally
+  /// node-disjoint* in G — protecting single node failures as well (§1's
+  /// stronger survivability class). The hub arc carries the node-level mean
+  /// conversion cost (exact under the §3.3 full-conversion assumption;
+  /// with restricted tables it relaxes per-pair convertibility to per-node).
+  bool protect_nodes = false;
+};
+
+struct AuxGraph {
+  graph::Digraph g;
+  std::vector<double> w;
+  graph::NodeId s_prime = graph::kInvalidNode;
+  graph::NodeId t_second = graph::kInvalidNode;
+
+  /// Physical link that each aux *arc* traverses (kInvalidEdge for transit
+  /// and hub arcs).
+  std::vector<graph::EdgeId> phys_edge_of_arc;
+  /// Physical link each aux *node* is an edge-node of (kInvalidEdge for the
+  /// two hubs); `is_in_node` distinguishes v_in^e from u_out^e.
+  std::vector<graph::EdgeId> phys_edge_of_node;
+  std::vector<std::uint8_t> is_in_node;
+
+  int num_edge_nodes = 0;
+  int num_link_arcs = 0;
+  int num_transit_arcs = 0;
+
+  /// Physical links traversed by an aux path, in order.
+  std::vector<graph::EdgeId> project(const graph::Path& p) const;
+
+  /// Enabled-mask over physical links containing exactly the projection of
+  /// `p` — the induced subgraph G_i of §3.3.2.
+  std::vector<std::uint8_t> induced_link_mask(const graph::Path& p,
+                                              graph::EdgeId num_links) const;
+};
+
+/// Builds the auxiliary graph for a query s -> t over the current residual
+/// network.
+AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
+                         net::NodeId t, const AuxGraphOptions& opt = {});
+
+/// Mean allowed conversion cost at v between Λ_avail(e) and Λ_avail(e'):
+/// Σ c_v(λa, λb) / K_v over allowed pairs, K_v = number of allowed pairs.
+/// Returns false when no pair is convertible (no transit arc).
+bool mean_conversion_cost(const net::WdmNetwork& net, net::NodeId v,
+                          graph::EdgeId in_link, graph::EdgeId out_link,
+                          double* mean_out);
+
+}  // namespace wdm::rwa

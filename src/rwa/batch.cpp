@@ -1,0 +1,101 @@
+#include "rwa/batch.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+const char* batch_order_name(BatchOrder order) {
+  switch (order) {
+    case BatchOrder::kArrival: return "arrival";
+    case BatchOrder::kShortestFirst: return "shortest-first";
+    case BatchOrder::kLongestFirst: return "longest-first";
+    case BatchOrder::kRandom: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+/// BFS hop distances from every source appearing in the batch (cached).
+int hop_distance(const graph::Digraph& g, net::NodeId s, net::NodeId t) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<net::NodeId> q;
+  dist[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const net::NodeId v = q.front();
+    q.pop();
+    if (v == t) return dist[static_cast<std::size_t>(v)];
+    for (graph::EdgeId e : g.out_edges(v)) {
+      const net::NodeId w = g.head(e);
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return std::numeric_limits<int>::max();  // unreachable: order last
+}
+
+}  // namespace
+
+BatchOutcome provision_batch(net::WdmNetwork& net, const Router& router,
+                             const std::vector<BatchRequest>& batch,
+                             BatchOrder order, support::Rng* rng) {
+  BatchOutcome out;
+  out.routes.resize(batch.size());
+
+  std::vector<std::size_t> perm(batch.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  switch (order) {
+    case BatchOrder::kArrival:
+      break;
+    case BatchOrder::kShortestFirst:
+    case BatchOrder::kLongestFirst: {
+      std::vector<int> hops(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        hops[i] = hop_distance(net.graph(), batch[i].s, batch[i].t);
+      }
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return order == BatchOrder::kShortestFirst
+                                    ? hops[a] < hops[b]
+                                    : hops[a] > hops[b];
+                       });
+      break;
+    }
+    case BatchOrder::kRandom:
+      WDM_CHECK_MSG(rng != nullptr, "random ordering needs an RNG");
+      rng->shuffle(std::span<std::size_t>(perm));
+      break;
+  }
+
+  for (std::size_t i : perm) {
+    const BatchRequest& req = batch[i];
+    const RouteResult r = router.route(net, req.s, req.t);
+    if (r.found && r.route.feasible(net)) {
+      r.route.reserve_in(net);
+      out.routes[i] = r.route;
+      ++out.accepted;
+      out.total_cost += r.route.total_cost(net);
+    } else {
+      ++out.dropped;
+    }
+  }
+  out.final_network_load = net.network_load();
+  return out;
+}
+
+void release_batch(net::WdmNetwork& net, const BatchOutcome& outcome) {
+  for (const auto& route : outcome.routes) {
+    if (route.has_value()) route->release_in(net);
+  }
+}
+
+}  // namespace wdm::rwa

@@ -1,0 +1,85 @@
+#include "rwa/exact_router.hpp"
+
+#include <algorithm>
+
+#include "graph/yen.hpp"
+#include "rwa/layered_graph.hpp"
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+ExactResult exact_disjoint_pair(const net::WdmNetwork& net, net::NodeId s,
+                                net::NodeId t, const ExactOptions& opt) {
+  ExactResult out;
+  const auto& pg = net.graph();
+  WDM_CHECK(pg.valid_node(s) && pg.valid_node(t) && s != t);
+
+  // Admissible per-link lower bounds over the residual network.
+  const auto m = static_cast<std::size_t>(pg.num_edges());
+  std::vector<double> lb(m, 0.0);
+  std::vector<std::uint8_t> usable(m, 0);
+  for (graph::EdgeId e = 0; e < pg.num_edges(); ++e) {
+    const net::WavelengthSet avail = net.available(e);
+    if (avail.empty()) continue;
+    usable[static_cast<std::size_t>(e)] = 1;
+    double best = graph::kInf;
+    avail.for_each(
+        [&](net::Wavelength l) { best = std::min(best, net.weight(e, l)); });
+    lb[static_cast<std::size_t>(e)] = best;
+  }
+
+  // OPT_single: no semilightpath at all => no pair either.
+  const double opt_single = optimal_semilightpath_cost(net, s, t, usable);
+  if (opt_single == graph::kInf) return out;
+
+  double best_total = graph::kInf;
+  net::Semilightpath best_p1, best_p2;
+
+  graph::KShortestPathEnumerator primaries(pg, lb, s, t, usable);
+  while (out.candidates_examined < opt.max_candidates) {
+    const auto candidate = primaries.next();
+    if (!candidate) {
+      out.proven_optimal = true;  // search space exhausted
+      break;
+    }
+    ++out.candidates_examined;
+    if (candidate->cost + opt_single >= best_total) {
+      out.proven_optimal = true;  // admissible bound closed the search
+      break;
+    }
+    // Best realization of the candidate as a semilightpath.
+    std::vector<std::uint8_t> mask1(m, 0);
+    for (graph::EdgeId e : candidate->edges) {
+      mask1[static_cast<std::size_t>(e)] = 1;
+    }
+    net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
+    if (!p1.found) continue;  // wavelength/conversion constraints block it
+    const double c1 = p1.cost(net);
+    if (c1 + opt_single >= best_total) continue;
+
+    // Best edge-disjoint completion.
+    std::vector<std::uint8_t> mask2(usable);
+    for (graph::EdgeId e : candidate->edges) {
+      mask2[static_cast<std::size_t>(e)] = 0;
+    }
+    net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
+    if (!p2.found) continue;
+    const double total = c1 + p2.cost(net);
+    if (total < best_total) {
+      best_total = total;
+      best_p1 = std::move(p1);
+      best_p2 = std::move(p2);
+    }
+  }
+
+  if (best_total < graph::kInf) {
+    out.result.found = true;
+    out.result.route.found = true;
+    if (best_p2.cost(net) < best_p1.cost(net)) std::swap(best_p1, best_p2);
+    out.result.route.primary = std::move(best_p1);
+    out.result.route.backup = std::move(best_p2);
+  }
+  return out;
+}
+
+}  // namespace wdm::rwa

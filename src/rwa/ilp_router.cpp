@@ -1,0 +1,230 @@
+#include "rwa/ilp_router.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+/// Variable ids for one commodity (primary x or backup y).
+struct FlowVars {
+  // var_of[e * W + l] = model variable index, or -1 when λ_l ∉ Λ_avail(e).
+  std::vector<int> var_of;
+
+  int at(const net::WdmNetwork& net, EdgeId e, net::Wavelength l) const {
+    return var_of[static_cast<std::size_t>(e) *
+                      static_cast<std::size_t>(net.W()) +
+                  static_cast<std::size_t>(l)];
+  }
+};
+
+FlowVars make_flow_vars(ilp::Model& model, const net::WdmNetwork& net,
+                        const char* prefix) {
+  FlowVars f;
+  f.var_of.assign(static_cast<std::size_t>(net.num_links()) *
+                      static_cast<std::size_t>(net.W()),
+                  -1);
+  for (EdgeId e = 0; e < net.num_links(); ++e) {
+    net.available(e).for_each([&](net::Wavelength l) {
+      const int v = model.add_binary(
+          net.weight(e, l),
+          std::string(prefix) + std::to_string(e) + "_" + std::to_string(l));
+      f.var_of[static_cast<std::size_t>(e) * static_cast<std::size_t>(net.W()) +
+               static_cast<std::size_t>(l)] = v;
+    });
+  }
+  return f;
+}
+
+/// Adds Eqs. (4)-(9) (or (10)-(15) for the backup commodity).
+void add_flow_constraints(ilp::Model& model, const net::WdmNetwork& net,
+                          const FlowVars& f, NodeId s, NodeId t) {
+  const auto& g = net.graph();
+  // (4): one wavelength per chosen link.
+  for (EdgeId e = 0; e < net.num_links(); ++e) {
+    std::vector<ilp::LinearTerm> terms;
+    net.available(e).for_each([&](net::Wavelength l) {
+      terms.push_back({f.at(net, e, l), 1.0});
+    });
+    if (!terms.empty()) {
+      model.add_constraint(std::move(terms), ilp::Sense::kLe, 1.0);
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<ilp::LinearTerm> out_terms, in_terms;
+    for (EdgeId e : g.out_edges(v)) {
+      net.available(e).for_each([&](net::Wavelength l) {
+        out_terms.push_back({f.at(net, e, l), 1.0});
+      });
+    }
+    for (EdgeId e : g.in_edges(v)) {
+      net.available(e).for_each([&](net::Wavelength l) {
+        in_terms.push_back({f.at(net, e, l), 1.0});
+      });
+    }
+    if (v == s) {
+      // (8): unit flow out of s. (6) excludes s from the incoming cap; we
+      // additionally pin incoming flow at s to 0 to rule out cycles through
+      // the source.
+      model.add_constraint(out_terms, ilp::Sense::kEq, 1.0);
+      if (!in_terms.empty()) {
+        model.add_constraint(in_terms, ilp::Sense::kEq, 0.0);
+      }
+    } else if (v == t) {
+      // (9): unit flow into t; outgoing pinned to 0 (same cycle guard).
+      model.add_constraint(in_terms, ilp::Sense::kEq, 1.0);
+      if (!out_terms.empty()) {
+        model.add_constraint(out_terms, ilp::Sense::kEq, 0.0);
+      }
+    } else {
+      // (5)/(6): at most one incoming / outgoing link; (7): conservation.
+      if (!out_terms.empty()) {
+        model.add_constraint(out_terms, ilp::Sense::kLe, 1.0);
+      }
+      if (!in_terms.empty()) {
+        model.add_constraint(in_terms, ilp::Sense::kLe, 1.0);
+      }
+      std::vector<ilp::LinearTerm> conserve = out_terms;
+      for (ilp::LinearTerm term : in_terms) {
+        term.coeff = -1.0;
+        conserve.push_back(term);
+      }
+      if (!conserve.empty()) {
+        model.add_constraint(std::move(conserve), ilp::Sense::kEq, 0.0);
+      }
+    }
+  }
+}
+
+/// Adds the conversion-cost linearization (17)/(20) (resp. (18)/(21)):
+/// one continuous z per adjacent link pair, z ≥ c·(x_in + x_out − 1) for
+/// every allowed wavelength pair, plus forbidding cuts for disallowed pairs.
+void add_conversion_costs(ilp::Model& model, const net::WdmNetwork& net,
+                          const FlowVars& f, NodeId s, NodeId t,
+                          const char* prefix) {
+  const auto& g = net.graph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == s || v == t) continue;  // conversions only at intermediates
+    const auto& table = net.conversion(v);
+    for (EdgeId ein : g.in_edges(v)) {
+      if (net.available(ein).empty()) continue;
+      for (EdgeId eout : g.out_edges(v)) {
+        if (net.available(eout).empty()) continue;
+        int z = -1;
+        net.available(ein).for_each([&](net::Wavelength l1) {
+          net.available(eout).for_each([&](net::Wavelength l2) {
+            const int xin = f.at(net, ein, l1);
+            const int xout = f.at(net, eout, l2);
+            if (!table.allowed(l1, l2)) {
+              model.add_constraint({{xin, 1.0}, {xout, 1.0}}, ilp::Sense::kLe,
+                                   1.0);
+              return;
+            }
+            const double c = table.cost(l1, l2);
+            if (c <= 0.0) return;  // z ≥ 0 already dominates
+            if (z < 0) {
+              z = model.add_continuous(
+                  0.0, ilp::kInfinity, 1.0,
+                  std::string(prefix) + "z_" + std::to_string(ein) + "_" +
+                      std::to_string(eout));
+            }
+            // z ≥ c·(x_in + x_out − 1)  ⇔  c·x_in + c·x_out − z ≤ c.
+            model.add_constraint({{xin, c}, {xout, c}, {z, -1.0}},
+                                 ilp::Sense::kLe, c);
+          });
+        });
+      }
+    }
+  }
+}
+
+/// Walks the unit flow encoded in `x` from s to t, reading off wavelengths.
+net::Semilightpath decode_flow(const net::WdmNetwork& net, const FlowVars& f,
+                               const std::vector<double>& x, NodeId s,
+                               NodeId t) {
+  const auto& g = net.graph();
+  net::Semilightpath slp;
+  NodeId v = s;
+  std::size_t guard = 0;
+  while (v != t) {
+    bool advanced = false;
+    for (EdgeId e : g.out_edges(v)) {
+      net::Wavelength chosen = net::kInvalidWavelength;
+      net.available(e).for_each([&](net::Wavelength l) {
+        const int var = f.at(net, e, l);
+        if (chosen == net::kInvalidWavelength &&
+            x[static_cast<std::size_t>(var)] > 0.5) {
+          chosen = l;
+        }
+      });
+      if (chosen != net::kInvalidWavelength) {
+        slp.hops.push_back(net::Hop{e, chosen});
+        v = g.head(e);
+        advanced = true;
+        break;
+      }
+    }
+    WDM_CHECK_MSG(advanced, "IP solution does not encode an s-t flow");
+    WDM_CHECK_MSG(++guard <= static_cast<std::size_t>(net.num_links()),
+                  "IP flow decoding cycled");
+  }
+  slp.found = true;
+  return slp;
+}
+
+}  // namespace
+
+IlpRouteResult ilp_disjoint_pair(const net::WdmNetwork& net, net::NodeId s,
+                                 net::NodeId t, const IlpRouteOptions& opt) {
+  WDM_CHECK(net.graph().valid_node(s) && net.graph().valid_node(t) && s != t);
+  IlpRouteResult out;
+
+  ilp::Model model;
+  const FlowVars x = make_flow_vars(model, net, "x_");
+  const FlowVars y = make_flow_vars(model, net, "y_");
+  add_flow_constraints(model, net, x, s, t);
+  add_flow_constraints(model, net, y, s, t);
+  add_conversion_costs(model, net, x, s, t, "p");
+  add_conversion_costs(model, net, y, s, t, "b");
+
+  // (16): each physical link serves at most one of the two paths.
+  for (EdgeId e = 0; e < net.num_links(); ++e) {
+    std::vector<ilp::LinearTerm> terms;
+    net.available(e).for_each([&](net::Wavelength l) {
+      terms.push_back({x.at(net, e, l), 1.0});
+      terms.push_back({y.at(net, e, l), 1.0});
+    });
+    if (!terms.empty()) {
+      model.add_constraint(std::move(terms), ilp::Sense::kLe, 1.0);
+    }
+  }
+
+  out.num_variables = model.num_variables();
+  out.num_constraints = model.num_constraints();
+
+  ilp::IpOptions ip_opt;
+  ip_opt.max_nodes = opt.max_nodes;
+  const ilp::IpSolution sol = ilp::solve_ip(model, ip_opt);
+  out.status = sol.status;
+  out.nodes_explored = sol.nodes_explored;
+  if (sol.status == ilp::IpStatus::kInfeasible) return out;
+  out.objective = sol.objective;
+
+  net::Semilightpath p1 = decode_flow(net, x, sol.x, s, t);
+  net::Semilightpath p2 = decode_flow(net, y, sol.x, s, t);
+  if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
+  out.result.found = true;
+  out.result.route.found = true;
+  out.result.route.primary = std::move(p1);
+  out.result.route.backup = std::move(p2);
+  return out;
+}
+
+}  // namespace wdm::rwa

@@ -1,0 +1,122 @@
+#include "rwa/layered_graph.hpp"
+
+#include "graph/dijkstra.hpp"
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+namespace {
+
+bool link_on(std::span<const std::uint8_t> mask, EdgeId e) {
+  return mask.empty() || mask[static_cast<std::size_t>(e)] != 0;
+}
+
+}  // namespace
+
+LayeredGraph LayeredGraph::build(const net::WdmNetwork& net, NodeId s,
+                                 NodeId t,
+                                 std::span<const std::uint8_t> link_enabled) {
+  return build_with(net, s, t, Overrides{}, link_enabled);
+}
+
+LayeredGraph LayeredGraph::build_with(
+    const net::WdmNetwork& net, NodeId s, NodeId t,
+    const Overrides& overrides, std::span<const std::uint8_t> link_enabled) {
+  const auto& pg = net.graph();
+  WDM_CHECK(pg.valid_node(s) && pg.valid_node(t));
+  WDM_CHECK(link_enabled.empty() ||
+            link_enabled.size() == static_cast<std::size_t>(pg.num_edges()));
+  const int W = net.W();
+  const NodeId n = pg.num_nodes();
+
+  LayeredGraph lg;
+  // Layout: in-copy of (v, λ) = 2*(v*W + λ), out-copy = 2*(v*W + λ) + 1.
+  lg.g = graph::Digraph(2 * n * W + 2);
+  lg.source_hub = 2 * n * W;
+  lg.sink_hub = 2 * n * W + 1;
+  auto in_copy = [W](NodeId v, net::Wavelength l) {
+    return 2 * (v * W + l);
+  };
+  auto out_copy = [W](NodeId v, net::Wavelength l) {
+    return 2 * (v * W + l) + 1;
+  };
+  const net::Hop no_hop{};
+  auto add = [&](NodeId a, NodeId b, double weight, net::Hop hop) {
+    lg.g.add_edge(a, b);
+    lg.w.push_back(weight);
+    lg.hop_of_arc.push_back(hop);
+  };
+
+  // Conversion arcs (including the free λ -> λ pass-through).
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& table = net.conversion(v);
+    for (net::Wavelength a = 0; a < W; ++a) {
+      for (net::Wavelength b = 0; b < W; ++b) {
+        if (table.allowed(a, b)) {
+          add(in_copy(v, a), out_copy(v, b), table.cost(a, b), no_hop);
+        }
+      }
+    }
+  }
+  // Traversal arcs over the (possibly overridden) residual view.
+  for (EdgeId e = 0; e < pg.num_edges(); ++e) {
+    if (!link_on(link_enabled, e)) continue;
+    const NodeId u = pg.tail(e);
+    const NodeId v = pg.head(e);
+    const net::WavelengthSet usable =
+        overrides.available ? overrides.available(e) : net.available(e);
+    usable.for_each([&](net::Wavelength l) {
+      const double w_el =
+          overrides.weight ? overrides.weight(e, l) : net.weight(e, l);
+      add(out_copy(u, l), in_copy(v, l), w_el, net::Hop{e, l});
+    });
+  }
+  // Hubs.
+  for (net::Wavelength l = 0; l < W; ++l) {
+    add(lg.source_hub, out_copy(s, l), 0.0, no_hop);
+    add(in_copy(t, l), lg.sink_hub, 0.0, no_hop);
+  }
+  return lg;
+}
+
+net::Semilightpath LayeredGraph::to_semilightpath(const graph::Path& p) const {
+  net::Semilightpath slp;
+  if (!p.found) return slp;
+  slp.found = true;
+  for (EdgeId arc : p.edges) {
+    const net::Hop& h = hop_of_arc[static_cast<std::size_t>(arc)];
+    if (h.edge != graph::kInvalidEdge) slp.hops.push_back(h);
+  }
+  return slp;
+}
+
+net::Semilightpath optimal_semilightpath(
+    const net::WdmNetwork& net, NodeId s, NodeId t,
+    std::span<const std::uint8_t> link_enabled) {
+  WDM_CHECK_MSG(s != t, "semilightpath endpoints must differ");
+  const LayeredGraph lg = LayeredGraph::build(net, s, t, link_enabled);
+  const graph::Path p =
+      graph::shortest_path(lg.g, lg.w, lg.source_hub, lg.sink_hub);
+  return lg.to_semilightpath(p);
+}
+
+net::Semilightpath optimal_semilightpath_with(
+    const net::WdmNetwork& net, NodeId s, NodeId t,
+    const LayeredGraph::Overrides& overrides,
+    std::span<const std::uint8_t> link_enabled) {
+  WDM_CHECK_MSG(s != t, "semilightpath endpoints must differ");
+  const LayeredGraph lg =
+      LayeredGraph::build_with(net, s, t, overrides, link_enabled);
+  const graph::Path p =
+      graph::shortest_path(lg.g, lg.w, lg.source_hub, lg.sink_hub);
+  return lg.to_semilightpath(p);
+}
+
+double optimal_semilightpath_cost(
+    const net::WdmNetwork& net, NodeId s, NodeId t,
+    std::span<const std::uint8_t> link_enabled) {
+  const net::Semilightpath p = optimal_semilightpath(net, s, t, link_enabled);
+  return p.found ? p.cost(net) : graph::kInf;
+}
+
+}  // namespace wdm::rwa

@@ -1,0 +1,87 @@
+// The wavelength-layered graph behind the Liang–Shen optimal semilightpath
+// algorithm [13], the single-path engine the paper composes with Suurballe.
+//
+// Each network node v expands into W in-copies and W out-copies, one pair per
+// wavelength layer:
+//   (v,λ)_in -> (v,λ')_out   conversion arc, weight c_v(λ,λ'), if allowed
+//                            (λ = λ' is the free pass-through);
+//   (u,λ)_out -> (v,λ)_in    traversal arc for link e=(u,v), weight w(e,λ),
+//                            present iff λ ∈ Λ_avail(e).
+// The in/out split enforces *one* conversion per node — without it Dijkstra
+// could chain λa->λb->λc inside a node and undercut the c_v(λa,λc) the model
+// charges. A super source fans into s's out-copies and t's in-copies fan
+// into a super sink, both at zero weight.
+//
+// A shortest S->T path is exactly an optimal semilightpath: Eq. (1) decomposes
+// over these arcs. Size: 2nW + 2 nodes, ≤ nW² + mW + 2W arcs — the source of
+// the O(nW² + nW log(nW)) term in Theorems 1 and 3.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+#include "wdm/semilightpath.hpp"
+
+namespace wdm::rwa {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+struct LayeredGraph {
+  graph::Digraph g;
+  std::vector<double> w;
+  /// Per-arc hop: traversal arcs carry {physical edge, λ}; conversion and
+  /// hub arcs carry {kInvalidEdge, kInvalidWavelength}.
+  std::vector<net::Hop> hop_of_arc;
+  NodeId source_hub = graph::kInvalidNode;
+  NodeId sink_hub = graph::kInvalidNode;
+
+  /// Builds the layered graph of the *residual* network for a query s -> t.
+  /// `link_enabled` optionally confines it to a physical subgraph (empty =
+  /// all links) — this is how the projection step of §3.3.2 runs the solver
+  /// inside the induced subgraphs G_1, G_2.
+  static LayeredGraph build(const net::WdmNetwork& net, NodeId s, NodeId t,
+                            std::span<const std::uint8_t> link_enabled = {});
+
+  /// Overrides for non-residual wavelength views (e.g. shared-backup
+  /// provisioning, where channels already held by compatible backups are
+  /// usable at near-zero marginal cost).
+  struct Overrides {
+    /// Usable wavelengths on a link (default: net.available).
+    std::function<net::WavelengthSet(EdgeId)> available;
+    /// Traversal weight (default: net.weight). Called only for wavelengths
+    /// the `available` override returned.
+    std::function<double(EdgeId, net::Wavelength)> weight;
+  };
+
+  static LayeredGraph build_with(const net::WdmNetwork& net, NodeId s,
+                                 NodeId t, const Overrides& overrides,
+                                 std::span<const std::uint8_t> link_enabled = {});
+
+  /// Maps a path in the layered graph back to a semilightpath.
+  net::Semilightpath to_semilightpath(const graph::Path& p) const;
+};
+
+/// The Liang–Shen algorithm: minimum-Eq.(1)-cost semilightpath from s to t in
+/// the residual network (optionally confined to a physical subgraph).
+/// Returns a not-found path when t is unreachable under the wavelength and
+/// conversion constraints.
+net::Semilightpath optimal_semilightpath(
+    const net::WdmNetwork& net, NodeId s, NodeId t,
+    std::span<const std::uint8_t> link_enabled = {});
+
+/// Liang–Shen over an overridden wavelength view (see
+/// LayeredGraph::Overrides).
+net::Semilightpath optimal_semilightpath_with(
+    const net::WdmNetwork& net, NodeId s, NodeId t,
+    const LayeredGraph::Overrides& overrides,
+    std::span<const std::uint8_t> link_enabled = {});
+
+/// Cost of the optimal semilightpath, or +inf when none exists.
+double optimal_semilightpath_cost(
+    const net::WdmNetwork& net, NodeId s, NodeId t,
+    std::span<const std::uint8_t> link_enabled = {});
+
+}  // namespace wdm::rwa

@@ -1,0 +1,48 @@
+#include "rwa/loadcost_router.hpp"
+
+#include <algorithm>
+
+#include "graph/suurballe.hpp"
+#include "rwa/layered_graph.hpp"
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
+                                  net::NodeId t) const {
+  RouteResult result;
+
+  // Phase 1: minimum feasible network-load threshold.
+  const MinCogResult mc = find_two_paths_mincog(net, s, t, opt_);
+  result.theta = mc.theta;
+  result.theta_iterations = mc.iterations;
+  if (!mc.found) return result;
+
+  // Phase 2: cost-weighted routing restricted to links below ϑ.
+  AuxGraphOptions aopt;
+  aopt.weighting = AuxWeighting::kCostLoadFiltered;
+  aopt.theta = mc.theta;
+  aopt.grc_mean_over_available = grc_mean_over_available_;
+  const AuxGraph aux = build_aux_graph(net, s, t, aopt);
+  const graph::DisjointPair pair =
+      graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  // G_rc(ϑ) has the same topology as the G_c(ϑ) phase 1 accepted, so a pair
+  // must exist; guard anyway for robustness.
+  if (!pair.found) return result;
+  result.aux_cost = pair.total_cost();
+
+  const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
+  const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+  net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
+  net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
+  if (!p1.found || !p2.found) return result;
+  WDM_DCHECK(net::edge_disjoint(p1, p2));
+  if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
+  result.found = true;
+  result.route.found = true;
+  result.route.primary = std::move(p1);
+  result.route.backup = std::move(p2);
+  return result;
+}
+
+}  // namespace wdm::rwa

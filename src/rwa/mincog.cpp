@@ -1,0 +1,185 @@
+#include "rwa/mincog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "rwa/layered_graph.hpp"
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+namespace {
+
+/// One probe: build G_c(ϑ), run Suurballe. Feasible iff a pair exists.
+bool probe(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
+           double theta, double load_base, MinCogResult* into,
+           bool inclusive = false) {
+  AuxGraphOptions aopt;
+  aopt.weighting = AuxWeighting::kLoadExponential;
+  aopt.theta = theta;
+  aopt.load_base = load_base;
+  aopt.include_at_threshold = inclusive;
+  AuxGraph aux = build_aux_graph(net, s, t, aopt);
+  graph::DisjointPair pair =
+      graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  if (!pair.found) return false;
+  if (into != nullptr) {
+    into->aux_pair = std::move(pair);
+    into->aux = std::move(aux);
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Ablation variant: probe every distinct boundary value just past each
+/// link load (plus ϑ_min / ϑ_max) in increasing order. Exact minimum grid
+/// threshold, up to O(m) probes.
+MinCogResult mincog_linear_scan(const net::WdmNetwork& net, net::NodeId s,
+                                net::NodeId t, const MinCogOptions& opt) {
+  MinCogResult result;
+  std::set<double> grid;
+  grid.insert(net.theta_min());
+  grid.insert(net.theta_max());
+  for (graph::EdgeId e = 0; e < net.num_links(); ++e) {
+    // Just past each load boundary, where the strict filter admits the link.
+    grid.insert(std::nextafter(net.link_load(e),
+                               std::numeric_limits<double>::infinity()));
+  }
+  for (double theta : grid) {
+    ++result.iterations;
+    if (probe(net, s, t, theta, opt.load_base, &result)) {
+      result.found = true;
+      result.theta = theta;
+      return result;
+    }
+    result.last_infeasible_theta = theta;
+  }
+  return result;
+}
+
+/// Ablation variant: bisection on [ϑ_min, ϑ_max] after establishing
+/// feasibility at ϑ_max.
+MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
+                              net::NodeId t, const MinCogOptions& opt) {
+  MinCogResult result;
+  double lo = net.theta_min();
+  double hi = net.theta_max();
+  ++result.iterations;
+  if (probe(net, s, t, lo, opt.load_base, &result)) {
+    result.found = true;
+    result.theta = lo;
+    return result;
+  }
+  result.last_infeasible_theta = lo;
+  ++result.iterations;
+  if (!probe(net, s, t, hi, opt.load_base, &result)) {
+    result.last_infeasible_theta = hi;
+    return result;  // drop: infeasible even with every link admitted
+  }
+  double best = hi;
+  while (hi - lo > opt.bisection_tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    ++result.iterations;
+    MinCogResult probe_result;
+    if (probe(net, s, t, mid, opt.load_base, &probe_result)) {
+      hi = mid;
+      best = mid;
+      result.aux_pair = std::move(probe_result.aux_pair);
+      result.aux = std::move(probe_result.aux);
+    } else {
+      lo = mid;
+      result.last_infeasible_theta = mid;
+    }
+  }
+  result.found = true;
+  result.theta = best;
+  return result;
+}
+
+}  // namespace
+
+MinCogResult find_two_paths_mincog(const net::WdmNetwork& net, net::NodeId s,
+                                   net::NodeId t, const MinCogOptions& opt) {
+  if (opt.search == ThetaSearch::kLinearScan) {
+    return mincog_linear_scan(net, s, t, opt);
+  }
+  if (opt.search == ThetaSearch::kBisection) {
+    return mincog_bisection(net, s, t, opt);
+  }
+
+  MinCogResult result;
+  const double theta_min = net.theta_min();
+  const double theta_max = net.theta_max();
+  const double delta = theta_max - theta_min;
+
+  double theta = theta_min;
+  // j0 = -⌈log2(Δ)⌉ as in the paper; for Δ >= 1 start doubling immediately.
+  int j = (delta > 0.0)
+              ? std::max(0, static_cast<int>(std::ceil(-std::log2(delta))))
+              : 0;
+  while (true) {
+    ++result.iterations;
+    if (probe(net, s, t, theta, opt.load_base, &result)) {
+      result.found = true;
+      result.theta = theta;
+      return result;
+    }
+    result.last_infeasible_theta = theta;
+    if (theta >= theta_max || delta <= 0.0) break;  // ϑ_max probe failed: drop
+    theta = std::min(theta + delta / std::pow(2.0, j), theta_max);
+    --j;
+    // j < 0 means the increment has grown past Δ; the clamp above has already
+    // pushed ϑ to ϑ_max, so the next probe is the final one.
+  }
+  return result;
+}
+
+bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
+                         net::NodeId t, double* theta_out) {
+  // Under the strict filter, feasibility of G_c(ϑ) flips exactly when ϑ
+  // crosses a link-load value U(e)/N(e): the inclusive probe at load L asks
+  // "does a pair exist over links with load <= L", and the smallest feasible
+  // L is the exact minimum bottleneck load.
+  std::set<double> candidates;
+  for (graph::EdgeId e = 0; e < net.num_links(); ++e) {
+    candidates.insert(net.link_load(e));
+  }
+  for (double load : candidates) {
+    if (probe(net, s, t, load, 2.0, nullptr, /*inclusive=*/true)) {
+      if (theta_out != nullptr) *theta_out = load;
+      return true;
+    }
+  }
+  return false;
+}
+
+RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
+                                 net::NodeId t) const {
+  RouteResult result;
+  MinCogResult mc = find_two_paths_mincog(net, s, t, opt_);
+  result.theta = mc.theta;
+  result.theta_iterations = mc.iterations;
+  if (!mc.found) return result;
+  result.aux_cost = mc.aux_pair.total_cost();
+
+  const auto mask1 = mc.aux.induced_link_mask(mc.aux_pair.first, net.num_links());
+  const auto mask2 =
+      mc.aux.induced_link_mask(mc.aux_pair.second, net.num_links());
+  net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
+  net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
+  if (!p1.found || !p2.found) return result;
+  WDM_DCHECK(net::edge_disjoint(p1, p2));
+  if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
+  result.found = true;
+  result.route.found = true;
+  result.route.primary = std::move(p1);
+  result.route.backup = std::move(p2);
+  return result;
+}
+
+}  // namespace wdm::rwa

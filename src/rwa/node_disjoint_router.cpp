@@ -1,0 +1,39 @@
+#include "rwa/node_disjoint_router.hpp"
+
+#include <algorithm>
+
+#include "graph/suurballe.hpp"
+#include "rwa/aux_graph.hpp"
+#include "rwa/layered_graph.hpp"
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
+                                      net::NodeId s, net::NodeId t) const {
+  RouteResult result;
+  AuxGraphOptions opt;
+  opt.weighting = AuxWeighting::kCost;
+  opt.protect_nodes = true;
+  const AuxGraph aux = build_aux_graph(net, s, t, opt);
+
+  const graph::DisjointPair pair =
+      graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  if (!pair.found) return result;
+  result.aux_cost = pair.total_cost();
+
+  const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
+  const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+  net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
+  net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
+  if (!p1.found || !p2.found) return result;
+  WDM_DCHECK(net::edge_disjoint(p1, p2));
+  if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
+  result.found = true;
+  result.route.found = true;
+  result.route.primary = std::move(p1);
+  result.route.backup = std::move(p2);
+  return result;
+}
+
+}  // namespace wdm::rwa

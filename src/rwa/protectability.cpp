@@ -1,0 +1,45 @@
+#include "rwa/protectability.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+ProtectabilityReport audit_protectability(const graph::Digraph& physical) {
+  const graph::BridgeAnalysis analysis = graph::find_bridges(physical);
+  ProtectabilityReport report;
+  report.undirected_bridges = analysis.num_bridges;
+  report.two_edge_components = analysis.num_components;
+
+  // Pairs are protectable iff they share a 2-edge-connected component;
+  // count via component sizes.
+  std::vector<long long> size(static_cast<std::size_t>(analysis.num_components),
+                              0);
+  for (graph::NodeId v = 0; v < physical.num_nodes(); ++v) {
+    ++size[static_cast<std::size_t>(
+        analysis.component[static_cast<std::size_t>(v)])];
+  }
+  const auto n = static_cast<long long>(physical.num_nodes());
+  report.total_pairs = n * (n - 1);
+  for (long long s : size) report.protectable_pairs += s * (s - 1);
+  return report;
+}
+
+bool fiber_disjoint(const net::Semilightpath& a, const net::Semilightpath& b,
+                    std::span<const graph::EdgeId> reverse_of) {
+  std::unordered_set<graph::EdgeId> fibers;
+  auto canonical = [&](graph::EdgeId e) {
+    if (reverse_of.empty()) return e;
+    const graph::EdgeId r = reverse_of[static_cast<std::size_t>(e)];
+    return std::min(e, r);
+  };
+  for (const net::Hop& h : a.hops) fibers.insert(canonical(h.edge));
+  for (const net::Hop& h : b.hops) {
+    if (fibers.count(canonical(h.edge))) return false;
+  }
+  return true;
+}
+
+}  // namespace wdm::rwa

@@ -1,0 +1,52 @@
+// Topology-level survivability audit.
+//
+// A request (s, t) can be given a fiber-disjoint backup iff s and t lie in
+// the same 2-edge-connected component of the *undirected* fiber plant —
+// checked in O(1) per pair after one O(n + m) bridge pass. This is the
+// fast-fail gate in front of the (much more expensive) routing pipeline,
+// and the basis of the survivability audit example.
+//
+// Note on disjointness notions: the §3 routers deliver *directed*-edge-
+// disjoint pairs, which may traverse the same duplex fiber in opposite
+// directions; a physical fiber cut takes out both directions at once. The
+// `fiber_disjoint` predicate checks the stronger property given the duplex
+// pairing.
+#pragma once
+
+#include <span>
+
+#include "graph/bridges.hpp"
+#include "wdm/semilightpath.hpp"
+
+namespace wdm::rwa {
+
+struct ProtectabilityReport {
+  long long protectable_pairs = 0;
+  long long total_pairs = 0;  // ordered (s, t), s != t
+  int undirected_bridges = 0;
+  int two_edge_components = 0;
+
+  double fraction() const {
+    return total_pairs ? static_cast<double>(protectable_pairs) /
+                             static_cast<double>(total_pairs)
+                       : 0.0;
+  }
+};
+
+/// Full-topology audit: which fraction of (s, t) pairs admits a
+/// fiber-disjoint protected route at all (capacity aside)?
+ProtectabilityReport audit_protectability(const graph::Digraph& physical);
+
+/// O(1) per-request gate after find_bridges().
+inline bool protectable(const graph::BridgeAnalysis& analysis,
+                        graph::NodeId s, graph::NodeId t) {
+  return analysis.two_edge_connected(s, t);
+}
+
+/// True when the two semilightpaths share no *fiber*: no common directed
+/// edge and no antiparallel pair under `reverse_of` (empty = directed-edge
+/// disjointness only, the paper's notion).
+bool fiber_disjoint(const net::Semilightpath& a, const net::Semilightpath& b,
+                    std::span<const graph::EdgeId> reverse_of);
+
+}  // namespace wdm::rwa

@@ -1,0 +1,100 @@
+// Shared-backup path protection (SBPP) — the restoration variant of
+// Kodialam–Lakshman (the paper's [11]), implemented over this library's
+// model as an extension.
+//
+// Dedicated (1+1-style) protection reserves a wavelength on every backup
+// link per connection. Under the single-failure assumption, backups whose
+// *primaries* are edge-disjoint can never be activated simultaneously, so
+// they may share a backup wavelength channel. SBPP books backup capacity in
+// a sharing ledger instead of per-connection:
+//
+//   * a backup channel (link e, λ) carries a set of sharer connections with
+//     pairwise edge-disjoint primaries;
+//   * provisioning prices an existing compatible channel at a small ε
+//     (strongly preferring reuse) and a fresh channel at its real cost;
+//   * on a failure, each affected connection activates its backup; the
+//     disjointness invariant guarantees no two affected connections contend
+//     for the same channel.
+//
+// bench_shared_backup (E14) measures the backup-capacity savings vs the
+// paper's dedicated scheme at equal service.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "rwa/router.hpp"
+
+namespace wdm::rwa {
+
+class SharedBackupPool {
+ public:
+  struct Options {
+    /// Marginal price of reusing an existing compatible channel, as a
+    /// fraction of the channel's real weight.
+    double sharing_price_factor = 0.01;
+  };
+
+  /// The pool mutates `net` (reserving/releasing channels); the network
+  /// must outlive the pool.
+  explicit SharedBackupPool(net::WdmNetwork* network)
+      : SharedBackupPool(network, Options()) {}
+  SharedBackupPool(net::WdmNetwork* network, Options options);
+
+  struct Provisioned {
+    bool found = false;
+    long id = -1;
+    net::Semilightpath primary;
+    net::Semilightpath backup;
+    int shared_channels = 0;     // backup hops riding existing channels
+    int dedicated_channels = 0;  // backup hops that opened new channels
+  };
+
+  /// Routes (s, t): dedicated primary + shared backup. On success both are
+  /// booked (primary reserved in the network, backup in the ledger).
+  Provisioned provision(net::NodeId s, net::NodeId t);
+
+  /// Tears a connection down, releasing channels whose last sharer left.
+  void release(long id);
+
+  /// Simulates a cut of `link`: every connection whose primary uses it
+  /// switches onto its backup (backup becomes the new dedicated primary and
+  /// leaves the sharing ledger). Returns the ids switched. Throws if the
+  /// sharing invariant would make two affected connections contend — which
+  /// the compatibility rule makes impossible (asserted in tests).
+  std::vector<long> fail_link(graph::EdgeId link);
+
+  int num_connections() const { return static_cast<int>(conns_.size()); }
+  /// Wavelength-links held for backups (channels, not per-connection).
+  long long backup_channels() const {
+    return static_cast<long long>(channels_.size());
+  }
+  /// Wavelength-links that dedicated protection would hold for the same
+  /// connections (Σ backup path lengths).
+  long long dedicated_equivalent_channels() const;
+
+  /// Ledger invariant: all sharers of every channel have pairwise
+  /// edge-disjoint primaries.
+  bool sharers_pairwise_disjoint() const;
+
+ private:
+  struct Channel {
+    std::vector<long> sharers;
+  };
+  struct Connection {
+    net::Semilightpath primary;
+    net::Semilightpath backup;
+  };
+  using ChannelKey = std::pair<graph::EdgeId, net::Wavelength>;
+
+  bool compatible(const Channel& channel,
+                  const std::vector<graph::EdgeId>& primary_edges) const;
+
+  net::WdmNetwork* net_;
+  Options opt_;
+  std::map<ChannelKey, Channel> channels_;
+  std::map<long, Connection> conns_;
+  long next_id_ = 0;
+};
+
+}  // namespace wdm::rwa

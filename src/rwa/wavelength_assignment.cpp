@@ -1,0 +1,141 @@
+#include "rwa/wavelength_assignment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+const char* wa_policy_name(WaPolicy policy) {
+  switch (policy) {
+    case WaPolicy::kFirstFit: return "first-fit";
+    case WaPolicy::kLastFit: return "last-fit";
+    case WaPolicy::kRandom: return "random";
+    case WaPolicy::kMostUsed: return "most-used";
+    case WaPolicy::kLeastUsed: return "least-used";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Network-wide usage count per wavelength (for most/least-used).
+std::vector<int> global_usage(const net::WdmNetwork& net) {
+  std::vector<int> count(static_cast<std::size_t>(net.W()), 0);
+  for (graph::EdgeId e = 0; e < net.num_links(); ++e) {
+    const net::WavelengthSet used =
+        net.installed(e).minus(net.available(e));
+    used.for_each([&](net::Wavelength l) {
+      ++count[static_cast<std::size_t>(l)];
+    });
+  }
+  return count;
+}
+
+net::Wavelength pick(const net::WavelengthSet& candidates, WaPolicy policy,
+                     const std::vector<int>& usage, support::Rng* rng) {
+  if (candidates.empty()) return net::kInvalidWavelength;
+  switch (policy) {
+    case WaPolicy::kFirstFit:
+      return candidates.lowest();
+    case WaPolicy::kLastFit: {
+      net::Wavelength best = net::kInvalidWavelength;
+      candidates.for_each([&](net::Wavelength l) { best = l; });
+      return best;
+    }
+    case WaPolicy::kRandom: {
+      WDM_CHECK_MSG(rng != nullptr, "random policy needs an RNG");
+      const auto v = candidates.to_vector();
+      return v[rng->index(v.size())];
+    }
+    case WaPolicy::kMostUsed: {
+      net::Wavelength best = net::kInvalidWavelength;
+      int best_usage = -1;
+      candidates.for_each([&](net::Wavelength l) {
+        if (usage[static_cast<std::size_t>(l)] > best_usage) {
+          best_usage = usage[static_cast<std::size_t>(l)];
+          best = l;
+        }
+      });
+      return best;
+    }
+    case WaPolicy::kLeastUsed: {
+      net::Wavelength best = net::kInvalidWavelength;
+      int best_usage = std::numeric_limits<int>::max();
+      candidates.for_each([&](net::Wavelength l) {
+        if (usage[static_cast<std::size_t>(l)] < best_usage) {
+          best_usage = usage[static_cast<std::size_t>(l)];
+          best = l;
+        }
+      });
+      return best;
+    }
+  }
+  return net::kInvalidWavelength;
+}
+
+}  // namespace
+
+net::Semilightpath assign_wavelengths(const net::WdmNetwork& net,
+                                      const std::vector<graph::EdgeId>& links,
+                                      WaPolicy policy, support::Rng* rng) {
+  net::Semilightpath slp;
+  if (links.empty()) return slp;
+
+  std::vector<int> usage;
+  if (policy == WaPolicy::kMostUsed || policy == WaPolicy::kLeastUsed) {
+    usage = global_usage(net);
+  }
+
+  // Segment-wise assignment: at each segment start, the candidate set is
+  // the intersection of Λ_avail over the *maximal continuity run* of links
+  // (the classic scheme — without conversion this reduces to picking from
+  // the whole-path intersection, the textbook first-fit). The policy then
+  // chooses within that set. Continuity is kept as long as the current
+  // wavelength survives; a conversion (where allowed) starts a new segment
+  // restricted to convertible targets.
+  net::Wavelength current = net::kInvalidWavelength;
+  std::size_t i = 0;
+  while (i < links.size()) {
+    if (current != net::kInvalidWavelength &&
+        net.available(links[i]).contains(current)) {
+      slp.hops.push_back(net::Hop{links[i], current});
+      ++i;
+      continue;
+    }
+    // Segment start: base candidates on this link (restricted to
+    // convertible targets when this is a mid-path conversion).
+    net::WavelengthSet base = net.available(links[i]);
+    if (current != net::kInvalidWavelength) {
+      const net::NodeId v = net.graph().tail(links[i]);
+      const auto& table = net.conversion(v);
+      net::WavelengthSet convertible;
+      base.for_each([&](net::Wavelength l) {
+        if (table.allowed(current, l)) convertible.insert(l);
+      });
+      base = convertible;
+    }
+    if (base.empty()) return net::Semilightpath::not_found();
+    // Extend the segment as far as the intersection stays nonempty.
+    net::WavelengthSet run = base;
+    std::size_t j = i;
+    while (j + 1 < links.size()) {
+      const net::WavelengthSet next = run.intersect(net.available(links[j + 1]));
+      if (next.empty()) break;
+      run = next;
+      ++j;
+    }
+    const net::Wavelength chosen = pick(run, policy, usage, rng);
+    WDM_DCHECK(chosen != net::kInvalidWavelength);
+    for (std::size_t k = i; k <= j; ++k) {
+      slp.hops.push_back(net::Hop{links[k], chosen});
+    }
+    current = chosen;
+    i = j + 1;
+  }
+  slp.found = true;
+  return slp;
+}
+
+}  // namespace wdm::rwa

@@ -1,0 +1,42 @@
+// Classic wavelength-assignment policies along a fixed physical route —
+// the decoupled "route first, assign second" scheme the paper argues
+// against (§1), implemented as the baseline family:
+//
+//   first-fit   lowest-index available wavelength (the canonical default)
+//   last-fit    highest-index
+//   random      uniform over the available set
+//   most-used   the wavelength busiest across the whole network (packs
+//               wavelengths, preserving continuous corridors)
+//   least-used  the emptiest wavelength (spreads load)
+//
+// All policies prefer wavelength *continuity*: the current wavelength is
+// kept while it remains available; conversion (where the node's table
+// allows it) is a fallback, chosen by the same policy among convertible
+// targets. Returns a not-found path when the walk is blocked.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+#include "wdm/semilightpath.hpp"
+
+namespace wdm::rwa {
+
+enum class WaPolicy {
+  kFirstFit,
+  kLastFit,
+  kRandom,
+  kMostUsed,
+  kLeastUsed,
+};
+
+const char* wa_policy_name(WaPolicy policy);
+
+/// Assigns wavelengths along `links` (a contiguous physical path). `rng` is
+/// required for kRandom and ignored otherwise.
+net::Semilightpath assign_wavelengths(const net::WdmNetwork& net,
+                                      const std::vector<graph::EdgeId>& links,
+                                      WaPolicy policy,
+                                      support::Rng* rng = nullptr);
+
+}  // namespace wdm::rwa

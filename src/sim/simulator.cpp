@@ -1,0 +1,386 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "rwa/layered_graph.hpp"
+#include "support/check.hpp"
+
+namespace wdm::sim {
+
+std::vector<double> hotspot_matrix(net::NodeId num_nodes,
+                                   const std::vector<net::NodeId>& hotspots,
+                                   double hot_factor) {
+  WDM_CHECK(hot_factor >= 0.0);
+  const auto n = static_cast<std::size_t>(num_nodes);
+  std::vector<std::uint8_t> hot(n, 0);
+  for (net::NodeId h : hotspots) {
+    WDM_CHECK(h >= 0 && h < num_nodes);
+    hot[static_cast<std::size_t>(h)] = 1;
+  }
+  std::vector<double> w(n * n, 1.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) {
+        w[s * n + t] = 0.0;
+      } else if (hot[s] || hot[t]) {
+        w[s * n + t] = hot_factor;
+      }
+    }
+  }
+  return w;
+}
+
+std::vector<double> gravity_matrix(const topo::Topology& topology) {
+  const auto n = static_cast<std::size_t>(topology.num_nodes());
+  std::vector<double> w(n * n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const double dx = topology.coords[s].first - topology.coords[t].first;
+      const double dy = topology.coords[s].second - topology.coords[t].second;
+      w[s * n + t] = 1.0 / (1.0 + dx * dx + dy * dy);
+    }
+  }
+  return w;
+}
+
+Simulator::Simulator(net::WdmNetwork network, const rwa::Router& router,
+                     SimOptions options)
+    : net_(std::move(network)), router_(router), opt_(std::move(options)),
+      rng_(opt_.seed) {
+  WDM_CHECK(opt_.duration > 0.0);
+  WDM_CHECK(opt_.traffic.arrival_rate > 0.0);
+  WDM_CHECK(opt_.traffic.mean_holding > 0.0);
+  WDM_CHECK(net_.num_nodes() >= 2);
+  WDM_CHECK(opt_.reverse_of.empty() ||
+            opt_.reverse_of.size() == static_cast<std::size_t>(net_.num_links()));
+
+  // Nonuniform traffic: precompute the pair CDF once.
+  if (!opt_.traffic.pair_weight.empty()) {
+    const auto n = static_cast<std::size_t>(net_.num_nodes());
+    WDM_CHECK_MSG(opt_.traffic.pair_weight.size() == n * n,
+                  "pair_weight must be an n x n matrix");
+    double total = 0.0;
+    pair_cdf_.reserve(n * n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t t = 0; t < n; ++t) {
+        const double w = (s == t) ? 0.0 : opt_.traffic.pair_weight[s * n + t];
+        WDM_CHECK_MSG(w >= 0.0, "pair weights must be nonnegative");
+        total += w;
+        pair_cdf_.push_back(total);
+      }
+    }
+    WDM_CHECK_MSG(total > 0.0, "pair_weight has no positive off-diagonal");
+    for (double& c : pair_cdf_) c /= total;
+  }
+
+  // Duplex inventory for the failure process. Without reverse pairing each
+  // directed edge is its own failure unit.
+  if (opt_.reverse_of.empty()) {
+    for (graph::EdgeId e = 0; e < net_.num_links(); ++e) {
+      duplex_.emplace_back(e, e);
+    }
+  } else {
+    for (graph::EdgeId e = 0; e < net_.num_links(); ++e) {
+      const graph::EdgeId r = opt_.reverse_of[static_cast<std::size_t>(e)];
+      if (e < r) duplex_.emplace_back(e, r);
+    }
+  }
+}
+
+void Simulator::schedule_arrival(double now) {
+  const double t = now + rng_.exponential(opt_.traffic.arrival_rate);
+  if (t <= opt_.duration) {
+    queue_.push(Event{t, EventType::kArrival, 0});
+  }
+}
+
+bool Simulator::path_uses(const net::Semilightpath& p, graph::EdgeId e1,
+                          graph::EdgeId e2) const {
+  return p.found &&
+         std::any_of(p.hops.begin(), p.hops.end(), [&](const net::Hop& h) {
+           return h.edge == e1 || h.edge == e2;
+         });
+}
+
+void Simulator::release_connection(Connection& c) {
+  c.primary.release_in(net_);
+  if (c.has_backup) c.backup.release_in(net_);
+  c.has_backup = false;
+}
+
+std::pair<net::NodeId, net::NodeId> Simulator::draw_pair() {
+  const auto n = static_cast<std::int64_t>(net_.num_nodes());
+  if (pair_cdf_.empty()) {
+    const auto s = static_cast<net::NodeId>(rng_.uniform_int(0, n - 1));
+    net::NodeId t = s;
+    while (t == s) t = static_cast<net::NodeId>(rng_.uniform_int(0, n - 1));
+    return {s, t};
+  }
+  while (true) {
+    const double u = rng_.uniform();
+    auto it = std::lower_bound(pair_cdf_.begin(), pair_cdf_.end(), u);
+    if (it == pair_cdf_.end()) --it;  // u at the numeric top edge
+    const auto idx =
+        static_cast<std::size_t>(std::distance(pair_cdf_.begin(), it));
+    const auto s = static_cast<net::NodeId>(idx / static_cast<std::size_t>(n));
+    const auto t = static_cast<net::NodeId>(idx % static_cast<std::size_t>(n));
+    // u == 0 can land on a zero-mass slot (e.g. the diagonal); redraw.
+    if (s != t) return {s, t};
+  }
+}
+
+void Simulator::handle_arrival(double now) {
+  ++metrics_.offered;
+  schedule_arrival(now);
+
+  const auto [s, t] = draw_pair();
+
+  const rwa::RouteResult rr = router_.route(net_, s, t);
+  bool ok = rr.found && rr.route.primary.fits_residual(net_);
+  const bool protect = opt_.restoration == RestorationMode::kActive;
+  bool with_backup = false;
+  if (ok && protect && rr.route.backup.found) {
+    with_backup = rr.route.feasible(net_);
+    ok = with_backup;  // a protected policy must deliver a usable pair
+  }
+  if (!ok) {
+    ++metrics_.blocked;
+  } else {
+    Connection c;
+    c.id = next_conn_id_++;
+    c.s = s;
+    c.t = t;
+    c.primary = rr.route.primary;
+    c.primary.reserve_in(net_);
+    if (with_backup) {
+      c.backup = rr.route.backup;
+      c.backup.reserve_in(net_);
+      c.has_backup = true;
+    }
+    double cost = c.primary.cost(net_);
+    if (c.has_backup) cost += c.backup.cost(net_);
+    metrics_.route_cost.add(cost);
+    if (rr.theta_iterations > 0) {
+      metrics_.theta_iterations.add(rr.theta_iterations);
+    }
+    const double hold = rng_.exponential(1.0 / opt_.traffic.mean_holding);
+    queue_.push(Event{now + hold, EventType::kDeparture, c.id});
+    ++metrics_.accepted;
+    live_.emplace(c.id, std::move(c));
+  }
+
+  const double rho = net_.network_load();
+  metrics_.network_load.add(rho);
+  metrics_.mean_link_load.add(net_.mean_load());
+  metrics_.peak_load = std::max(metrics_.peak_load, rho);
+  if (opt_.record_load_series) metrics_.load_series.emplace_back(now, rho);
+
+  maybe_reconfigure(now);
+}
+
+void Simulator::handle_departure(long conn_id) {
+  const auto it = live_.find(conn_id);
+  if (it == live_.end()) return;  // dropped earlier (failure / reconfig)
+  release_connection(it->second);
+  live_.erase(it);
+}
+
+void Simulator::handle_link_fail(double now, long duplex_index) {
+  const auto [e1, e2] = duplex_[static_cast<std::size_t>(duplex_index)];
+  net_.set_link_failed(e1, true);
+  if (e2 != e1) net_.set_link_failed(e2, true);
+
+  // Schedule the repair.
+  queue_.push(Event{now + rng_.exponential(1.0 / opt_.failures.mean_repair),
+                    EventType::kLinkRepair, duplex_index});
+
+  // Sweep live connections. Collect ids first: recovery mutates live_.
+  std::vector<long> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, c] : live_) ids.push_back(id);
+
+  for (long id : ids) {
+    auto it = live_.find(id);
+    if (it == live_.end()) continue;
+    Connection& c = it->second;
+
+    const bool primary_hit = path_uses(c.primary, e1, e2);
+    const bool backup_hit = c.has_backup && path_uses(c.backup, e1, e2);
+
+    if (!primary_hit && backup_hit) {
+      // Protection lost but service unaffected.
+      ++metrics_.backup_lost;
+      c.backup.release_in(net_);
+      c.has_backup = false;
+      if (opt_.failures.reprovision_backup) {
+        std::vector<std::uint8_t> mask(
+            static_cast<std::size_t>(net_.num_links()), 1);
+        for (const net::Hop& h : c.primary.hops) {
+          mask[static_cast<std::size_t>(h.edge)] = 0;
+        }
+        net::Semilightpath nb = rwa::optimal_semilightpath(net_, c.s, c.t, mask);
+        if (nb.found) {
+          nb.reserve_in(net_);
+          c.backup = std::move(nb);
+          c.has_backup = true;
+          ++metrics_.backups_reprovisioned;
+        }
+      }
+      continue;
+    }
+    if (!primary_hit) continue;
+
+    ++metrics_.primary_failures;
+    if (opt_.restoration == RestorationMode::kNone) {
+      release_connection(c);
+      live_.erase(it);
+      ++metrics_.dropped_on_failure;
+      continue;
+    }
+
+    ++metrics_.recoveries_attempted;
+    if (opt_.restoration == RestorationMode::kActive && c.has_backup &&
+        !backup_hit) {
+      // Activate approach: instant switchover to the pre-reserved backup.
+      c.primary.release_in(net_);
+      c.primary = std::move(c.backup);
+      c.backup = net::Semilightpath::not_found();
+      c.has_backup = false;
+      ++metrics_.recoveries_succeeded;
+      ++metrics_.switchover_recoveries;
+      metrics_.recovery_delays.push_back(
+          opt_.failures.active_switchover_delay);
+      if (opt_.failures.reprovision_backup) {
+        std::vector<std::uint8_t> mask(
+            static_cast<std::size_t>(net_.num_links()), 1);
+        for (const net::Hop& h : c.primary.hops) {
+          mask[static_cast<std::size_t>(h.edge)] = 0;
+        }
+        net::Semilightpath nb =
+            rwa::optimal_semilightpath(net_, c.s, c.t, mask);
+        if (nb.found) {
+          nb.reserve_in(net_);
+          c.backup = std::move(nb);
+          c.has_backup = true;
+          ++metrics_.backups_reprovisioned;
+        }
+      }
+      continue;
+    }
+
+    // Passive approach (or active with the backup also gone): release, then
+    // try to re-establish over whatever the residual network offers.
+    release_connection(c);
+    net::Semilightpath np = rwa::optimal_semilightpath(net_, c.s, c.t);
+    if (np.found) {
+      np.reserve_in(net_);
+      c.primary = std::move(np);
+      ++metrics_.recoveries_succeeded;
+      ++metrics_.recompute_recoveries;
+      metrics_.recovery_delays.push_back(
+          opt_.failures.passive_base_delay +
+          opt_.failures.passive_per_hop_delay *
+              static_cast<double>(c.primary.length()));
+    } else {
+      live_.erase(it);
+      ++metrics_.dropped_on_failure;
+    }
+  }
+}
+
+void Simulator::handle_link_repair(double now, long duplex_index) {
+  const auto [e1, e2] = duplex_[static_cast<std::size_t>(duplex_index)];
+  net_.set_link_failed(e1, false);
+  if (e2 != e1) net_.set_link_failed(e2, false);
+  // Next cut on this fiber.
+  if (opt_.failures.duplex_failure_rate > 0.0) {
+    const double t =
+        now + rng_.exponential(opt_.failures.duplex_failure_rate);
+    if (t <= opt_.duration) {
+      queue_.push(Event{t, EventType::kLinkFail, duplex_index});
+    }
+  }
+}
+
+void Simulator::maybe_reconfigure(double now) {
+  if (net_.network_load() < opt_.reconfig.load_trigger) return;
+  if (now - last_reconfig_ < opt_.reconfig.min_interval) return;
+  if (live_.empty()) return;
+  last_reconfig_ = now;
+  ++metrics_.reconfigurations;
+
+  // Freeze-and-reroute: tear everything down, then re-route in id order.
+  for (auto& [id, c] : live_) release_connection(c);
+  std::vector<long> drops;
+  for (auto& [id, c] : live_) {
+    const rwa::RouteResult rr = router_.route(net_, c.s, c.t);
+    const bool protect = opt_.restoration == RestorationMode::kActive;
+    bool placed = false;
+    if (rr.found && rr.route.primary.fits_residual(net_)) {
+      const bool with_backup =
+          protect && rr.route.backup.found && rr.route.feasible(net_);
+      if (!protect || with_backup || !rr.route.backup.found) {
+        net::Semilightpath np = rr.route.primary;
+        np.reserve_in(net_);
+        const bool moved = !(np.hops == c.primary.hops);
+        c.primary = std::move(np);
+        if (with_backup) {
+          c.backup = rr.route.backup;
+          c.backup.reserve_in(net_);
+          c.has_backup = true;
+        }
+        if (moved) ++metrics_.reconfig_reroutes;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Fall back to the old route if it still fits; otherwise drop.
+      if (c.primary.fits_residual(net_)) {
+        c.primary.reserve_in(net_);
+        placed = true;
+        // Old backup is not restored: protection downgraded.
+      } else {
+        drops.push_back(id);
+      }
+    }
+  }
+  for (long id : drops) {
+    live_.erase(id);
+    ++metrics_.reconfig_drops;
+  }
+}
+
+SimMetrics Simulator::run() {
+  schedule_arrival(0.0);
+  if (opt_.failures.duplex_failure_rate > 0.0) {
+    for (std::size_t d = 0; d < duplex_.size(); ++d) {
+      const double t = rng_.exponential(opt_.failures.duplex_failure_rate);
+      if (t <= opt_.duration) {
+        queue_.push(Event{t, EventType::kLinkFail, static_cast<long>(d)});
+      }
+    }
+  }
+
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    switch (ev.type) {
+      case EventType::kArrival: handle_arrival(ev.time); break;
+      case EventType::kDeparture: handle_departure(ev.id); break;
+      case EventType::kLinkFail: handle_link_fail(ev.time, ev.id); break;
+      case EventType::kLinkRepair: handle_link_repair(ev.time, ev.id); break;
+    }
+  }
+
+  // Drain remaining connections and verify the reservation ledger balances.
+  metrics_.live_connections_at_end = static_cast<long>(live_.size());
+  for (auto& [id, c] : live_) release_connection(c);
+  live_.clear();
+  metrics_.final_reserved_wavelength_links = net_.total_usage();
+  WDM_CHECK_MSG(metrics_.final_reserved_wavelength_links == 0,
+                "wavelength reservation leak at end of simulation");
+  return metrics_;
+}
+
+}  // namespace wdm::sim

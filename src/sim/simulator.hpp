@@ -1,0 +1,184 @@
+// Event-driven dynamic-traffic simulator for §2's operating model: user
+// connection requests arrive to and depart from the network at random;
+// each is routed immediately against the residual network or dropped.
+//
+// The simulator reproduces the paper's motivating scenario end to end:
+//   * Poisson arrivals with exponential holding times between uniformly
+//     random (s, t) pairs — offered load in Erlangs = arrival_rate ×
+//     mean_holding;
+//   * a pluggable rwa::Router decides routes + wavelengths + switch settings;
+//   * *active* restoration (the paper's approach) reserves the backup at
+//     setup and switches over instantly on a primary-link failure; *passive*
+//     restoration recomputes a route only after the failure (§1's taxonomy);
+//   * fiber cuts arrive per duplex link as a Poisson process and take both
+//     orientations out until repaired;
+//   * a reconfiguration model: when the network load ρ crosses a trigger,
+//     the network "freezes" and globally re-routes all live connections —
+//     the costly event §4's load-aware routing exists to avoid. The count of
+//     these events is bench E6's headline metric.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "rwa/router.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "topology/topologies.hpp"
+
+namespace wdm::sim {
+
+enum class RestorationMode {
+  kActive,   // backup reserved at setup; instant switchover on failure
+  kPassive,  // recompute a route only when the failure hits
+  kNone,     // no recovery: failed connections drop
+};
+
+struct TrafficOptions {
+  double arrival_rate = 5.0;  // requests per unit time
+  double mean_holding = 1.0;  // mean connection lifetime
+  /// Optional nonuniform demand: row-major n×n weight per (s, t) pair
+  /// (diagonal ignored). Empty = uniform over ordered pairs.
+  std::vector<double> pair_weight;
+};
+
+/// Hotspot demand matrix: pairs touching a hotspot node get `hot_factor`×
+/// the base weight — models the metro/exchange concentration of real WANs.
+std::vector<double> hotspot_matrix(net::NodeId num_nodes,
+                                   const std::vector<net::NodeId>& hotspots,
+                                   double hot_factor);
+
+/// Gravity demand: weight(s, t) ∝ 1 / (1 + dist(s, t)²) over the topology
+/// coordinates — nearer pairs talk more.
+std::vector<double> gravity_matrix(const topo::Topology& topology);
+
+struct FailureOptions {
+  double duplex_failure_rate = 0.0;  // fiber cuts per unit time per duplex
+  double mean_repair = 1.0;
+  /// Restoration latency model: active switchover is a constant (the backup
+  /// is lit and reserved); passive restoration pays signaling plus per-hop
+  /// setup on the recomputed path.
+  double active_switchover_delay = 0.001;
+  double passive_base_delay = 0.050;
+  double passive_per_hop_delay = 0.010;
+  /// Active mode: when the backup itself is lost to a failure, try to
+  /// provision a fresh backup immediately.
+  bool reprovision_backup = false;
+};
+
+struct ReconfigOptions {
+  /// Reconfigure when ρ >= trigger (values > 1 disable).
+  double load_trigger = 2.0;
+  double min_interval = 1.0;
+};
+
+struct SimOptions {
+  TrafficOptions traffic;
+  FailureOptions failures;
+  ReconfigOptions reconfig;
+  RestorationMode restoration = RestorationMode::kActive;
+  double duration = 1000.0;
+  std::uint64_t seed = 1;
+  /// Duplex pairing (topo::Topology::reverse_of); empty = failures cut a
+  /// single directed edge.
+  std::vector<graph::EdgeId> reverse_of;
+  /// Record (time, ρ) samples at every arrival.
+  bool record_load_series = false;
+};
+
+struct SimMetrics {
+  long offered = 0;
+  long accepted = 0;
+  long blocked = 0;
+  double blocking_probability() const {
+    return offered ? static_cast<double>(blocked) / static_cast<double>(offered)
+                   : 0.0;
+  }
+
+  long primary_failures = 0;       // live primaries hit by a fiber cut
+  long recoveries_attempted = 0;
+  long recoveries_succeeded = 0;
+  long switchover_recoveries = 0;  // served by the pre-reserved backup
+  long recompute_recoveries = 0;   // served by a path found after the cut
+  long backups_reprovisioned = 0;
+  long backup_lost = 0;            // reserved backups hit by a fiber cut
+  long dropped_on_failure = 0;
+  std::vector<double> recovery_delays;
+
+  long reconfigurations = 0;
+  long reconfig_reroutes = 0;  // connections moved by reconfiguration
+  long reconfig_drops = 0;     // connections lost during reconfiguration
+
+  support::RunningStats network_load;   // ρ sampled at arrivals
+  support::RunningStats mean_link_load;
+  support::RunningStats route_cost;     // accepted primary+backup cost
+  support::RunningStats theta_iterations;
+  double peak_load = 0.0;
+
+  std::vector<std::pair<double, double>> load_series;
+
+  /// End-of-run invariant: live reservations must balance (checked by the
+  /// simulator; exposed for tests).
+  long long final_reserved_wavelength_links = 0;
+  long live_connections_at_end = 0;
+};
+
+class Simulator {
+ public:
+  /// The simulator owns a copy of the network (it mutates usage and failure
+  /// state); the router is borrowed and must outlive run().
+  Simulator(net::WdmNetwork network, const rwa::Router& router,
+            SimOptions options);
+
+  /// Runs the full horizon and returns the metrics. Call once.
+  SimMetrics run();
+
+  /// The (mutated) network — for post-run inspection in tests.
+  const net::WdmNetwork& network() const { return net_; }
+
+ private:
+  struct Connection {
+    long id = 0;
+    net::NodeId s = 0, t = 0;
+    net::Semilightpath primary;
+    net::Semilightpath backup;  // reserved iff has_backup
+    bool has_backup = false;
+  };
+
+  enum class EventType { kArrival, kDeparture, kLinkFail, kLinkRepair };
+  struct Event {
+    double time;
+    EventType type;
+    long id;  // connection id or duplex link index
+    bool operator<(const Event& o) const { return time > o.time; }
+  };
+
+  void schedule_arrival(double now);
+  std::pair<net::NodeId, net::NodeId> draw_pair();
+  void handle_arrival(double now);
+  void handle_departure(long conn_id);
+  void handle_link_fail(double now, long duplex_index);
+  void handle_link_repair(double now, long duplex_index);
+  void maybe_reconfigure(double now);
+  void release_connection(Connection& c);
+  bool path_uses(const net::Semilightpath& p, graph::EdgeId e1,
+                 graph::EdgeId e2) const;
+
+  net::WdmNetwork net_;
+  const rwa::Router& router_;
+  SimOptions opt_;
+  support::Rng rng_;
+  std::priority_queue<Event> queue_;
+  std::map<long, Connection> live_;
+  long next_conn_id_ = 0;
+  double last_reconfig_ = -1e18;
+  SimMetrics metrics_;
+  /// Duplex index -> the two directed edges.
+  std::vector<std::pair<graph::EdgeId, graph::EdgeId>> duplex_;
+  /// Cumulative distribution over ordered pairs (empty = uniform).
+  std::vector<double> pair_cdf_;
+};
+
+}  // namespace wdm::sim

@@ -1,0 +1,41 @@
+// Invariant checking macros.
+//
+// WDM_CHECK is active in all build types: library invariants whose violation
+// means a caller bug (bad arguments, inconsistent state). Throws
+// std::invalid_argument / std::logic_error so tests can assert on misuse.
+//
+// WDM_DCHECK compiles away in NDEBUG builds: internal sanity checks on hot
+// paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wdm::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::logic_error(std::string("WDM_CHECK failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace wdm::support
+
+#define WDM_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::wdm::support::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define WDM_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::wdm::support::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define WDM_DCHECK(expr) ((void)0)
+#else
+#define WDM_DCHECK(expr) WDM_CHECK(expr)
+#endif

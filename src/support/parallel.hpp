@@ -1,0 +1,41 @@
+// Shared-memory parallel loop helper for Monte-Carlo sweeps.
+//
+// Uses OpenMP when the build found it (ROBUSTWDM_HAVE_OPENMP), otherwise runs
+// serially. Library algorithms themselves are single-threaded and
+// thread-compatible; parallelism lives at the replication level (independent
+// simulation replicas / instances), which is the right grain for this
+// workload.
+#pragma once
+
+#include <cstddef>
+
+#ifdef ROBUSTWDM_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace wdm::support {
+
+/// Runs body(i) for i in [0, n), possibly in parallel. `body` must be safe to
+/// invoke concurrently for distinct i (no shared mutable state without
+/// synchronization).
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+#ifdef ROBUSTWDM_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+inline int hardware_threads() {
+#ifdef ROBUSTWDM_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace wdm::support

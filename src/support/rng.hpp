@@ -1,0 +1,71 @@
+// Deterministic random number generation for simulations and benchmarks.
+//
+// xoshiro256** (Blackman & Vigna): fast, high-quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-for-bit reproducible across
+// standard libraries, which matters for recorded experiment outputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wdm::support {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Poisson variate with the given mean (Knuth's method; fine for mean < 50).
+  int poisson(double mean);
+
+  /// Standard normal variate (Box–Muller, non-cached).
+  double normal();
+
+  /// Picks a uniformly random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(xs[i - 1], xs[j]);
+    }
+  }
+
+  /// Derives an independent stream (for per-thread / per-replica RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// splitmix64 step — used for seeding and hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace wdm::support

@@ -1,0 +1,103 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace wdm::support {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+double percentile(std::span<const double> xs, double q) {
+  WDM_CHECK(!xs.empty());
+  WDM_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double mean_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double ci95_halfwidth(const RunningStats& s) {
+  if (s.count() < 2) return 0.0;
+  return 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  WDM_CHECK(hi > lo);
+  WDM_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  b = std::clamp<std::ptrdiff_t>(b, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const { return bin_lo(b + 1); }
+
+}  // namespace wdm::support

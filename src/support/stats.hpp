@@ -1,0 +1,61 @@
+// Small statistics helpers used by tests, benches, and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wdm::support {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); `q` in [0, 1].
+/// Copies and sorts; intended for end-of-run reporting, not hot paths.
+double percentile(std::span<const double> xs, double q);
+
+double mean_of(std::span<const double> xs);
+double stddev_of(std::span<const double> xs);
+
+/// Half-width of the 95% normal-approximation confidence interval.
+double ci95_halfwidth(const RunningStats& s);
+
+/// Simple fixed-width histogram for load distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t b) const { return counts_.at(b); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace wdm::support

@@ -1,0 +1,34 @@
+// Aligned text tables for bench output (the "rows the paper reports").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wdm::support {
+
+/// Column-aligned table printer. Numeric cells are right-aligned, text cells
+/// left-aligned. Also emits CSV for machine consumption.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+
+  /// Render with box-drawing separators.
+  std::string to_string() const;
+  /// Render as CSV (comma-separated, no quoting of commas — cells must not
+  /// contain commas).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wdm::support

@@ -1,0 +1,70 @@
+// Turns a physical Topology into a WdmNetwork: wavelength inventory,
+// per-(link, λ) traversal costs, and per-node conversion capability — the
+// knobs §2's model exposes, each with the variants the benches sweep.
+#pragma once
+
+#include "support/rng.hpp"
+#include "topology/topologies.hpp"
+#include "wdm/network.hpp"
+
+namespace wdm::topo {
+
+enum class CostModel {
+  /// w(e, λ) = 1 for all λ — hop counting; satisfies §3.3 assumption (ii).
+  kUnit,
+  /// w(e, λ) = fiber length (same for all λ); satisfies assumption (ii).
+  kLength,
+  /// w(e, λ) drawn uniformly from [cost_lo, cost_hi] per link, identical
+  /// across λ; satisfies assumption (ii).
+  kRandomPerLink,
+  /// Independent draw per (link, λ) — deliberately violates assumption (ii)
+  /// for the E2 "outside the assumptions" arm.
+  kRandomPerWavelength,
+};
+
+enum class ConversionModel {
+  /// Full conversion, uniform cost (assumption (i)).
+  kFullUniform,
+  /// No conversion anywhere (the Lemma 1 / lightpath regime).
+  kNone,
+  /// Limited-range conversion (range and per-step cost below).
+  kLimitedRange,
+  /// Full conversion with per-node uniform cost drawn from
+  /// [conv_cost_lo, conv_cost_hi].
+  kFullRandomPerNode,
+};
+
+struct NetworkOptions {
+  int num_wavelengths = 8;
+  /// Probability each wavelength is installed per link (1.0 = all). Links
+  /// always keep at least one wavelength.
+  double install_probability = 1.0;
+
+  CostModel cost_model = CostModel::kUnit;
+  double cost_lo = 1.0;
+  double cost_hi = 10.0;
+
+  ConversionModel conversion_model = ConversionModel::kFullUniform;
+  /// Uniform conversion cost (kFullUniform) / per-step cost (kLimitedRange).
+  double conversion_cost = 0.5;
+  int conversion_range = 2;
+  double conv_cost_lo = 0.0;
+  double conv_cost_hi = 1.0;
+
+  /// Scales kLength fiber lengths into costs.
+  double length_cost_scale = 1.0;
+};
+
+/// Builds the WDM network. Deterministic given the RNG state.
+net::WdmNetwork build_network(const Topology& topo, const NetworkOptions& opt,
+                              support::Rng& rng);
+
+/// Convenience for tests: NSFNET with all wavelengths installed, unit costs,
+/// full conversion at `conversion_cost`.
+net::WdmNetwork nsfnet_network(int num_wavelengths, double conversion_cost);
+
+/// Checks the Theorem 2 assumption: every node's max conversion cost is no
+/// greater than the min traversal cost of any link incident to it.
+bool satisfies_theorem2_assumption(const net::WdmNetwork& net);
+
+}  // namespace wdm::topo

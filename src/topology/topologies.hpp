@@ -1,0 +1,69 @@
+// Physical wide-area topologies: the canonical research networks the WDM
+// routing literature of the paper's period evaluates on (NSFNET T1, an
+// ARPANET-class mesh, the European Optical Network), plus synthetic families
+// (rings, grids, random, Waxman geometric) for scaling sweeps.
+//
+// A Topology is undirected fiber plant described as a directed graph with
+// both orientations of every duplex fiber; `reverse_of[e]` links the two
+// orientations (a fiber cut fails both).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::topo {
+
+struct Topology {
+  std::string name;
+  graph::Digraph g;
+  /// Euclidean node coordinates (arbitrary units); synthetic families place
+  /// nodes on a unit square or circle.
+  std::vector<std::pair<double, double>> coords;
+  /// Per-directed-edge fiber length (symmetric across orientations).
+  std::vector<double> length;
+  /// The opposite orientation of each directed edge.
+  std::vector<graph::EdgeId> reverse_of;
+
+  int num_nodes() const { return g.num_nodes(); }
+  int num_duplex_links() const { return g.num_edges() / 2; }
+};
+
+/// NSFNET T1 backbone: 14 nodes, 21 duplex links — the workhorse topology of
+/// 1990s/2000s WDM evaluations.
+Topology nsfnet();
+
+/// ARPANET-class continental mesh: 20 nodes, 31 duplex links.
+Topology arpanet20();
+
+/// European Optical Network (EON) core: 19 nodes, 37 duplex links.
+Topology eon19();
+
+/// US nationwide mesh (USNET-class): 24 nodes, 43 duplex links.
+Topology usnet24();
+
+/// rows × cols torus (grid with wraparound) — the regular high-girth
+/// family for scaling sweeps; every node has degree 4.
+Topology torus(int rows, int cols);
+
+/// Bidirectional ring of n nodes (n duplex links).
+Topology ring(int n);
+
+/// rows × cols grid mesh.
+Topology grid(int rows, int cols);
+
+/// Complete graph on n nodes.
+Topology complete(int n);
+
+/// Random connected graph: a random spanning tree plus `extra_links`
+/// additional distinct random duplex links. Deterministic given the RNG.
+Topology random_connected(int n, int extra_links, support::Rng& rng);
+
+/// Waxman geometric random graph on the unit square: P(u,v) =
+/// alpha * exp(-d(u,v) / (beta * d_max)), re-drawn until connected, with a
+/// spanning tree overlaid to bound the retry count.
+Topology waxman(int n, double alpha, double beta, support::Rng& rng);
+
+}  // namespace wdm::topo

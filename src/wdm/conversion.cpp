@@ -1,0 +1,103 @@
+#include "wdm/conversion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wdm::net {
+
+ConversionTable::ConversionTable(int num_wavelengths)
+    : w_(num_wavelengths),
+      cost_(static_cast<std::size_t>(num_wavelengths) *
+                static_cast<std::size_t>(num_wavelengths),
+            0.0),
+      allowed_(cost_.size(), 0) {
+  WDM_CHECK(num_wavelengths > 0 &&
+            num_wavelengths <= WavelengthSet::kMaxWavelengths);
+}
+
+ConversionTable ConversionTable::full(int num_wavelengths,
+                                      double uniform_cost) {
+  WDM_CHECK(uniform_cost >= 0.0);
+  ConversionTable t(num_wavelengths);
+  for (Wavelength a = 0; a < num_wavelengths; ++a) {
+    for (Wavelength b = 0; b < num_wavelengths; ++b) {
+      if (a != b) t.set(a, b, uniform_cost);
+    }
+  }
+  return t;
+}
+
+ConversionTable ConversionTable::none(int num_wavelengths) {
+  return ConversionTable(num_wavelengths);
+}
+
+ConversionTable ConversionTable::limited_range(int num_wavelengths, int range,
+                                               double cost_per_step) {
+  WDM_CHECK(range >= 0);
+  WDM_CHECK(cost_per_step >= 0.0);
+  ConversionTable t(num_wavelengths);
+  for (Wavelength a = 0; a < num_wavelengths; ++a) {
+    for (Wavelength b = 0; b < num_wavelengths; ++b) {
+      if (a != b && std::abs(a - b) <= range) {
+        t.set(a, b, cost_per_step * std::abs(a - b));
+      }
+    }
+  }
+  return t;
+}
+
+void ConversionTable::set(Wavelength from, Wavelength to, double cost) {
+  WDM_CHECK(from >= 0 && from < w_ && to >= 0 && to < w_);
+  WDM_CHECK(cost >= 0.0);
+  WDM_CHECK_MSG(from != to || cost == 0.0,
+                "identity conversion cost is fixed at 0 (paper: c_v(λ,λ)=0)");
+  if (from == to) return;
+  allowed_[index(from, to)] = 1;
+  cost_[index(from, to)] = cost;
+}
+
+void ConversionTable::forbid(Wavelength from, Wavelength to) {
+  WDM_CHECK(from >= 0 && from < w_ && to >= 0 && to < w_);
+  WDM_CHECK_MSG(from != to, "identity conversion cannot be forbidden");
+  allowed_[index(from, to)] = 0;
+}
+
+double ConversionTable::cost(Wavelength from, Wavelength to) const {
+  if (from == to) return 0.0;
+  WDM_CHECK_MSG(allowed(from, to), "conversion not allowed at this node");
+  return cost_[index(from, to)];
+}
+
+bool ConversionTable::is_full() const {
+  for (Wavelength a = 0; a < w_; ++a) {
+    for (Wavelength b = 0; b < w_; ++b) {
+      if (!allowed(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+double ConversionTable::max_cost() const {
+  double m = 0.0;
+  for (Wavelength a = 0; a < w_; ++a) {
+    for (Wavelength b = 0; b < w_; ++b) {
+      if (a != b && allowed(a, b)) m = std::max(m, cost_[index(a, b)]);
+    }
+  }
+  return m;
+}
+
+WavelengthSet ConversionTable::reachable(WavelengthSet from_set,
+                                         WavelengthSet to_set) const {
+  WavelengthSet out;
+  to_set.for_each([&](Wavelength b) {
+    bool ok = false;
+    from_set.for_each([&](Wavelength a) {
+      if (!ok && allowed(a, b)) ok = true;
+    });
+    if (ok) out.insert(b);
+  });
+  return out;
+}
+
+}  // namespace wdm::net

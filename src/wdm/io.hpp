@@ -1,0 +1,47 @@
+// Text serialization for WDM networks — a line-based format for sharing
+// instances between runs/tools and for regression fixtures:
+//
+//   network <num_nodes> <num_wavelengths>
+//   conversion <node> full <cost>            # full table, uniform cost
+//   conversion <node> limited <range> <cost> # limited-range table
+//   conv <node> <from> <to> <cost>           # single allowed entry (general)
+//   link <u> <v> cost <c>                    # all wavelengths, uniform cost
+//   link <u> <v> cost <c> lambdas <a,b,...>  # partial installation
+//   link <u> <v> costs <c0,c1,...>           # per-wavelength costs
+//   reserve <link_index> <lambda>            # residual state
+//   failed <link_index>
+//
+// Nodes default to identity-only (no) conversion. Link indices follow file
+// order. '#' starts a comment; blank lines are ignored. The reader reports
+// the offending line number on error.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "wdm/network.hpp"
+
+namespace wdm::io {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Serializes the network including conversion tables, per-wavelength
+/// costs, usage, and failure state. read(write(n)) reconstructs n exactly.
+std::string write_network(const net::WdmNetwork& network);
+
+/// Parses the format above. Throws ParseError on malformed input.
+net::WdmNetwork read_network(std::istream& in);
+net::WdmNetwork read_network(const std::string& text);
+
+}  // namespace wdm::io

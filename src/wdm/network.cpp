@@ -1,0 +1,194 @@
+#include "wdm/network.hpp"
+
+#include <algorithm>
+
+#include "graph/path.hpp"
+#include "support/check.hpp"
+
+namespace wdm::net {
+
+WdmNetwork::WdmNetwork(NodeId num_nodes, int num_wavelengths)
+    : g_(num_nodes), w_(num_wavelengths) {
+  WDM_CHECK(num_wavelengths > 0 &&
+            num_wavelengths <= WavelengthSet::kMaxWavelengths);
+  conv_.assign(static_cast<std::size_t>(num_nodes),
+               ConversionTable::none(w_));
+}
+
+NodeId WdmNetwork::add_node(ConversionTable conversion) {
+  WDM_CHECK(conversion.num_wavelengths() == w_);
+  conv_.push_back(std::move(conversion));
+  return g_.add_node();
+}
+
+EdgeId WdmNetwork::add_link(NodeId u, NodeId v, WavelengthSet installed,
+                            double uniform_cost) {
+  WDM_CHECK(uniform_cost >= 0.0);
+  std::vector<double> costs(static_cast<std::size_t>(w_), uniform_cost);
+  return add_link(u, v, installed, costs);
+}
+
+EdgeId WdmNetwork::add_link(NodeId u, NodeId v, WavelengthSet installed,
+                            std::span<const double> cost_per_lambda) {
+  WDM_CHECK_MSG(!installed.empty(), "a fiber must carry >= 1 wavelength");
+  WDM_CHECK_MSG(installed.minus(WavelengthSet::all(w_)).empty(),
+                "installed set contains wavelengths outside the universe");
+  WDM_CHECK(cost_per_lambda.size() == static_cast<std::size_t>(w_));
+  const EdgeId e = g_.add_edge(u, v);
+  installed_.push_back(installed);
+  used_.push_back(WavelengthSet{});
+  failed_.push_back(0);
+  for (int l = 0; l < w_; ++l) {
+    const double c = cost_per_lambda[static_cast<std::size_t>(l)];
+    WDM_CHECK(!installed.contains(l) || c >= 0.0);
+    weight_.push_back(c);
+  }
+  return e;
+}
+
+std::pair<EdgeId, EdgeId> WdmNetwork::add_duplex(NodeId u, NodeId v,
+                                                 WavelengthSet installed,
+                                                 double uniform_cost) {
+  return {add_link(u, v, installed, uniform_cost),
+          add_link(v, u, installed, uniform_cost)};
+}
+
+void WdmNetwork::set_conversion(NodeId v, ConversionTable table) {
+  WDM_CHECK(g_.valid_node(v));
+  WDM_CHECK(table.num_wavelengths() == w_);
+  conv_[static_cast<std::size_t>(v)] = std::move(table);
+}
+
+const ConversionTable& WdmNetwork::conversion(NodeId v) const {
+  WDM_CHECK(g_.valid_node(v));
+  return conv_[static_cast<std::size_t>(v)];
+}
+
+WavelengthSet WdmNetwork::installed(EdgeId e) const {
+  WDM_CHECK(g_.valid_edge(e));
+  return installed_[static_cast<std::size_t>(e)];
+}
+
+WavelengthSet WdmNetwork::available(EdgeId e) const {
+  WDM_CHECK(g_.valid_edge(e));
+  if (failed_[static_cast<std::size_t>(e)]) return WavelengthSet{};
+  return installed_[static_cast<std::size_t>(e)].minus(
+      used_[static_cast<std::size_t>(e)]);
+}
+
+void WdmNetwork::set_link_failed(EdgeId e, bool failed) {
+  WDM_CHECK(g_.valid_edge(e));
+  failed_[static_cast<std::size_t>(e)] = failed ? 1 : 0;
+}
+
+bool WdmNetwork::link_failed(EdgeId e) const {
+  WDM_CHECK(g_.valid_edge(e));
+  return failed_[static_cast<std::size_t>(e)] != 0;
+}
+
+int WdmNetwork::num_failed_links() const {
+  int k = 0;
+  for (std::uint8_t f : failed_) k += (f != 0);
+  return k;
+}
+
+int WdmNetwork::usage(EdgeId e) const {
+  WDM_CHECK(g_.valid_edge(e));
+  return used_[static_cast<std::size_t>(e)].count();
+}
+
+double WdmNetwork::link_load(EdgeId e) const {
+  return static_cast<double>(usage(e)) / static_cast<double>(capacity(e));
+}
+
+double WdmNetwork::network_load() const {
+  double rho = 0.0;
+  for (EdgeId e = 0; e < num_links(); ++e) {
+    rho = std::max(rho, link_load(e));
+  }
+  return rho;
+}
+
+double WdmNetwork::mean_load() const {
+  if (num_links() == 0) return 0.0;
+  double s = 0.0;
+  for (EdgeId e = 0; e < num_links(); ++e) s += link_load(e);
+  return s / static_cast<double>(num_links());
+}
+
+double WdmNetwork::weight(EdgeId e, Wavelength l) const {
+  WDM_CHECK(g_.valid_edge(e));
+  WDM_CHECK_MSG(installed(e).contains(l), "w(e,λ) undefined: λ ∉ Λ(e)");
+  return weight_[static_cast<std::size_t>(e) * static_cast<std::size_t>(w_) +
+                 static_cast<std::size_t>(l)];
+}
+
+double WdmNetwork::min_weight(EdgeId e) const {
+  double m = graph::kInf;
+  installed(e).for_each([&](Wavelength l) { m = std::min(m, weight(e, l)); });
+  return m;
+}
+
+double WdmNetwork::mean_available_weight(EdgeId e) const {
+  const WavelengthSet avail = available(e);
+  WDM_CHECK_MSG(!avail.empty(), "mean over empty Λ_avail(e)");
+  double s = 0.0;
+  avail.for_each([&](Wavelength l) { s += weight(e, l); });
+  return s / avail.count();
+}
+
+bool WdmNetwork::is_used(EdgeId e, Wavelength l) const {
+  WDM_CHECK(g_.valid_edge(e));
+  return used_[static_cast<std::size_t>(e)].contains(l);
+}
+
+void WdmNetwork::reserve(EdgeId e, Wavelength l) {
+  WDM_CHECK_MSG(available(e).contains(l),
+                "reserve: wavelength not available on link");
+  used_[static_cast<std::size_t>(e)].insert(l);
+}
+
+void WdmNetwork::release(EdgeId e, Wavelength l) {
+  WDM_CHECK_MSG(is_used(e, l), "release: wavelength not in use on link");
+  used_[static_cast<std::size_t>(e)].erase(l);
+}
+
+long long WdmNetwork::total_usage() const {
+  long long s = 0;
+  for (const WavelengthSet& u : used_) s += u.count();
+  return s;
+}
+
+std::vector<std::uint64_t> WdmNetwork::usage_snapshot() const {
+  std::vector<std::uint64_t> snap;
+  snap.reserve(used_.size());
+  for (const WavelengthSet& u : used_) snap.push_back(u.bits());
+  return snap;
+}
+
+void WdmNetwork::restore_usage(std::span<const std::uint64_t> snapshot) {
+  WDM_CHECK(snapshot.size() == used_.size());
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    used_[i] = WavelengthSet::from_bits(snapshot[i]);
+  }
+}
+
+double WdmNetwork::theta_min() const {
+  double t = graph::kInf;
+  for (EdgeId e = 0; e < num_links(); ++e) {
+    t = std::min(t, static_cast<double>(usage(e) + 1) /
+                        static_cast<double>(capacity(e)));
+  }
+  return t;
+}
+
+double WdmNetwork::theta_max() const {
+  double t = 0.0;
+  for (EdgeId e = 0; e < num_links(); ++e) {
+    t = std::max(t, static_cast<double>(usage(e) + 1) /
+                        static_cast<double>(capacity(e)));
+  }
+  return t;
+}
+
+}  // namespace wdm::net

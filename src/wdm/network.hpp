@@ -1,0 +1,120 @@
+// The WDM network model G = (V, E, Λ) of §2.
+//
+// Structure lives in a graph::Digraph; per-link wavelength inventory Λ(e),
+// in-use set, and per-(link, wavelength) traversal costs w(e, λ), plus
+// per-node conversion tables c_v(·,·), live here. The *residual network*
+// G(V, E, Λ_avail) of §3.3.1 is implicit: available(e) = installed minus
+// used, so routing always sees the current residual state without copying.
+//
+// Usage mutation (reserve/release) is how the dynamic-traffic simulator
+// models connections holding wavelengths; network_load() is Eq. (2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "wdm/conversion.hpp"
+#include "wdm/wavelength.hpp"
+
+namespace wdm::net {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+class WdmNetwork {
+ public:
+  /// A network over `num_wavelengths` channels with `num_nodes` nodes, each
+  /// initially with identity-only (no) conversion capability.
+  WdmNetwork(NodeId num_nodes, int num_wavelengths);
+
+  const graph::Digraph& graph() const { return g_; }
+  int W() const { return w_; }
+  NodeId num_nodes() const { return g_.num_nodes(); }
+  EdgeId num_links() const { return g_.num_edges(); }
+
+  NodeId add_node() { return add_node(ConversionTable::none(w_)); }
+  NodeId add_node(ConversionTable conversion);
+
+  /// Adds a unidirectional fiber u -> v carrying `installed` wavelengths,
+  /// each at traversal cost `uniform_cost` (the paper's assumption (ii)).
+  EdgeId add_link(NodeId u, NodeId v, WavelengthSet installed,
+                  double uniform_cost);
+
+  /// Adds a fiber with per-wavelength traversal costs; `cost_per_lambda` is
+  /// indexed by wavelength (size W); entries outside `installed` are ignored.
+  EdgeId add_link(NodeId u, NodeId v, WavelengthSet installed,
+                  std::span<const double> cost_per_lambda);
+
+  /// Adds u -> v and v -> u with identical inventory and cost.
+  std::pair<EdgeId, EdgeId> add_duplex(NodeId u, NodeId v,
+                                       WavelengthSet installed,
+                                       double uniform_cost);
+
+  void set_conversion(NodeId v, ConversionTable table);
+  const ConversionTable& conversion(NodeId v) const;
+
+  /// Λ(e): wavelengths installed on the fiber.
+  WavelengthSet installed(EdgeId e) const;
+  /// Λ_avail(e): installed and not currently in use (the residual network).
+  /// Empty while the link is failed — a fiber cut takes out every channel.
+  WavelengthSet available(EdgeId e) const;
+
+  /// Failure state (fiber cut). Routing sees a failed link as having no
+  /// available wavelengths; existing reservations on it persist until their
+  /// connections are torn down or restored.
+  void set_link_failed(EdgeId e, bool failed);
+  bool link_failed(EdgeId e) const;
+  int num_failed_links() const;
+  /// N(e) = |Λ(e)|.
+  int capacity(EdgeId e) const { return installed(e).count(); }
+  /// U(e): wavelengths in use by existing routes.
+  int usage(EdgeId e) const;
+
+  /// ρ(e) = U(e) / N(e) — Eq. (2).
+  double link_load(EdgeId e) const;
+  /// ρ = max_e ρ(e) — the network load.
+  double network_load() const;
+  /// Mean link load — reported alongside ρ in the benches.
+  double mean_load() const;
+
+  /// w(e, λ). Requires λ ∈ Λ(e).
+  double weight(EdgeId e, Wavelength l) const;
+
+  /// Cheapest installed wavelength cost on e (lower bound used by the exact
+  /// solver and the physical-graph baselines).
+  double min_weight(EdgeId e) const;
+  /// Mean of w(e, λ) over Λ_avail(e) — the auxiliary-graph link weight of
+  /// §3.3.1. Requires a nonempty available set.
+  double mean_available_weight(EdgeId e) const;
+
+  bool is_used(EdgeId e, Wavelength l) const;
+
+  /// Marks λ in use on e. Requires λ available.
+  void reserve(EdgeId e, Wavelength l);
+  /// Frees λ on e. Requires λ in use.
+  void release(EdgeId e, Wavelength l);
+
+  /// Total reserved wavelength-links (for leak detection in tests).
+  long long total_usage() const;
+
+  /// Usage snapshot/restore — the simulator's reconfiguration step re-routes
+  /// all live connections against an empty network and rolls back on failure.
+  std::vector<std::uint64_t> usage_snapshot() const;
+  void restore_usage(std::span<const std::uint64_t> snapshot);
+
+  /// ϑ_min / ϑ_max of §4.1: min / max over links of (U(e)+1)/N(e).
+  double theta_min() const;
+  double theta_max() const;
+
+ private:
+  graph::Digraph g_;
+  int w_;
+  std::vector<ConversionTable> conv_;
+  std::vector<WavelengthSet> installed_;
+  std::vector<WavelengthSet> used_;
+  std::vector<std::uint8_t> failed_;
+  std::vector<double> weight_;  // m * W, row per edge
+};
+
+}  // namespace wdm::net

@@ -1,0 +1,81 @@
+// Semilightpaths (§2): a link sequence with a specific wavelength per link,
+// implying a conversion at every intermediate node where the wavelength
+// changes. cost() is exactly Eq. (1).
+//
+// A *lightpath* is the conversion-free special case (single wavelength end
+// to end) — `is_lightpath()` detects it.
+#pragma once
+
+#include <vector>
+
+#include "wdm/network.hpp"
+
+namespace wdm::net {
+
+struct Hop {
+  EdgeId edge = graph::kInvalidEdge;
+  Wavelength lambda = kInvalidWavelength;
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+struct Semilightpath {
+  std::vector<Hop> hops;
+  bool found = false;
+
+  static Semilightpath not_found() { return {}; }
+
+  NodeId source(const WdmNetwork& net) const;
+  NodeId destination(const WdmNetwork& net) const;
+
+  std::size_t length() const { return hops.size(); }
+
+  /// Eq. (1): Σ w(e_i, λ_i) + Σ c_{head(e_i)}(λ_i, λ_{i+1}).
+  double cost(const WdmNetwork& net) const;
+
+  /// Number of intermediate nodes whose converter switch is actually set
+  /// (wavelength changes across the node).
+  int conversions(const WdmNetwork& net) const;
+
+  /// Structural validity: link contiguity, every λ_i installed on e_i, and
+  /// every implied conversion allowed by the node's table.
+  bool well_formed(const WdmNetwork& net) const;
+
+  /// well_formed AND every (e_i, λ_i) currently available — i.e. the path is
+  /// realizable in the residual network right now.
+  bool fits_residual(const WdmNetwork& net) const;
+
+  std::vector<EdgeId> physical_edges() const;
+
+  /// True when all hops use one wavelength (no conversion needed).
+  bool is_lightpath() const;
+
+  /// Reserves / releases every (e_i, λ_i) in the network. reserve_in is
+  /// all-or-nothing: requires fits_residual beforehand.
+  void reserve_in(WdmNetwork& net) const;
+  void release_in(WdmNetwork& net) const;
+};
+
+/// §2: two semilightpaths are edge-disjoint iff they share no physical link
+/// (wavelengths are irrelevant — a fiber cut takes out every λ on the fiber).
+bool edge_disjoint(const Semilightpath& a, const Semilightpath& b);
+
+/// A provisioned robust route: primary + backup, edge-disjoint.
+struct ProtectedRoute {
+  Semilightpath primary;
+  Semilightpath backup;
+  bool found = false;
+
+  double total_cost(const WdmNetwork& net) const {
+    return primary.cost(net) + backup.cost(net);
+  }
+
+  /// found AND both paths fit the residual network AND they are
+  /// edge-disjoint — the full §2 feasibility predicate.
+  bool feasible(const WdmNetwork& net) const;
+
+  void reserve_in(WdmNetwork& net) const;
+  void release_in(WdmNetwork& net) const;
+};
+
+}  // namespace wdm::net

@@ -1,0 +1,156 @@
+// Tests for the ablation knobs: ϑ search strategies, the G_rc weight
+// normalization switch, the refinement toggle, and the simulator's backup
+// reprovisioning.
+#include <gtest/gtest.h>
+
+#include "rwa/approx_router.hpp"
+#include "rwa/aux_graph.hpp"
+#include "rwa/loadcost_router.hpp"
+#include "rwa/mincog.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::rwa {
+namespace {
+
+net::WdmNetwork loaded_net(std::uint64_t seed, double occupancy = 0.5) {
+  net::WdmNetwork n = topo::nsfnet_network(8, 0.5);
+  support::Rng rng(seed);
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+    n.available(e).for_each([&](net::Wavelength l) {
+      if (rng.bernoulli(occupancy)) n.reserve(e, l);
+    });
+  }
+  return n;
+}
+
+class ThetaSearchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThetaSearchTest, AllStrategiesAgreeOnFeasibility) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  net::WdmNetwork n = loaded_net(seed * 31 + 7, 0.6);
+  support::Rng rng(seed);
+  const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+  auto t = s;
+  while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+
+  MinCogOptions doubling, linear, bisect;
+  linear.search = ThetaSearch::kLinearScan;
+  bisect.search = ThetaSearch::kBisection;
+  const MinCogResult rd = find_two_paths_mincog(n, s, t, doubling);
+  const MinCogResult rl = find_two_paths_mincog(n, s, t, linear);
+  const MinCogResult rb = find_two_paths_mincog(n, s, t, bisect);
+  EXPECT_EQ(rd.found, rl.found);
+  EXPECT_EQ(rd.found, rb.found);
+  if (rd.found) {
+    // The linear scan is the exact grid optimum: no strategy beats it.
+    EXPECT_GE(rd.theta, rl.theta - 1e-12);
+    EXPECT_GE(rb.theta, rl.theta - 1e-9);
+    // Bisection honors its tolerance relative to the exact optimum.
+    EXPECT_LE(rb.theta, rl.theta + 2e-3);
+    // Exact oracle agrees with the linear scan's accepted threshold side.
+    double lstar = 0.0;
+    ASSERT_TRUE(exact_min_threshold(n, s, t, &lstar));
+    EXPECT_GT(rl.theta, lstar);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, ThetaSearchTest,
+                         ::testing::Range(0, 15));
+
+TEST(ThetaSearch, LinearScanUsesBoundedProbes) {
+  net::WdmNetwork n = loaded_net(3, 0.6);
+  MinCogOptions opt;
+  opt.search = ThetaSearch::kLinearScan;
+  const MinCogResult r = find_two_paths_mincog(n, 0, 13, opt);
+  ASSERT_TRUE(r.found);
+  // Probes bounded by distinct load values + 2 endpoints.
+  EXPECT_LE(r.iterations, n.num_links() + 2);
+}
+
+TEST(GrcNormalization, VariantsBothDeliverFeasibleRoutes) {
+  net::WdmNetwork n = loaded_net(11, 0.4);
+  LoadCostRouter paper({}, false);
+  LoadCostRouter mean_avail({}, true);
+  const RouteResult a = paper.route(n, 0, 13);
+  const RouteResult b = mean_avail.route(n, 0, 13);
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_TRUE(a.route.feasible(n));
+  EXPECT_TRUE(b.route.feasible(n));
+  EXPECT_NE(paper.name(), mean_avail.name());
+}
+
+TEST(GrcNormalization, WeightsDifferOnPartiallyLoadedLink) {
+  net::WdmNetwork n(2, 4);
+  n.add_link(0, 1, net::WavelengthSet::all(4), 2.0);
+  n.reserve(0, 0);
+  n.reserve(0, 1);  // 2 of 4 used; Σw over avail = 4
+  AuxGraphOptions paper, mean;
+  paper.weighting = mean.weighting = AuxWeighting::kCostLoadFiltered;
+  paper.theta = mean.theta = 1.0;
+  mean.grc_mean_over_available = true;
+  auto link_weight = [&](const AuxGraphOptions& o) {
+    const AuxGraph aux = build_aux_graph(n, 0, 1, o);
+    for (graph::EdgeId a = 0; a < aux.g.num_edges(); ++a) {
+      if (aux.phys_edge_of_arc[static_cast<std::size_t>(a)] !=
+          graph::kInvalidEdge) {
+        return aux.w[static_cast<std::size_t>(a)];
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(link_weight(paper), 1.0);  // 4 / N = 4/4
+  EXPECT_DOUBLE_EQ(link_weight(mean), 2.0);   // 4 / |avail| = 4/2
+}
+
+TEST(RefinementToggle, UnrefinedNeverCheaper) {
+  int compared = 0;
+  for (int i = 0; i < 10; ++i) {
+    net::WdmNetwork n = loaded_net(100 + i, 0.3);
+    const RouteResult a = ApproxDisjointRouter(true).route(n, 0, 13);
+    const RouteResult b = ApproxDisjointRouter(false).route(n, 0, 13);
+    if (!a.found || !b.found) continue;
+    ++compared;
+    EXPECT_TRUE(b.route.feasible(n));
+    EXPECT_LE(a.total_cost(n), b.total_cost(n) + 1e-9);
+  }
+  EXPECT_GT(compared, 5);
+}
+
+TEST(RefinementToggle, NamesDiffer) {
+  EXPECT_NE(ApproxDisjointRouter(true).name(),
+            ApproxDisjointRouter(false).name());
+}
+
+TEST(Reprovision, ActiveModeRestoresProtectionAfterFailure) {
+  const topo::Topology t = topo::nsfnet();
+  support::Rng rng(5);
+  topo::NetworkOptions nopt;
+  nopt.num_wavelengths = 8;
+  net::WdmNetwork network = topo::build_network(t, nopt, rng);
+
+  sim::SimOptions opt;
+  opt.traffic.arrival_rate = 10.0;
+  opt.traffic.mean_holding = 2.0;
+  opt.duration = 150.0;
+  opt.seed = 23;
+  opt.restoration = sim::RestorationMode::kActive;
+  opt.failures.duplex_failure_rate = 0.02;
+  opt.failures.mean_repair = 3.0;
+  opt.failures.reprovision_backup = true;
+  opt.reverse_of = t.reverse_of;
+  rwa::ApproxDisjointRouter router;
+  sim::Simulator sim(std::move(network), router, opt);
+  const sim::SimMetrics m = sim.run();
+  EXPECT_GT(m.primary_failures, 0);
+  EXPECT_GT(m.backups_reprovisioned, 0);
+  EXPECT_EQ(m.recoveries_succeeded,
+            m.switchover_recoveries + m.recompute_recoveries);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+}  // namespace
+}  // namespace wdm::rwa

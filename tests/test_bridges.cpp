@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "graph/bridges.hpp"
+#include "graph/maxflow.hpp"
+#include "rwa/protectability.hpp"
+#include "support/rng.hpp"
+#include "topology/topologies.hpp"
+
+namespace wdm::graph {
+namespace {
+
+Digraph duplex_from_pairs(int n, std::initializer_list<std::pair<int, int>> ps) {
+  Digraph g(n);
+  for (const auto& [a, b] : ps) {
+    g.add_edge(a, b);
+    g.add_edge(b, a);
+  }
+  return g;
+}
+
+TEST(Bridges, ChainIsAllBridges) {
+  const Digraph g = duplex_from_pairs(4, {{0, 1}, {1, 2}, {2, 3}});
+  const BridgeAnalysis a = find_bridges(g);
+  EXPECT_EQ(a.num_bridges, 3);
+  EXPECT_EQ(a.num_components, 4);
+  EXPECT_FALSE(a.two_edge_connected(0, 3));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_TRUE(a.is_bridge[e]);
+}
+
+TEST(Bridges, CycleHasNone) {
+  const Digraph g = duplex_from_pairs(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const BridgeAnalysis a = find_bridges(g);
+  EXPECT_EQ(a.num_bridges, 0);
+  EXPECT_EQ(a.num_components, 1);
+  EXPECT_TRUE(a.two_edge_connected(0, 2));
+}
+
+TEST(Bridges, BarbellHasOneBridge) {
+  // Two triangles joined by one duplex link 2-3.
+  const Digraph g = duplex_from_pairs(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  const BridgeAnalysis a = find_bridges(g);
+  EXPECT_EQ(a.num_bridges, 1);
+  EXPECT_EQ(a.num_components, 2);
+  EXPECT_TRUE(a.two_edge_connected(0, 2));
+  EXPECT_TRUE(a.two_edge_connected(3, 5));
+  EXPECT_FALSE(a.two_edge_connected(0, 5));
+}
+
+TEST(Bridges, ParallelFibersNeverBridge) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // second duplex fiber on the same pair
+  const BridgeAnalysis a = find_bridges(g);
+  EXPECT_EQ(a.num_bridges, 0);
+  EXPECT_TRUE(a.two_edge_connected(0, 1));
+}
+
+TEST(Bridges, SingleDuplexIsABridge) {
+  const Digraph g = duplex_from_pairs(2, {{0, 1}});
+  const BridgeAnalysis a = find_bridges(g);
+  // One undirected bridge; both directed orientations are flagged.
+  EXPECT_EQ(a.num_bridges, 1);
+  EXPECT_TRUE(a.is_bridge[0]);
+  EXPECT_TRUE(a.is_bridge[1]);
+  EXPECT_FALSE(a.two_edge_connected(0, 1));
+}
+
+TEST(Bridges, DisconnectedGraphComponents) {
+  const Digraph g = duplex_from_pairs(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  const BridgeAnalysis a = find_bridges(g);
+  EXPECT_EQ(a.num_components, 3);  // triangle, node 3, node 4
+  EXPECT_FALSE(a.two_edge_connected(0, 3));
+}
+
+TEST(Bridges, SelfLoopIgnored) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const BridgeAnalysis a = find_bridges(g);
+  EXPECT_FALSE(a.is_bridge[0]);
+  EXPECT_EQ(a.num_bridges, 1);
+}
+
+TEST(Bridges, CanonicalTopologiesAreBridgeFree) {
+  // Backbone networks are built 2-edge-connected by design.
+  for (const auto& topo :
+       {topo::nsfnet(), topo::arpanet20(), topo::eon19(), topo::usnet24(),
+        topo::ring(8), topo::torus(3, 3)}) {
+    const BridgeAnalysis a = find_bridges(topo.g);
+    EXPECT_EQ(a.num_bridges, 0) << topo.name;
+    EXPECT_EQ(a.num_components, 1) << topo.name;
+  }
+}
+
+class BridgePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BridgePropertyTest, MatchesUndirectedMaxflowOracle) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 17);
+  const int n = 5 + static_cast<int>(rng.uniform_int(0, 10));
+  const topo::Topology t =
+      topo::random_connected(n, static_cast<int>(rng.uniform_int(0, n)), rng);
+  const BridgeAnalysis a = find_bridges(t.g);
+
+  // Oracle: undirected s-t edge connectivity >= 2 via max flow where each
+  // duplex fiber is one undirected unit (gadget: fiber node capping the
+  // pair at 1 total).
+  auto undirected_conn2 = [&](NodeId s, NodeId dst) {
+    Dinic dinic(t.num_nodes() + t.num_duplex_links());
+    int fiber_node = t.num_nodes();
+    for (EdgeId e = 0; e < t.g.num_edges(); e += 2) {
+      const NodeId u = t.g.tail(e);
+      const NodeId v = t.g.head(e);
+      // u <-> fiber <-> v with fiber throughput 1 in either direction:
+      // classic undirected-edge gadget using capacity 1 on both node sides.
+      dinic.add_arc(u, fiber_node, 1);
+      dinic.add_arc(fiber_node, v, 1);
+      dinic.add_arc(v, fiber_node, 1);
+      dinic.add_arc(fiber_node, u, 1);
+      ++fiber_node;
+    }
+    return dinic.max_flow(s, dst) >= 2;
+  };
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    auto dst = s;
+    while (dst == s) dst = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    EXPECT_EQ(a.two_edge_connected(s, dst), undirected_conn2(s, dst))
+        << t.name << " s=" << s << " t=" << dst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, BridgePropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(Protectability, AuditCountsPairs) {
+  // Barbell: two triangles of 3; protectable pairs = 2 * 3*2 = 12 of 30.
+  const Digraph g = duplex_from_pairs(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  const rwa::ProtectabilityReport r = rwa::audit_protectability(g);
+  EXPECT_EQ(r.total_pairs, 30);
+  EXPECT_EQ(r.protectable_pairs, 12);
+  EXPECT_EQ(r.undirected_bridges, 1);
+  EXPECT_NEAR(r.fraction(), 0.4, 1e-12);
+}
+
+TEST(Protectability, FullyProtectableBackbone) {
+  const rwa::ProtectabilityReport r =
+      rwa::audit_protectability(topo::nsfnet().g);
+  EXPECT_EQ(r.protectable_pairs, r.total_pairs);
+  EXPECT_DOUBLE_EQ(r.fraction(), 1.0);
+}
+
+TEST(Protectability, FiberDisjointDetectsAntiparallelSharing) {
+  net::Semilightpath a, b;
+  a.found = b.found = true;
+  a.hops = {{0, 0}};  // edge 0 = u->v
+  b.hops = {{1, 0}};  // edge 1 = v->u, same fiber
+  std::vector<EdgeId> reverse_of{1, 0};
+  EXPECT_TRUE(net::edge_disjoint(a, b));  // the paper's directed notion
+  EXPECT_FALSE(rwa::fiber_disjoint(a, b, reverse_of));
+  EXPECT_TRUE(rwa::fiber_disjoint(a, b, {}));  // no pairing info
+}
+
+}  // namespace
+}  // namespace wdm::graph

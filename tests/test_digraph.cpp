@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+
+namespace wdm::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(0, 2);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.tail(e0), 0);
+  EXPECT_EQ(g.head(e0), 1);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(2), 2);
+  EXPECT_EQ(g.out_degree(2), 0);
+  (void)e1;
+  (void)e2;
+}
+
+TEST(Digraph, AddNodeGrows) {
+  Digraph g(1);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+  g.add_edge(0, v);
+  EXPECT_EQ(g.in_degree(v), 1);
+}
+
+TEST(Digraph, ParallelEdgesAreDistinct) {
+  Digraph g(2);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(0, 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.out_degree(0), 2);
+}
+
+TEST(Digraph, SelfLoopAllowed) {
+  Digraph g(1);
+  const EdgeId e = g.add_edge(0, 0);
+  EXPECT_EQ(g.tail(e), g.head(e));
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(0), 1);
+}
+
+TEST(Digraph, InvalidEndpointThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::logic_error);
+  EXPECT_THROW(g.add_edge(-1, 1), std::logic_error);
+}
+
+TEST(Digraph, FindEdge) {
+  Digraph g(3);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.find_edge(0, 1), e);
+  EXPECT_EQ(g.find_edge(1, 0), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+}
+
+TEST(Digraph, MaxDegree) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+TEST(Digraph, OutEdgesInInsertionOrder) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(0, 2);
+  const auto out = g.out_edges(0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[1], b);
+}
+
+TEST(Digraph, ReachableFrom) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  // node 3 isolated
+  const auto r = g.reachable_from(0);
+  EXPECT_TRUE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_TRUE(r[2]);
+  EXPECT_FALSE(r[3]);
+}
+
+TEST(Digraph, ReachableRespectsMask) {
+  Digraph g(3);
+  const EdgeId e01 = g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<std::uint8_t> mask(2, 1);
+  mask[static_cast<std::size_t>(e01)] = 0;
+  const auto r = g.reachable_from(0, mask);
+  EXPECT_TRUE(r[0]);
+  EXPECT_FALSE(r[1]);
+  EXPECT_FALSE(r[2]);
+}
+
+TEST(Digraph, ReversedSwapsEndpoints) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph r = g.reversed();
+  EXPECT_EQ(r.tail(0), 1);
+  EXPECT_EQ(r.head(0), 0);
+  EXPECT_EQ(r.tail(1), 2);
+  EXPECT_EQ(r.head(1), 1);
+}
+
+TEST(Digraph, StronglyConnectedCycleYesChainNo) {
+  Digraph cycle(3);
+  cycle.add_edge(0, 1);
+  cycle.add_edge(1, 2);
+  cycle.add_edge(2, 0);
+  EXPECT_TRUE(cycle.strongly_connected());
+
+  Digraph chain(3);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  EXPECT_FALSE(chain.strongly_connected());
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  DotOptions opt;
+  opt.node_label = [](NodeId v) { return "v" + std::to_string(v); };
+  opt.edge_label = [](EdgeId) { return std::string("e"); };
+  opt.edge_highlight = [](EdgeId) { return true; };
+  const std::string dot = to_dot(g, opt);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"v0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm::graph

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "graph/heaps.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::graph {
+namespace {
+
+// Typed test battery over all heap backends.
+template <typename H>
+class HeapTest : public ::testing::Test {};
+
+using HeapTypes = ::testing::Types<BinaryHeap, QuadHeap, PairingHeap>;
+TYPED_TEST_SUITE(HeapTest, HeapTypes);
+
+TYPED_TEST(HeapTest, EmptyOnConstruction) {
+  TypeParam h(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.contains(3));
+}
+
+TYPED_TEST(HeapTest, PushPopSingle) {
+  TypeParam h(4);
+  h.push(2, 3.5);
+  EXPECT_TRUE(h.contains(2));
+  EXPECT_DOUBLE_EQ(h.key(2), 3.5);
+  const auto [id, k] = h.pop_min();
+  EXPECT_EQ(id, 2u);
+  EXPECT_DOUBLE_EQ(k, 3.5);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(2));
+}
+
+TYPED_TEST(HeapTest, HeapsortProperty) {
+  support::Rng rng(1);
+  const std::size_t n = 500;
+  TypeParam h(n);
+  std::vector<double> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double k = rng.uniform(0, 100);
+    keys.push_back(k);
+    h.push(i, k);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [id, k] = h.pop_min();
+    (void)id;
+    EXPECT_DOUBLE_EQ(k, keys[i]);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TYPED_TEST(HeapTest, DecreaseKeyReordersCorrectly) {
+  TypeParam h(4);
+  h.push(0, 10.0);
+  h.push(1, 20.0);
+  h.push(2, 30.0);
+  h.decrease_key(2, 5.0);
+  EXPECT_DOUBLE_EQ(h.key(2), 5.0);
+  EXPECT_EQ(h.pop_min().first, 2u);
+  EXPECT_EQ(h.pop_min().first, 0u);
+  EXPECT_EQ(h.pop_min().first, 1u);
+}
+
+TYPED_TEST(HeapTest, PushOrDecreaseIgnoresLargerKey) {
+  TypeParam h(2);
+  h.push(0, 5.0);
+  h.push_or_decrease(0, 9.0);  // no-op
+  EXPECT_DOUBLE_EQ(h.key(0), 5.0);
+  h.push_or_decrease(0, 2.0);  // decrease
+  EXPECT_DOUBLE_EQ(h.key(0), 2.0);
+  h.push_or_decrease(1, 1.0);  // push
+  EXPECT_EQ(h.pop_min().first, 1u);
+}
+
+TYPED_TEST(HeapTest, RandomizedAgainstReferenceMultimap) {
+  support::Rng rng(42);
+  const std::size_t universe = 200;
+  TypeParam h(universe);
+  std::map<std::size_t, double> ref;  // id -> key
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 2));
+    if (op == 0) {
+      const std::size_t id = rng.index(universe);
+      if (!ref.count(id)) {
+        const double k = rng.uniform(0, 1000);
+        h.push(id, k);
+        ref[id] = k;
+      }
+    } else if (op == 1 && !ref.empty()) {
+      // decrease a random present key
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.index(ref.size())));
+      const double nk = it->second * rng.uniform();
+      h.decrease_key(it->first, nk);
+      it->second = nk;
+    } else if (!ref.empty()) {
+      const auto [id, k] = h.pop_min();
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& [rid, rk] : ref) best = std::min(best, rk);
+      EXPECT_DOUBLE_EQ(k, best);
+      ASSERT_TRUE(ref.count(id));
+      EXPECT_DOUBLE_EQ(ref[id], k);
+      ref.erase(id);
+    }
+    ASSERT_EQ(h.size(), ref.size());
+  }
+}
+
+TYPED_TEST(HeapTest, ReusableAfterDrain) {
+  TypeParam h(3);
+  h.push(0, 1.0);
+  h.pop_min();
+  h.push(0, 2.0);  // same id again after removal
+  EXPECT_DOUBLE_EQ(h.key(0), 2.0);
+  EXPECT_EQ(h.pop_min().first, 0u);
+}
+
+TYPED_TEST(HeapTest, EqualKeysAllPopped) {
+  TypeParam h(5);
+  for (std::size_t i = 0; i < 5; ++i) h.push(i, 7.0);
+  std::vector<bool> seen(5, false);
+  for (int i = 0; i < 5; ++i) {
+    const auto [id, k] = h.pop_min();
+    EXPECT_DOUBLE_EQ(k, 7.0);
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+}  // namespace
+}  // namespace wdm::graph

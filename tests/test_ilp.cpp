@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace wdm::ilp {
+namespace {
+
+TEST(Model, ObjectiveAndViolation) {
+  Model m;
+  const int x = m.add_continuous(0, 10, 3.0);
+  const int y = m.add_continuous(0, 10, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({2.0, 1.0}), 7.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({2.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({3.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({-1.0, 0.0}), 1.0);  // lb violation
+}
+
+TEST(Model, MergesDuplicateTerms) {
+  Model m;
+  const int x = m.add_continuous(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {x, 2.0}}, Sense::kEq, 6.0);
+  // Satisfied iff 3x = 6.
+  EXPECT_DOUBLE_EQ(m.max_violation({2.0}), 0.0);
+  EXPECT_GT(m.max_violation({1.0}), 0.0);
+}
+
+TEST(Simplex, SimpleMinimization) {
+  // min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2  (max x + 2y)
+  Model m;
+  const int x = m.add_continuous(0, 3, -1.0);
+  const int y = m.add_continuous(0, 2, -2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -6.0, 1e-8);  // x = 2, y = 2
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + y = 5, x - y = 1 -> x = 3, y = 2.
+  Model m;
+  const int x = m.add_continuous(0, kInfinity, 1.0);
+  const int y = m.add_continuous(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 5.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, 1.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 3.0, 1e-8);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> (x, y) = (4, 0).
+  Model m;
+  const int x = m.add_continuous(0, kInfinity, 2.0);
+  const int y = m.add_continuous(0, kInfinity, 3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 4.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGe, 1.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_continuous(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kLe, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGe, 2.0);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.add_continuous(0, kInfinity, -1.0);
+  m.add_constraint({{x, -1.0}}, Sense::kLe, 0.0);  // non-binding
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RespectsBoundOverrides) {
+  Model m;
+  const int x = m.add_continuous(0, 10, -1.0);  // min -x
+  m.add_constraint({{x, 1.0}}, Sense::kLe, 100.0);
+  const std::vector<double> lo{0.0};
+  const std::vector<double> hi{4.0};
+  const LpSolution s = solve_lp(m, lo, hi);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-8);
+}
+
+TEST(Simplex, HonorsNonzeroLowerBounds) {
+  Model m;
+  const int x = m.add_continuous(2.0, 10.0, 1.0);  // min x, x >= 2
+  m.add_constraint({{x, 1.0}}, Sense::kLe, 8.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+}
+
+TEST(Simplex, CrossedBoundOverridesInfeasible) {
+  Model m;
+  (void)m.add_continuous(0, 10, 1.0);
+  const std::vector<double> lo{5.0};
+  const std::vector<double> hi{4.0};
+  EXPECT_EQ(solve_lp(m, lo, hi).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  const int x = m.add_continuous(0, kInfinity, -1.0);
+  const int y = m.add_continuous(0, kInfinity, -1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 1.0);
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, Sense::kLe, 2.0);
+  m.add_constraint({{x, 1.0}}, Sense::kLe, 1.0);
+  m.add_constraint({{y, 1.0}}, Sense::kLe, 1.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-8);
+}
+
+TEST(BranchAndBound, SolvesKnapsack) {
+  // max 10a + 13b + 7c, weights 3a + 4b + 2c <= 6, binary -> a + c = 17.
+  Model m;
+  const int a = m.add_binary(-10.0);
+  const int b = m.add_binary(-13.0);
+  const int c = m.add_binary(-7.0);
+  m.add_constraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, Sense::kLe, 6.0);
+  const IpSolution s = solve_ip(m);
+  ASSERT_EQ(s.status, IpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -20.0, 1e-6);  // b + c = 13 + 7
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(c)], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(a)], 0.0, 1e-6);
+}
+
+TEST(BranchAndBound, IntegralityChangesAnswer) {
+  // LP relaxation of the knapsack is fractional and strictly better.
+  Model m;
+  const int a = m.add_binary(-10.0);
+  const int b = m.add_binary(-13.0);
+  m.add_constraint({{a, 3.0}, {b, 4.0}}, Sense::kLe, 5.0);
+  const LpSolution lp = solve_lp(m);
+  const IpSolution ip = solve_ip(m);
+  ASSERT_EQ(lp.status, LpStatus::kOptimal);
+  ASSERT_EQ(ip.status, IpStatus::kOptimal);
+  EXPECT_LT(lp.objective, ip.objective - 1e-6);  // relaxation is a lower bound
+  EXPECT_NEAR(ip.objective, -13.0, 1e-6);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // min -x - 10y, x continuous in [0, 1.5], y binary, x + y <= 2.
+  Model m;
+  const int x = m.add_continuous(0, 1.5, -1.0);
+  const int y = m.add_binary(-10.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 2.0);
+  const IpSolution s = solve_ip(m);
+  ASSERT_EQ(s.status, IpStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 1.0, 1e-6);
+  EXPECT_NEAR(s.objective, -11.0, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleIp) {
+  Model m;
+  const int a = m.add_binary(1.0);
+  const int b = m.add_binary(1.0);
+  // a + b = 1 and a + b = 2 cannot both hold... use 2a + 2b = 3: no binary
+  // solution though the LP relaxation is feasible.
+  m.add_constraint({{a, 2.0}, {b, 2.0}}, Sense::kEq, 3.0);
+  EXPECT_EQ(solve_ip(m).status, IpStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, EqualityAssignmentProblem) {
+  // 2x2 assignment: rows/cols each exactly one; costs favor the diagonal.
+  Model m;
+  const int v00 = m.add_binary(1.0);
+  const int v01 = m.add_binary(5.0);
+  const int v10 = m.add_binary(6.0);
+  const int v11 = m.add_binary(2.0);
+  m.add_constraint({{v00, 1.0}, {v01, 1.0}}, Sense::kEq, 1.0);
+  m.add_constraint({{v10, 1.0}, {v11, 1.0}}, Sense::kEq, 1.0);
+  m.add_constraint({{v00, 1.0}, {v10, 1.0}}, Sense::kEq, 1.0);
+  m.add_constraint({{v01, 1.0}, {v11, 1.0}}, Sense::kEq, 1.0);
+  const IpSolution s = solve_ip(m);
+  ASSERT_EQ(s.status, IpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+}
+
+TEST(BranchAndBound, SolutionSatisfiesModel) {
+  Model m;
+  const int a = m.add_binary(-3.0);
+  const int b = m.add_binary(-5.0);
+  const int c = m.add_binary(-4.0);
+  m.add_constraint({{a, 2.0}, {b, 3.0}, {c, 1.0}}, Sense::kLe, 4.0);
+  m.add_constraint({{a, 1.0}, {c, 1.0}}, Sense::kLe, 1.0);
+  const IpSolution s = solve_ip(m);
+  ASSERT_EQ(s.status, IpStatus::kOptimal);
+  EXPECT_LT(m.max_violation(s.x), 1e-6);
+}
+
+TEST(BranchAndBound, NodeLimitReported) {
+  IpOptions opt;
+  opt.max_nodes = 1;
+  Model m;
+  const int a = m.add_binary(-1.0);
+  const int b = m.add_binary(-1.0);
+  m.add_constraint({{a, 2.0}, {b, 2.0}}, Sense::kLe, 3.0);
+  const IpSolution s = solve_ip(m, opt);
+  // One node is not enough to finish branching here.
+  EXPECT_NE(s.status, IpStatus::kOptimal);
+}
+
+}  // namespace
+}  // namespace wdm::ilp

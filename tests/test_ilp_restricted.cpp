@@ -1,0 +1,92 @@
+// ILP formulation under restricted conversion tables and loaded residuals —
+// the regimes the basic E9 agreement test does not cover.
+#include <gtest/gtest.h>
+
+#include "rwa/exact_router.hpp"
+#include "rwa/ilp_router.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::rwa {
+namespace {
+
+TEST(IlpRestricted, ForbiddenConversionCutEnforced) {
+  // Node 1 cannot convert: the IP must deliver wavelength-continuous paths.
+  net::WdmNetwork n(3, 2);
+  n.add_link(0, 1, net::WavelengthSet::all(2), 1.0);
+  n.add_link(1, 2, net::WavelengthSet::all(2), 1.0);
+  n.add_link(0, 1, net::WavelengthSet::all(2), 2.0);
+  n.add_link(1, 2, net::WavelengthSet::all(2), 2.0);
+  const IlpRouteResult r = ilp_disjoint_pair(n, 0, 2);
+  ASSERT_TRUE(r.result.found);
+  EXPECT_TRUE(r.result.route.primary.is_lightpath());
+  EXPECT_TRUE(r.result.route.backup.is_lightpath());
+  EXPECT_TRUE(r.result.route.feasible(n));
+}
+
+TEST(IlpRestricted, ConversionCostEnteredInObjective) {
+  // Force a conversion on the only viable pair of paths and check Eq. (3)
+  // includes its cost.
+  net::WdmNetwork n(3, 2);
+  n.set_conversion(1, net::ConversionTable::full(2, 0.75));
+  net::WavelengthSet only0, only1, both = net::WavelengthSet::all(2);
+  only0.insert(0);
+  only1.insert(1);
+  n.add_link(0, 1, only0, 1.0);
+  n.add_link(1, 2, only1, 1.0);  // forces a 0 -> 1 conversion at node 1
+  n.add_link(0, 2, both, 10.0);  // backup: expensive direct fiber
+  const IlpRouteResult r = ilp_disjoint_pair(n, 0, 2);
+  ASSERT_TRUE(r.result.found);
+  // Costs: 1 + 0.75 + 1 (converted 2-hop) + 10 (direct) = 12.75.
+  EXPECT_NEAR(r.objective, 12.75, 1e-6);
+  EXPECT_NEAR(r.result.total_cost(n), 12.75, 1e-6);
+}
+
+TEST(IlpRestricted, InfeasibleWithoutConversion) {
+  net::WdmNetwork n(3, 2);  // no conversion
+  net::WavelengthSet only0, only1;
+  only0.insert(0);
+  only1.insert(1);
+  n.add_link(0, 1, only0, 1.0);
+  n.add_link(1, 2, only1, 1.0);
+  n.add_link(0, 2, only0, 1.0);
+  // Only one wavelength-feasible path (the direct one): no disjoint pair.
+  const IlpRouteResult r = ilp_disjoint_pair(n, 0, 2);
+  EXPECT_FALSE(r.result.found);
+  EXPECT_EQ(r.status, ilp::IpStatus::kInfeasible);
+}
+
+class IlpLoadedAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpLoadedAgreementTest, AgreesUnderLoadAndLimitedRange) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  topo::NetworkOptions opt;
+  opt.num_wavelengths = 2;
+  opt.cost_model = topo::CostModel::kRandomPerLink;
+  opt.conversion_model =
+      (seed % 2 == 0) ? topo::ConversionModel::kLimitedRange
+                      : topo::ConversionModel::kNone;
+  opt.conversion_range = 1;
+  opt.conversion_cost = 0.25;
+  net::WdmNetwork n = test::random_network(5, 4, 2, seed * 409 + 11, opt);
+  support::Rng rng(seed);
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+    n.available(e).for_each([&](net::Wavelength l) {
+      if (rng.bernoulli(0.2)) n.reserve(e, l);
+    });
+  }
+  const IlpRouteResult ip = ilp_disjoint_pair(n, 0, 4);
+  const ExactResult en = exact_disjoint_pair(n, 0, 4);
+  ASSERT_EQ(ip.result.found, en.result.found);
+  if (ip.result.found) {
+    EXPECT_TRUE(ip.result.route.feasible(n));
+    EXPECT_NEAR(ip.result.total_cost(n), en.result.total_cost(n), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyRestrictedNetworks, IlpLoadedAgreementTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace wdm::rwa

@@ -1,0 +1,157 @@
+// End-to-end properties across the whole stack: every router, on realistic
+// topologies, across many random residual states, must deliver routes that
+// are valid, wavelength-feasible, and edge-disjoint — the §2 contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rwa/approx_router.hpp"
+#include "rwa/baselines.hpp"
+#include "rwa/exact_router.hpp"
+#include "rwa/loadcost_router.hpp"
+#include "rwa/mincog.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm {
+namespace {
+
+std::vector<rwa::RouterPtr> protected_routers() {
+  std::vector<rwa::RouterPtr> rs;
+  rs.push_back(std::make_unique<rwa::ApproxDisjointRouter>());
+  rs.push_back(std::make_unique<rwa::MinLoadRouter>());
+  rs.push_back(std::make_unique<rwa::LoadCostRouter>());
+  rs.push_back(std::make_unique<rwa::TwoStepRouter>());
+  rs.push_back(std::make_unique<rwa::PhysicalFirstFitRouter>());
+  return rs;
+}
+
+class RouterContractTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RouterContractTest, AllRoutersDeliverFeasibleDisjointRoutes) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  support::Rng rng(seed * 613 + 101);
+  net::WdmNetwork n = topo::nsfnet_network(6, 0.5);
+  // Random residual state.
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+    n.available(e).for_each([&](net::Wavelength l) {
+      if (rng.bernoulli(0.35)) n.reserve(e, l);
+    });
+  }
+  const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+  auto t = s;
+  while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+
+  for (const auto& router : protected_routers()) {
+    const rwa::RouteResult r = router->route(n, s, t);
+    if (!r.found) continue;
+    EXPECT_TRUE(r.route.primary.fits_residual(n)) << router->name();
+    EXPECT_TRUE(r.route.backup.fits_residual(n)) << router->name();
+    EXPECT_TRUE(net::edge_disjoint(r.route.primary, r.route.backup))
+        << router->name();
+    EXPECT_EQ(r.route.primary.source(n), s) << router->name();
+    EXPECT_EQ(r.route.primary.destination(n), t) << router->name();
+    EXPECT_EQ(r.route.backup.source(n), s) << router->name();
+    EXPECT_EQ(r.route.backup.destination(n), t) << router->name();
+    EXPECT_LE(r.route.primary.cost(n), r.route.backup.cost(n) + 1e-9)
+        << router->name();
+  }
+}
+
+TEST_P(RouterContractTest, RoutersNeverMutateTheNetwork) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  net::WdmNetwork n = test::random_network(10, 10, 4, seed * 17 + 3);
+  const auto snapshot = n.usage_snapshot();
+  for (const auto& router : protected_routers()) {
+    (void)router->route(n, 0, 9);
+    EXPECT_EQ(n.usage_snapshot(), snapshot) << router->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, RouterContractTest,
+                         ::testing::Range(0, 20));
+
+TEST(Integration, ApproxNeverWorseThanTwiceExactOnNsfnet) {
+  net::WdmNetwork n = topo::nsfnet_network(4, 0.5);
+  support::Rng rng(2024);
+  int compared = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    auto t = s;
+    while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    const rwa::ExactResult exact = rwa::exact_disjoint_pair(n, s, t);
+    const rwa::RouteResult approx = rwa::ApproxDisjointRouter().route(n, s, t);
+    if (!exact.result.found) continue;
+    ASSERT_TRUE(approx.found);
+    EXPECT_LE(approx.total_cost(n),
+              2.0 * exact.result.total_cost(n) + 1e-9);
+    ++compared;
+  }
+  EXPECT_GT(compared, 5);
+}
+
+TEST(Integration, ProvisionTearDownCycleLeavesNetworkClean) {
+  net::WdmNetwork n = topo::nsfnet_network(8, 0.5);
+  support::Rng rng(5);
+  rwa::LoadCostRouter router;
+  std::vector<net::ProtectedRoute> held;
+  for (int i = 0; i < 50; ++i) {
+    const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    auto t = s;
+    while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    const rwa::RouteResult r = router.route(n, s, t);
+    if (r.found && r.route.feasible(n)) {
+      r.route.reserve_in(n);
+      held.push_back(r.route);
+    }
+  }
+  EXPECT_GT(held.size(), 10u);
+  EXPECT_GT(n.total_usage(), 0);
+  for (const auto& route : held) route.release_in(n);
+  EXPECT_EQ(n.total_usage(), 0);
+  EXPECT_DOUBLE_EQ(n.network_load(), 0.0);
+}
+
+TEST(Integration, LoadAwareRoutingKeepsNetworkLoadLower) {
+  // Same arrival sequence; the §4.2 router should end with lower sampled ρ
+  // than the cost-only §3.3 router under pressure.
+  const auto run = [](const rwa::Router& router) {
+    sim::SimOptions opt;
+    opt.traffic.arrival_rate = 30.0;
+    opt.traffic.mean_holding = 1.0;
+    opt.duration = 60.0;
+    opt.seed = 11;
+    sim::Simulator s(topo::nsfnet_network(8, 0.5), router, opt);
+    return s.run();
+  };
+  rwa::ApproxDisjointRouter cost_only;
+  rwa::LoadCostRouter load_aware;
+  const sim::SimMetrics mc = run(cost_only);
+  const sim::SimMetrics ml = run(load_aware);
+  EXPECT_LT(ml.network_load.mean(), mc.network_load.mean());
+}
+
+TEST(Integration, MinCogThetaMatchesDeliveredLoadCeiling) {
+  // Every link the §4.1 router uses must have load < accepted ϑ.
+  net::WdmNetwork n = topo::nsfnet_network(6, 0.5);
+  support::Rng rng(77);
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+    n.available(e).for_each([&](net::Wavelength l) {
+      if (rng.bernoulli(0.5)) n.reserve(e, l);
+    });
+  }
+  const rwa::RouteResult r = rwa::MinLoadRouter().route(n, 0, 13);
+  if (r.found) {
+    for (const net::Hop& h : r.route.primary.hops) {
+      EXPECT_LT(n.link_load(h.edge), r.theta);
+    }
+    for (const net::Hop& h : r.route.backup.hops) {
+      EXPECT_LT(n.link_load(h.edge), r.theta);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdm

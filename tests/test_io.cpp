@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "topology/network_builder.hpp"
+#include "wdm/io.hpp"
+
+namespace wdm::io {
+namespace {
+
+void expect_equal_networks(const net::WdmNetwork& a, const net::WdmNetwork& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_links(), b.num_links());
+  ASSERT_EQ(a.W(), b.W());
+  for (graph::EdgeId e = 0; e < a.num_links(); ++e) {
+    EXPECT_EQ(a.graph().tail(e), b.graph().tail(e));
+    EXPECT_EQ(a.graph().head(e), b.graph().head(e));
+    EXPECT_EQ(a.installed(e).bits(), b.installed(e).bits());
+    EXPECT_EQ(a.link_failed(e), b.link_failed(e));
+    a.installed(e).for_each([&](net::Wavelength l) {
+      EXPECT_DOUBLE_EQ(a.weight(e, l), b.weight(e, l));
+      EXPECT_EQ(a.is_used(e, l), b.is_used(e, l));
+    });
+  }
+  for (net::NodeId v = 0; v < a.num_nodes(); ++v) {
+    for (net::Wavelength x = 0; x < a.W(); ++x) {
+      for (net::Wavelength y = 0; y < a.W(); ++y) {
+        ASSERT_EQ(a.conversion(v).allowed(x, y), b.conversion(v).allowed(x, y));
+        if (a.conversion(v).allowed(x, y)) {
+          EXPECT_DOUBLE_EQ(a.conversion(v).cost(x, y),
+                           b.conversion(v).cost(x, y));
+        }
+      }
+    }
+  }
+}
+
+TEST(Io, RoundTripSimpleNetwork) {
+  const net::WdmNetwork original = topo::nsfnet_network(8, 0.5);
+  const net::WdmNetwork loaded = read_network(write_network(original));
+  expect_equal_networks(original, loaded);
+}
+
+TEST(Io, RoundTripWithUsageAndFailures) {
+  net::WdmNetwork n = topo::nsfnet_network(4, 0.5);
+  support::Rng rng(3);
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+    n.available(e).for_each([&](net::Wavelength l) {
+      if (rng.bernoulli(0.3)) n.reserve(e, l);
+    });
+  }
+  n.set_link_failed(5, true);
+  n.set_link_failed(17, true);
+  const net::WdmNetwork loaded = read_network(write_network(n));
+  expect_equal_networks(n, loaded);
+  EXPECT_EQ(loaded.num_failed_links(), 2);
+  EXPECT_EQ(loaded.total_usage(), n.total_usage());
+}
+
+TEST(Io, RoundTripPerWavelengthCostsAndPartialInstall) {
+  topo::NetworkOptions opt;
+  opt.cost_model = topo::CostModel::kRandomPerWavelength;
+  opt.install_probability = 0.6;
+  opt.conversion_model = topo::ConversionModel::kLimitedRange;
+  opt.conversion_range = 2;
+  opt.conversion_cost = 0.3;
+  net::WdmNetwork n = test::random_network(6, 5, 5, 77, opt);
+  expect_equal_networks(n, read_network(write_network(n)));
+}
+
+TEST(Io, RoundTripGeneralConversionTable) {
+  net::WdmNetwork n(2, 3);
+  net::ConversionTable t(3);
+  t.set(0, 2, 1.25);
+  t.set(2, 1, 0.5);
+  n.set_conversion(0, t);
+  n.add_link(0, 1, net::WavelengthSet::all(3), 1.0);
+  expect_equal_networks(n, read_network(write_network(n)));
+}
+
+TEST(Io, ParsesHandWrittenInput) {
+  const net::WdmNetwork n = read_network(
+      "# tiny test network\n"
+      "network 3 2\n"
+      "conversion 1 full 0.5\n"
+      "link 0 1 cost 1.5\n"
+      "link 1 2 cost 2.5 lambdas 1\n"
+      "reserve 0 0\n");
+  EXPECT_EQ(n.num_nodes(), 3);
+  EXPECT_EQ(n.num_links(), 2);
+  EXPECT_DOUBLE_EQ(n.weight(0, 0), 1.5);
+  EXPECT_EQ(n.capacity(1), 1);
+  EXPECT_TRUE(n.is_used(0, 0));
+  EXPECT_TRUE(n.conversion(1).allowed(0, 1));
+  EXPECT_FALSE(n.conversion(0).allowed(0, 1));
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  try {
+    read_network("network 2 2\nlink 0 5 cost 1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_THROW(read_network(""), ParseError);                    // no header
+  EXPECT_THROW(read_network("link 0 1 cost 1\n"), ParseError);   // header late
+  EXPECT_THROW(read_network("network 2 2\nnetwork 2 2\n"), ParseError);
+  EXPECT_THROW(read_network("network 2 2\nbogus 1 2\n"), ParseError);
+  EXPECT_THROW(read_network("network 2 2\nlink 0 1 cost abc\n"), ParseError);
+  EXPECT_THROW(read_network("network 2 2\nlink 0 1 cost 1 lambdas 9\n"),
+               ParseError);
+  EXPECT_THROW(
+      read_network("network 2 2\nlink 0 1 cost 1\nreserve 0 0\nreserve 0 0\n"),
+      ParseError);  // double reserve surfaces as a parse error with a line
+  EXPECT_THROW(read_network("network 2 2\nreserve 3 0\n"), ParseError);
+  EXPECT_THROW(read_network("network 2 2\nlink 0 1 costs 1,2,3\n"),
+               ParseError);  // wrong costs arity
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const net::WdmNetwork n = read_network(
+      "\n# leading comment\nnetwork 2 1\n\nlink 0 1 cost 1 # trailing\n\n");
+  EXPECT_EQ(n.num_links(), 1);
+}
+
+TEST(Io, FailedLinkSurvivesEvenWithReservations) {
+  net::WdmNetwork n(2, 2);
+  n.add_link(0, 1, net::WavelengthSet::all(2), 1.0);
+  n.reserve(0, 1);
+  n.set_link_failed(0, true);
+  const net::WdmNetwork loaded = read_network(write_network(n));
+  EXPECT_TRUE(loaded.link_failed(0));
+  EXPECT_TRUE(loaded.is_used(0, 1));
+}
+
+}  // namespace
+}  // namespace wdm::io

@@ -1,0 +1,83 @@
+// Tests for the layered-graph override hooks (custom wavelength views) that
+// shared-backup provisioning builds on.
+#include <gtest/gtest.h>
+
+#include "rwa/layered_graph.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::rwa {
+namespace {
+
+net::WdmNetwork chain(int W = 2) {
+  net::WdmNetwork n(3, W);
+  n.set_conversion(1, net::ConversionTable::full(W, 0.1));
+  n.add_link(0, 1, net::WavelengthSet::all(W), 1.0);
+  n.add_link(1, 2, net::WavelengthSet::all(W), 1.0);
+  return n;
+}
+
+TEST(LayeredOverrides, DefaultMatchesPlainBuild) {
+  const net::WdmNetwork n = chain();
+  const net::Semilightpath a = optimal_semilightpath(n, 0, 2);
+  const net::Semilightpath b =
+      optimal_semilightpath_with(n, 0, 2, LayeredGraph::Overrides{});
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_DOUBLE_EQ(a.cost(n), b.cost(n));
+}
+
+TEST(LayeredOverrides, AvailabilityOverrideOpensReservedChannels) {
+  net::WdmNetwork n = chain(2);
+  n.reserve(0, 0);
+  n.reserve(0, 1);  // link 0 fully used: normally blocked
+  EXPECT_FALSE(optimal_semilightpath(n, 0, 2).found);
+
+  LayeredGraph::Overrides view;
+  view.available = [&](graph::EdgeId e) { return n.installed(e); };
+  const net::Semilightpath p = optimal_semilightpath_with(n, 0, 2, view);
+  ASSERT_TRUE(p.found);  // the override sees through the reservations
+  EXPECT_TRUE(p.well_formed(n));
+  EXPECT_FALSE(p.fits_residual(n));  // but it is not realizable as-is
+}
+
+TEST(LayeredOverrides, AvailabilityOverrideCanRestrict) {
+  const net::WdmNetwork n = chain(2);
+  LayeredGraph::Overrides view;
+  view.available = [&](graph::EdgeId e) {
+    net::WavelengthSet s = n.available(e);
+    s.erase(0);
+    return s;
+  };
+  const net::Semilightpath p = optimal_semilightpath_with(n, 0, 2, view);
+  ASSERT_TRUE(p.found);
+  for (const net::Hop& h : p.hops) EXPECT_EQ(h.lambda, 1);
+}
+
+TEST(LayeredOverrides, WeightOverrideSteersChoice) {
+  const net::WdmNetwork n = chain(2);
+  LayeredGraph::Overrides view;
+  view.weight = [&](graph::EdgeId e, net::Wavelength l) {
+    (void)e;
+    return l == 1 ? 0.01 : 10.0;  // make λ1 irresistible
+  };
+  const net::Semilightpath p = optimal_semilightpath_with(n, 0, 2, view);
+  ASSERT_TRUE(p.found);
+  for (const net::Hop& h : p.hops) EXPECT_EQ(h.lambda, 1);
+  // Eq. (1) cost is still evaluated with the *real* weights.
+  EXPECT_DOUBLE_EQ(p.cost(n), 2.0);
+}
+
+TEST(LayeredOverrides, ComposesWithLinkMask) {
+  net::WdmNetwork n(3, 1);
+  n.add_link(0, 2, net::WavelengthSet::all(1), 1.0);  // direct
+  n.add_link(0, 1, net::WavelengthSet::all(1), 1.0);
+  n.add_link(1, 2, net::WavelengthSet::all(1), 1.0);
+  std::vector<std::uint8_t> mask{0, 1, 1};  // forbid the direct link
+  const net::Semilightpath p =
+      optimal_semilightpath_with(n, 0, 2, LayeredGraph::Overrides{}, mask);
+  ASSERT_TRUE(p.found);
+  EXPECT_EQ(p.length(), 2u);
+}
+
+}  // namespace
+}  // namespace wdm::rwa

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "rwa/approx_router.hpp"
+#include "sim/replicate.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::sim {
+namespace {
+
+SimOptions fast_options() {
+  SimOptions opt;
+  opt.traffic.arrival_rate = 20.0;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = 20.0;
+  opt.seed = 100;
+  return opt;
+}
+
+TEST(Replicate, AggregatesAcrossSeeds) {
+  rwa::ApproxDisjointRouter router;
+  const net::WdmNetwork base = topo::nsfnet_network(4, 0.5);
+  const ReplicationSummary s = replicate(base, router, fast_options(), 8);
+  EXPECT_EQ(s.replicas, 8);
+  EXPECT_GT(s.blocking.mean, 0.0);
+  EXPECT_GT(s.blocking.ci95, 0.0);  // seeds differ, so there is variance
+  EXPECT_LE(s.blocking.min, s.blocking.mean);
+  EXPECT_GE(s.blocking.max, s.blocking.mean);
+  EXPECT_GT(s.route_cost.mean, 0.0);
+}
+
+TEST(Replicate, SingleReplicaHasNoInterval) {
+  rwa::ApproxDisjointRouter router;
+  const net::WdmNetwork base = topo::nsfnet_network(4, 0.5);
+  const ReplicationSummary s = replicate(base, router, fast_options(), 1);
+  EXPECT_EQ(s.replicas, 1);
+  EXPECT_DOUBLE_EQ(s.blocking.ci95, 0.0);
+}
+
+TEST(Replicate, DeterministicGivenBaseSeed) {
+  rwa::ApproxDisjointRouter router;
+  const net::WdmNetwork base = topo::nsfnet_network(4, 0.5);
+  const ReplicationSummary a = replicate(base, router, fast_options(), 4);
+  const ReplicationSummary b = replicate(base, router, fast_options(), 4);
+  EXPECT_DOUBLE_EQ(a.blocking.mean, b.blocking.mean);
+  EXPECT_DOUBLE_EQ(a.mean_network_load.mean, b.mean_network_load.mean);
+}
+
+TEST(Replicate, IntervalShrinksWithMoreReplicas) {
+  rwa::ApproxDisjointRouter router;
+  const net::WdmNetwork base = topo::nsfnet_network(4, 0.5);
+  const ReplicationSummary few = replicate(base, router, fast_options(), 3);
+  const ReplicationSummary many = replicate(base, router, fast_options(), 12);
+  // Not guaranteed sample-by-sample, but with 4x the replicas the interval
+  // should not grow substantially.
+  EXPECT_LT(many.blocking.ci95, few.blocking.ci95 * 2.0 + 1e-12);
+}
+
+TEST(Replicate, RecoverySummaryWithFailures) {
+  rwa::ApproxDisjointRouter router;
+  const topo::Topology t = topo::nsfnet();
+  const net::WdmNetwork base = topo::nsfnet_network(8, 0.5);
+  SimOptions opt = fast_options();
+  opt.duration = 80.0;
+  opt.failures.duplex_failure_rate = 0.03;
+  opt.reverse_of = t.reverse_of;
+  const ReplicationSummary s = replicate(base, router, opt, 4);
+  EXPECT_GT(s.recovery_success.mean, 0.5);
+  EXPECT_LE(s.recovery_success.max, 1.0);
+}
+
+TEST(Replicate, RejectsZeroReplicas) {
+  rwa::ApproxDisjointRouter router;
+  const net::WdmNetwork base = topo::nsfnet_network(4, 0.5);
+  EXPECT_THROW(replicate(base, router, fast_options(), 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm::sim

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "wdm/semilightpath.hpp"
+
+namespace wdm::net {
+namespace {
+
+/// 0 -> 1 -> 2 with full conversion at node 1 (cost 0.5), per-λ link costs.
+WdmNetwork make_chain() {
+  WdmNetwork net(3, 2);
+  net.set_conversion(1, ConversionTable::full(2, 0.5));
+  const std::vector<double> c01{1.0, 2.0};
+  const std::vector<double> c12{3.0, 1.5};
+  net.add_link(0, 1, WavelengthSet::all(2), c01);
+  net.add_link(1, 2, WavelengthSet::all(2), c12);
+  return net;
+}
+
+TEST(Semilightpath, CostEq1WithoutConversion) {
+  const WdmNetwork net = make_chain();
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 0}, {1, 0}};  // λ0 end to end: 1.0 + 3.0
+  EXPECT_DOUBLE_EQ(p.cost(net), 4.0);
+  EXPECT_EQ(p.conversions(net), 0);
+  EXPECT_TRUE(p.is_lightpath());
+}
+
+TEST(Semilightpath, CostEq1WithConversion) {
+  const WdmNetwork net = make_chain();
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 0}, {1, 1}};  // 1.0 + c_1(0,1)=0.5 + 1.5
+  EXPECT_DOUBLE_EQ(p.cost(net), 3.0);
+  EXPECT_EQ(p.conversions(net), 1);
+  EXPECT_FALSE(p.is_lightpath());
+}
+
+TEST(Semilightpath, EndpointsAndLength) {
+  const WdmNetwork net = make_chain();
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 0}, {1, 0}};
+  EXPECT_EQ(p.source(net), 0);
+  EXPECT_EQ(p.destination(net), 2);
+  EXPECT_EQ(p.length(), 2u);
+}
+
+TEST(Semilightpath, WellFormedRejectsDiscontinuity) {
+  WdmNetwork net(4, 2);
+  net.add_link(0, 1, WavelengthSet::all(2), 1.0);
+  net.add_link(2, 3, WavelengthSet::all(2), 1.0);
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 0}, {1, 0}};  // head(0)=1, tail(1)=2: broken
+  EXPECT_FALSE(p.well_formed(net));
+}
+
+TEST(Semilightpath, WellFormedRejectsUninstalledWavelength) {
+  WdmNetwork net(2, 2);
+  WavelengthSet only0;
+  only0.insert(0);
+  net.add_link(0, 1, only0, 1.0);
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 1}};
+  EXPECT_FALSE(p.well_formed(net));
+}
+
+TEST(Semilightpath, WellFormedRejectsDisallowedConversion) {
+  WdmNetwork net(3, 2);  // node 1 has no conversion
+  net.add_link(0, 1, WavelengthSet::all(2), 1.0);
+  net.add_link(1, 2, WavelengthSet::all(2), 1.0);
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 0}, {1, 1}};
+  EXPECT_FALSE(p.well_formed(net));
+  p.hops = {{0, 0}, {1, 0}};
+  EXPECT_TRUE(p.well_formed(net));
+}
+
+TEST(Semilightpath, NotFoundIsNeverWellFormed) {
+  const WdmNetwork net = make_chain();
+  EXPECT_FALSE(Semilightpath::not_found().well_formed(net));
+}
+
+TEST(Semilightpath, FitsResidualTracksUsage) {
+  WdmNetwork net = make_chain();
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 0}, {1, 0}};
+  EXPECT_TRUE(p.fits_residual(net));
+  net.reserve(1, 0);
+  EXPECT_TRUE(p.well_formed(net));
+  EXPECT_FALSE(p.fits_residual(net));
+}
+
+TEST(Semilightpath, ReserveReleaseRoundTrip) {
+  WdmNetwork net = make_chain();
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 1}, {1, 1}};
+  p.reserve_in(net);
+  EXPECT_EQ(net.total_usage(), 2);
+  EXPECT_FALSE(p.fits_residual(net));  // its own λs are now taken
+  p.release_in(net);
+  EXPECT_EQ(net.total_usage(), 0);
+}
+
+TEST(Semilightpath, ReserveRequiresFit) {
+  WdmNetwork net = make_chain();
+  net.reserve(0, 0);
+  Semilightpath p;
+  p.found = true;
+  p.hops = {{0, 0}, {1, 0}};
+  EXPECT_THROW(p.reserve_in(net), std::logic_error);
+}
+
+TEST(Semilightpath, EdgeDisjointIgnoresWavelengths) {
+  Semilightpath a, b, c;
+  a.found = b.found = c.found = true;
+  a.hops = {{0, 0}, {1, 0}};
+  b.hops = {{2, 0}, {3, 0}};
+  c.hops = {{1, 1}};  // same fiber as a's second hop, different λ
+  EXPECT_TRUE(edge_disjoint(a, b));
+  EXPECT_FALSE(edge_disjoint(a, c));
+}
+
+TEST(ProtectedRoute, FeasibleRequiresDisjointPair) {
+  WdmNetwork net(2, 2);
+  net.add_link(0, 1, WavelengthSet::all(2), 1.0);
+  net.add_link(0, 1, WavelengthSet::all(2), 1.0);
+  ProtectedRoute r;
+  r.found = true;
+  r.primary.found = true;
+  r.primary.hops = {{0, 0}};
+  r.backup.found = true;
+  r.backup.hops = {{1, 0}};
+  EXPECT_TRUE(r.feasible(net));
+  EXPECT_DOUBLE_EQ(r.total_cost(net), 2.0);
+
+  r.backup.hops = {{0, 1}};  // same fiber: not edge-disjoint
+  EXPECT_FALSE(r.feasible(net));
+}
+
+TEST(ProtectedRoute, ReserveReleaseBothPaths) {
+  WdmNetwork net(2, 2);
+  net.add_link(0, 1, WavelengthSet::all(2), 1.0);
+  net.add_link(0, 1, WavelengthSet::all(2), 1.0);
+  ProtectedRoute r;
+  r.found = true;
+  r.primary.found = true;
+  r.primary.hops = {{0, 0}};
+  r.backup.found = true;
+  r.backup.hops = {{1, 1}};
+  r.reserve_in(net);
+  EXPECT_EQ(net.total_usage(), 2);
+  r.release_in(net);
+  EXPECT_EQ(net.total_usage(), 0);
+}
+
+}  // namespace
+}  // namespace wdm::net

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "rwa/shared_backup.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::rwa {
+namespace {
+
+TEST(SharedBackup, ProvisionAndReleaseBalance) {
+  net::WdmNetwork n = topo::nsfnet_network(8, 0.5);
+  SharedBackupPool pool(&n);
+  const auto p = pool.provision(0, 13);
+  ASSERT_TRUE(p.found);
+  EXPECT_TRUE(p.primary.fits_residual(n) == false);  // it is reserved now
+  EXPECT_TRUE(net::edge_disjoint(p.primary, p.backup));
+  EXPECT_GT(n.total_usage(), 0);
+  EXPECT_EQ(pool.num_connections(), 1);
+  pool.release(p.id);
+  EXPECT_EQ(n.total_usage(), 0);
+  EXPECT_EQ(pool.num_connections(), 0);
+  EXPECT_EQ(pool.backup_channels(), 0);
+}
+
+TEST(SharedBackup, DisjointPrimariesShareChannels) {
+  // Single-wavelength corridors force the geometry: connection 1 takes the
+  // cheap corridor A as primary and the direct fiber D as backup; D's only
+  // channel is then a backup channel, so connection 2's primary must take
+  // corridor B — and its backup can *share* D because primaries A and B are
+  // edge-disjoint.
+  net::WdmNetwork n(4, 1);
+  const auto one = net::WavelengthSet::all(1);
+  n.add_link(0, 1, one, 1.0);  // corridor A
+  n.add_link(1, 3, one, 1.0);
+  n.add_link(0, 2, one, 3.0);  // corridor B (total 6)
+  n.add_link(2, 3, one, 3.0);
+  n.add_link(0, 3, one, 4.0);  // direct fiber D (cheapest backup)
+  SharedBackupPool pool(&n);
+
+  const auto p1 = pool.provision(0, 3);
+  ASSERT_TRUE(p1.found);
+  EXPECT_EQ(p1.primary.length(), 2u);  // corridor A
+  EXPECT_EQ(p1.backup.length(), 1u);   // fiber D
+  EXPECT_EQ(p1.dedicated_channels, 1);
+
+  const auto p2 = pool.provision(0, 3);
+  ASSERT_TRUE(p2.found);
+  EXPECT_TRUE(net::edge_disjoint(p1.primary, p2.primary));
+  EXPECT_EQ(p2.backup.length(), 1u);   // fiber D again — shared
+  EXPECT_EQ(p2.shared_channels, 1);
+  EXPECT_EQ(p2.dedicated_channels, 0);
+  EXPECT_TRUE(pool.sharers_pairwise_disjoint());
+  // One physical channel backs both connections.
+  EXPECT_EQ(pool.backup_channels(), 1);
+  EXPECT_EQ(pool.dedicated_equivalent_channels(), 2);
+}
+
+TEST(SharedBackup, OverlappingPrimariesMayNotShare) {
+  // Both connections use the same primary corridor; their backups must NOT
+  // share a channel.
+  net::WdmNetwork n(2, 4);
+  const auto all = net::WavelengthSet::all(4);
+  n.add_link(0, 1, all, 1.0);  // primary fiber (shared corridor)
+  n.add_link(0, 1, all, 5.0);  // backup fiber
+  // Same-fiber primaries are impossible here (wavelengths differ but fibers
+  // are what disjointness is about): each provision takes the cheap fiber.
+  SharedBackupPool pool(&n);
+  const auto p1 = pool.provision(0, 1);
+  ASSERT_TRUE(p1.found);
+  const auto p2 = pool.provision(0, 1);
+  ASSERT_TRUE(p2.found);
+  // Primaries share fiber 0 -> backups may not share channels.
+  EXPECT_EQ(p2.shared_channels, 0);
+  EXPECT_TRUE(pool.sharers_pairwise_disjoint());
+}
+
+TEST(SharedBackup, FailureActivatesWithoutContention) {
+  net::WdmNetwork n = topo::nsfnet_network(8, 0.5);
+  SharedBackupPool pool(&n);
+  support::Rng rng(9);
+  std::vector<long> ids;
+  for (int i = 0; i < 25; ++i) {
+    const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    auto t = s;
+    while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    const auto p = pool.provision(s, t);
+    if (p.found) ids.push_back(p.id);
+  }
+  ASSERT_GT(ids.size(), 10u);
+  EXPECT_TRUE(pool.sharers_pairwise_disjoint());
+
+  // Cut a link some primary uses; activation must not throw (contention-free
+  // by the ledger invariant).
+  const auto affected = pool.fail_link(0);
+  EXPECT_TRUE(pool.sharers_pairwise_disjoint());
+  // Affected connections keep service (their backups became primaries).
+  EXPECT_EQ(pool.num_connections(), static_cast<int>(ids.size()));
+  (void)affected;
+}
+
+TEST(SharedBackup, SavingsOnRealTopology) {
+  net::WdmNetwork n = topo::nsfnet_network(16, 0.5);
+  SharedBackupPool pool(&n);
+  support::Rng rng(4);
+  int provisioned = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    auto t = s;
+    while (t == s) t = static_cast<net::NodeId>(rng.uniform_int(0, 13));
+    provisioned += pool.provision(s, t).found;
+  }
+  ASSERT_GT(provisioned, 20);
+  // The whole point: shared channels < dedicated equivalent.
+  EXPECT_LT(pool.backup_channels(), pool.dedicated_equivalent_channels());
+  EXPECT_TRUE(pool.sharers_pairwise_disjoint());
+}
+
+TEST(SharedBackup, ReleaseUnknownThrows) {
+  net::WdmNetwork n = topo::nsfnet_network(4, 0.5);
+  SharedBackupPool pool(&n);
+  EXPECT_THROW(pool.release(42), std::logic_error);
+}
+
+TEST(SharedBackup, BlocksWhenNoDisjointBackupExists) {
+  net::WdmNetwork n(3, 2);
+  n.add_link(0, 1, net::WavelengthSet::all(2), 1.0);
+  n.add_link(1, 2, net::WavelengthSet::all(2), 1.0);
+  SharedBackupPool pool(&n);
+  EXPECT_FALSE(pool.provision(0, 2).found);
+  EXPECT_EQ(n.total_usage(), 0);  // nothing leaked on failure
+}
+
+}  // namespace
+}  // namespace wdm::rwa

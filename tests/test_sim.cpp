@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "rwa/approx_router.hpp"
+#include "rwa/loadcost_router.hpp"
+#include "sim/simulator.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::sim {
+namespace {
+
+net::WdmNetwork small_net(int W = 8) {
+  return topo::nsfnet_network(W, 0.5);
+}
+
+SimOptions base_options(double erlang = 10.0, double duration = 50.0) {
+  SimOptions opt;
+  opt.traffic.arrival_rate = erlang;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = duration;
+  opt.seed = 7;
+  return opt;
+}
+
+TEST(Simulator, RunsAndBalancesReservations) {
+  rwa::ApproxDisjointRouter router;
+  Simulator sim(small_net(), router, base_options());
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.offered, 0);
+  EXPECT_EQ(m.offered, m.accepted + m.blocked);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  rwa::ApproxDisjointRouter router;
+  Simulator a(small_net(), router, base_options());
+  Simulator b(small_net(), router, base_options());
+  const SimMetrics ma = a.run();
+  const SimMetrics mb = b.run();
+  EXPECT_EQ(ma.offered, mb.offered);
+  EXPECT_EQ(ma.accepted, mb.accepted);
+  EXPECT_DOUBLE_EQ(ma.network_load.mean(), mb.network_load.mean());
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions o1 = base_options();
+  SimOptions o2 = base_options();
+  o2.seed = 99;
+  Simulator a(small_net(), router, o1);
+  Simulator b(small_net(), router, o2);
+  EXPECT_NE(a.run().offered, b.run().offered);
+}
+
+TEST(Simulator, ArrivalCountMatchesPoissonRate) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(/*erlang=*/20.0, /*duration=*/100.0);
+  Simulator sim(small_net(16), router, opt);
+  const SimMetrics m = sim.run();
+  // E[offered] = rate * duration = 2000; Poisson sd ~ 45.
+  EXPECT_NEAR(static_cast<double>(m.offered), 2000.0, 200.0);
+}
+
+TEST(Simulator, BlockingIncreasesWithLoad) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions light = base_options(2.0, 100.0);
+  SimOptions heavy = base_options(80.0, 100.0);
+  Simulator a(small_net(4), router, light);
+  Simulator b(small_net(4), router, heavy);
+  const double bp_light = a.run().blocking_probability();
+  const double bp_heavy = b.run().blocking_probability();
+  EXPECT_LT(bp_light, bp_heavy);
+  EXPECT_GT(bp_heavy, 0.05);
+}
+
+TEST(Simulator, UnloadedNetworkAcceptsEverything) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(0.5, 50.0);
+  Simulator sim(small_net(32), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_EQ(m.blocked, 0);
+}
+
+TEST(Simulator, ActiveRestorationSurvivesFailures) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(10.0, 100.0);
+  opt.failures.duplex_failure_rate = 0.02;
+  opt.failures.mean_repair = 2.0;
+  opt.restoration = RestorationMode::kActive;
+  const topo::Topology t = topo::nsfnet();
+  opt.reverse_of = t.reverse_of;
+  Simulator sim(small_net(), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.primary_failures, 0) << "failure process never hit a primary";
+  EXPECT_GT(m.recoveries_succeeded, 0);
+  // Active restoration with pre-reserved backups succeeds overwhelmingly.
+  EXPECT_GT(static_cast<double>(m.recoveries_succeeded) /
+                static_cast<double>(m.recoveries_attempted),
+            0.9);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+TEST(Simulator, PassiveRestorationSlowerThanActive) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(10.0, 100.0);
+  opt.failures.duplex_failure_rate = 0.02;
+  const topo::Topology t = topo::nsfnet();
+  opt.reverse_of = t.reverse_of;
+
+  opt.restoration = RestorationMode::kActive;
+  Simulator a(small_net(), router, opt);
+  const SimMetrics ma = a.run();
+
+  opt.restoration = RestorationMode::kPassive;
+  Simulator p(small_net(), router, opt);
+  const SimMetrics mp = p.run();
+
+  ASSERT_FALSE(ma.recovery_delays.empty());
+  ASSERT_FALSE(mp.recovery_delays.empty());
+  const double mean_active = support::mean_of(ma.recovery_delays);
+  const double mean_passive = support::mean_of(mp.recovery_delays);
+  EXPECT_LT(mean_active * 5, mean_passive);
+}
+
+TEST(Simulator, NoneModeDropsOnFailure) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(10.0, 100.0);
+  opt.failures.duplex_failure_rate = 0.05;
+  opt.restoration = RestorationMode::kNone;
+  const topo::Topology t = topo::nsfnet();
+  opt.reverse_of = t.reverse_of;
+  Simulator sim(small_net(), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.primary_failures, 0);
+  EXPECT_EQ(m.recoveries_attempted, 0);
+  EXPECT_EQ(m.dropped_on_failure, m.primary_failures);
+}
+
+TEST(Simulator, ReconfigurationTriggersUnderPressure) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(40.0, 50.0);
+  opt.reconfig.load_trigger = 0.6;
+  opt.reconfig.min_interval = 1.0;
+  Simulator sim(small_net(4), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.reconfigurations, 0);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+TEST(Simulator, ReconfigurationDisabledByHighTrigger) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(40.0, 50.0);
+  opt.reconfig.load_trigger = 2.0;  // ρ can never reach 2
+  Simulator sim(small_net(4), router, opt);
+  EXPECT_EQ(sim.run().reconfigurations, 0);
+}
+
+TEST(Simulator, LoadSeriesRecordedWhenRequested) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(5.0, 20.0);
+  opt.record_load_series = true;
+  Simulator sim(small_net(), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_EQ(m.load_series.size(), static_cast<std::size_t>(m.offered));
+  double prev = -1.0;
+  for (const auto& [time, rho] : m.load_series) {
+    EXPECT_GE(time, prev);  // nondecreasing timestamps
+    prev = time;
+    EXPECT_GE(rho, 0.0);
+    EXPECT_LE(rho, 1.0);
+  }
+}
+
+TEST(Simulator, RouteCostStatsPopulated) {
+  rwa::ApproxDisjointRouter router;
+  Simulator sim(small_net(), router, base_options());
+  const SimMetrics m = sim.run();
+  EXPECT_EQ(m.route_cost.count(), static_cast<std::size_t>(m.accepted));
+  EXPECT_GT(m.route_cost.mean(), 0.0);
+}
+
+TEST(Simulator, ThetaIterationsTrackedForLoadAwareRouter) {
+  rwa::LoadCostRouter router;
+  SimOptions opt = base_options(10.0, 20.0);
+  Simulator sim(small_net(), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.theta_iterations.count(), 0u);
+  EXPECT_GE(m.theta_iterations.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace wdm::sim

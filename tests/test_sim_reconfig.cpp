@@ -1,0 +1,128 @@
+// Focused tests of the simulator's reconfiguration machinery and failure
+// bookkeeping edge cases.
+#include <gtest/gtest.h>
+
+#include "rwa/approx_router.hpp"
+#include "rwa/baselines.hpp"
+#include "sim/simulator.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::sim {
+namespace {
+
+TEST(SimReconfig, MinIntervalGatesFrequency) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt;
+  opt.traffic.arrival_rate = 40.0;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = 50.0;
+  opt.seed = 7;
+  opt.reconfig.load_trigger = 0.5;
+
+  opt.reconfig.min_interval = 1.0;
+  Simulator fast(topo::nsfnet_network(4, 0.5), router, opt);
+  const long fast_count = fast.run().reconfigurations;
+
+  opt.reconfig.min_interval = 10.0;
+  Simulator slow(topo::nsfnet_network(4, 0.5), router, opt);
+  const long slow_count = slow.run().reconfigurations;
+
+  EXPECT_GT(fast_count, slow_count);
+  // Hard cap: at most duration / min_interval events.
+  EXPECT_LE(slow_count, static_cast<long>(opt.duration / 10.0) + 1);
+  EXPECT_LE(fast_count, static_cast<long>(opt.duration / 1.0) + 1);
+}
+
+TEST(SimReconfig, ReservationsBalanceThroughManyReconfigs) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt;
+  opt.traffic.arrival_rate = 60.0;  // heavy churn
+  opt.traffic.mean_holding = 0.5;
+  opt.duration = 40.0;
+  opt.seed = 13;
+  opt.reconfig.load_trigger = 0.4;  // aggressive
+  opt.reconfig.min_interval = 0.5;
+  Simulator sim(topo::nsfnet_network(4, 0.5), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.reconfigurations, 10);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);  // nothing leaked
+}
+
+TEST(SimReconfig, UnprotectedRouterSurvivesReconfig) {
+  // Reconfiguration must also handle backup-less connections.
+  rwa::UnprotectedRouter router;
+  SimOptions opt;
+  opt.traffic.arrival_rate = 50.0;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = 30.0;
+  opt.seed = 3;
+  opt.restoration = RestorationMode::kNone;
+  opt.reconfig.load_trigger = 0.5;
+  opt.reconfig.min_interval = 1.0;
+  Simulator sim(topo::nsfnet_network(4, 0.5), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.reconfigurations, 0);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+TEST(SimFailures, RepairRestoresCapacity) {
+  rwa::ApproxDisjointRouter router;
+  const topo::Topology t = topo::nsfnet();
+  SimOptions opt;
+  opt.traffic.arrival_rate = 5.0;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = 200.0;
+  opt.seed = 21;
+  opt.failures.duplex_failure_rate = 0.01;
+  opt.failures.mean_repair = 0.5;  // quick repairs
+  opt.reverse_of = t.reverse_of;
+  Simulator sim(topo::nsfnet_network(8, 0.5), router, opt);
+  const SimMetrics m = sim.run();
+  // All fibers must be repaired by drain time (repairs are scheduled
+  // unconditionally when a failure fires).
+  EXPECT_EQ(sim.network().num_failed_links(), 0);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+TEST(SimFailures, BackupLossDowngradesButKeepsService) {
+  rwa::ApproxDisjointRouter router;
+  const topo::Topology t = topo::nsfnet();
+  SimOptions opt;
+  opt.traffic.arrival_rate = 10.0;
+  opt.traffic.mean_holding = 3.0;
+  opt.duration = 150.0;
+  opt.seed = 37;
+  opt.restoration = RestorationMode::kActive;
+  opt.failures.duplex_failure_rate = 0.03;
+  opt.reverse_of = t.reverse_of;
+  Simulator sim(topo::nsfnet_network(8, 0.5), router, opt);
+  const SimMetrics m = sim.run();
+  // Backup-only hits occur and do not count as primary failures/drops.
+  EXPECT_GT(m.backup_lost, 0);
+  EXPECT_EQ(m.recoveries_succeeded,
+            m.switchover_recoveries + m.recompute_recoveries);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+TEST(SimOptionsValidation, RejectsNonsense) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt;
+  opt.duration = 0.0;
+  EXPECT_THROW(Simulator(topo::nsfnet_network(4, 0.5), router, opt),
+               std::logic_error);
+  opt.duration = 10.0;
+  opt.traffic.arrival_rate = 0.0;
+  EXPECT_THROW(Simulator(topo::nsfnet_network(4, 0.5), router, opt),
+               std::logic_error);
+}
+
+TEST(SimOptionsValidation, ReverseOfSizeChecked) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt;
+  opt.reverse_of = {0, 1, 2};  // wrong length for NSFNET's 42 links
+  EXPECT_THROW(Simulator(topo::nsfnet_network(4, 0.5), router, opt),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm::sim

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "graph/maxflow.hpp"
+#include "graph/mincostflow.hpp"
+#include "graph/suurballe.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace wdm::graph {
+namespace {
+
+/// The classic trap graph: the shortest path 0-1-2-3 uses the middle edge
+/// both disjoint routes need; naive two-step fails, Suurballe recovers.
+struct Trap {
+  Digraph g{4};
+  std::vector<double> w;
+  Trap() {
+    g.add_edge(0, 1);  // 1
+    g.add_edge(1, 2);  // 0.1
+    g.add_edge(2, 3);  // 1
+    g.add_edge(1, 3);  // 3
+    g.add_edge(0, 2);  // 3
+    w = {1.0, 0.1, 1.0, 3.0, 3.0};
+  }
+};
+
+TEST(Suurballe, SolvesTrapGraph) {
+  Trap trap;
+  const DisjointPair pair = suurballe(trap.g, trap.w, 0, 3);
+  ASSERT_TRUE(pair.found);
+  EXPECT_TRUE(edge_disjoint(pair.first, pair.second));
+  EXPECT_DOUBLE_EQ(pair.total_cost(), 8.0);
+}
+
+TEST(Suurballe, NaiveTwoStepFailsTrapGraph) {
+  Trap trap;
+  const DisjointPair naive = naive_two_step(trap.g, trap.w, 0, 3);
+  EXPECT_FALSE(naive.found);  // removing 0-1-2-3 disconnects the rest
+}
+
+TEST(Suurballe, SimpleDiamond) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  std::vector<double> w{1, 1, 2, 2};
+  const DisjointPair pair = suurballe(g, w, 0, 3);
+  ASSERT_TRUE(pair.found);
+  EXPECT_DOUBLE_EQ(pair.first.cost, 2.0);   // cheaper path first
+  EXPECT_DOUBLE_EQ(pair.second.cost, 4.0);
+}
+
+TEST(Suurballe, NotFoundWhenSinglePathOnly) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<double> w{1, 1};
+  EXPECT_FALSE(suurballe(g, w, 0, 2).found);
+}
+
+TEST(Suurballe, NotFoundWhenUnreachable) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  std::vector<double> w{1};
+  EXPECT_FALSE(suurballe(g, w, 0, 2).found);
+}
+
+TEST(Suurballe, RequiresDistinctEndpoints) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<double> w{1};
+  EXPECT_THROW(suurballe(g, w, 0, 0), std::logic_error);
+}
+
+TEST(Suurballe, ParallelEdgesFormAPair) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  std::vector<double> w{1, 4};
+  const DisjointPair pair = suurballe(g, w, 0, 1);
+  ASSERT_TRUE(pair.found);
+  EXPECT_DOUBLE_EQ(pair.total_cost(), 5.0);
+}
+
+TEST(Suurballe, RespectsEdgeMask) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  std::vector<double> w{1, 4, 9};
+  std::vector<std::uint8_t> mask{0, 1, 1};
+  const DisjointPair pair = suurballe(g, w, 0, 1, mask);
+  ASSERT_TRUE(pair.found);
+  EXPECT_DOUBLE_EQ(pair.total_cost(), 13.0);
+}
+
+TEST(Suurballe, ZeroWeightGraph) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  std::vector<double> w{0, 0, 0, 0};
+  const DisjointPair pair = suurballe(g, w, 0, 3);
+  ASSERT_TRUE(pair.found);
+  EXPECT_DOUBLE_EQ(pair.total_cost(), 0.0);
+}
+
+class SuurballePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuurballePropertyTest, MatchesMinCostFlowOracle) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 4 + static_cast<int>(rng.uniform_int(0, 26));
+  const int m = static_cast<int>(rng.uniform_int(n, 5 * n));
+  const auto [g, w] = test::random_digraph(n, m, rng);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(n - 1);
+
+  const DisjointPair pair = suurballe(g, w, s, t);
+  const auto oracle = min_cost_disjoint_paths(g, w, s, t, 2);
+
+  ASSERT_EQ(pair.found, oracle.has_value());
+  if (pair.found) {
+    EXPECT_TRUE(edge_disjoint(pair.first, pair.second));
+    EXPECT_TRUE(pair.first.contiguous_in(g));
+    EXPECT_TRUE(pair.second.contiguous_in(g));
+    const double oracle_cost = (*oracle)[0].cost + (*oracle)[1].cost;
+    EXPECT_NEAR(pair.total_cost(), oracle_cost, 1e-6);
+  }
+}
+
+TEST_P(SuurballePropertyTest, FoundIffEdgeConnectivityAtLeastTwo) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  const int n = 4 + static_cast<int>(rng.uniform_int(0, 16));
+  const int m = static_cast<int>(rng.uniform_int(n - 1, 3 * n));
+  const auto [g, w] = test::random_digraph(n, m, rng);
+  const DisjointPair pair = suurballe(g, w, 0, static_cast<NodeId>(n - 1));
+  const int connectivity =
+      edge_disjoint_path_count(g, 0, static_cast<NodeId>(n - 1));
+  EXPECT_EQ(pair.found, connectivity >= 2);
+}
+
+TEST_P(SuurballePropertyTest, NaiveNeverBeatsSuurballe) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 1);
+  const int n = 4 + static_cast<int>(rng.uniform_int(0, 16));
+  const int m = static_cast<int>(rng.uniform_int(n, 4 * n));
+  const auto [g, w] = test::random_digraph(n, m, rng);
+  const NodeId t = static_cast<NodeId>(n - 1);
+  const DisjointPair sb = suurballe(g, w, 0, t);
+  const DisjointPair nv = naive_two_step(g, w, 0, t);
+  if (nv.found) {
+    ASSERT_TRUE(sb.found);  // naive success implies a pair exists
+    EXPECT_LE(sb.total_cost(), nv.total_cost() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SuurballePropertyTest,
+                         ::testing::Range(0, 30));
+
+TEST(SuurballeNodeDisjoint, RejectsSharedIntermediateNode) {
+  // Two edge-disjoint paths exist but both must pass through node 1.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(1, 3);
+  std::vector<double> w{1, 1, 1, 1};
+  EXPECT_TRUE(suurballe(g, w, 0, 3).found);
+  EXPECT_FALSE(suurballe_node_disjoint(g, w, 0, 3).found);
+}
+
+TEST(SuurballeNodeDisjoint, FindsNodeDisjointPair) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  std::vector<double> w{1, 1, 2, 2};
+  const DisjointPair pair = suurballe_node_disjoint(g, w, 0, 3);
+  ASSERT_TRUE(pair.found);
+  EXPECT_TRUE(internally_node_disjoint(pair.first, pair.second, g));
+  EXPECT_DOUBLE_EQ(pair.total_cost(), 6.0);
+}
+
+TEST(SuurballeNodeDisjoint, CostsMappedBackToOriginalWeights) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  std::vector<double> w{1, 2, 3, 4, 5, 6};
+  const DisjointPair pair = suurballe_node_disjoint(g, w, 0, 4);
+  ASSERT_TRUE(pair.found);
+  EXPECT_DOUBLE_EQ(pair.total_cost(), 10.0);  // 1+2 and 3+4
+}
+
+}  // namespace
+}  // namespace wdm::graph

@@ -1,0 +1,187 @@
+// Shared helpers for the test suites: random instance generators and
+// brute-force reference oracles (deliberately simple and slow).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/path.hpp"
+#include "support/rng.hpp"
+#include "topology/network_builder.hpp"
+#include "wdm/network.hpp"
+#include "wdm/semilightpath.hpp"
+
+namespace wdm::test {
+
+/// Random digraph with n nodes and ~m directed edges (no self loops),
+/// uniform random weights in [lo, hi].
+struct RandomGraph {
+  graph::Digraph g;
+  std::vector<double> w;
+};
+
+inline RandomGraph random_digraph(int n, int m, support::Rng& rng,
+                                  double lo = 1.0, double hi = 10.0) {
+  RandomGraph rg;
+  rg.g = graph::Digraph(n);
+  for (int i = 0; i < m; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+    auto v = u;
+    while (v == u) v = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+    rg.g.add_edge(u, v);
+    rg.w.push_back(rng.uniform(lo, hi));
+  }
+  return rg;
+}
+
+/// All simple physical s->t paths (edge-id sequences), DFS. Exponential —
+/// tiny graphs only.
+inline void all_simple_paths_rec(const graph::Digraph& g, graph::NodeId v,
+                                 graph::NodeId t,
+                                 std::vector<graph::EdgeId>& cur,
+                                 std::vector<std::uint8_t>& visited,
+                                 std::vector<std::vector<graph::EdgeId>>& out) {
+  if (v == t) {
+    out.push_back(cur);
+    return;
+  }
+  for (graph::EdgeId e : g.out_edges(v)) {
+    const graph::NodeId w = g.head(e);
+    if (visited[static_cast<std::size_t>(w)]) continue;
+    visited[static_cast<std::size_t>(w)] = 1;
+    cur.push_back(e);
+    all_simple_paths_rec(g, w, t, cur, visited, out);
+    cur.pop_back();
+    visited[static_cast<std::size_t>(w)] = 0;
+  }
+}
+
+inline std::vector<std::vector<graph::EdgeId>> all_simple_paths(
+    const graph::Digraph& g, graph::NodeId s, graph::NodeId t) {
+  std::vector<std::vector<graph::EdgeId>> out;
+  std::vector<graph::EdgeId> cur;
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(g.num_nodes()), 0);
+  visited[static_cast<std::size_t>(s)] = 1;
+  all_simple_paths_rec(g, s, t, cur, visited, out);
+  return out;
+}
+
+/// Brute-force optimal semilightpath over a physical path: dynamic program
+/// over per-hop wavelength choices (exact Eq. (1) minimization on the chain).
+inline std::optional<net::Semilightpath> best_assignment_on_path(
+    const net::WdmNetwork& net, const std::vector<graph::EdgeId>& links) {
+  if (links.empty()) return std::nullopt;
+  const int W = net.W();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(W), kInf);
+  std::vector<std::vector<net::Wavelength>> choice(
+      links.size(), std::vector<net::Wavelength>(static_cast<std::size_t>(W),
+                                                 net::kInvalidWavelength));
+  net.available(links[0]).for_each([&](net::Wavelength l) {
+    dist[static_cast<std::size_t>(l)] = net.weight(links[0], l);
+  });
+  for (std::size_t i = 1; i < links.size(); ++i) {
+    const net::NodeId mid = net.graph().tail(links[i]);
+    std::vector<double> next(static_cast<std::size_t>(W), kInf);
+    net.available(links[i]).for_each([&](net::Wavelength l2) {
+      for (net::Wavelength l1 = 0; l1 < W; ++l1) {
+        if (dist[static_cast<std::size_t>(l1)] == kInf) continue;
+        if (!net.conversion(mid).allowed(l1, l2)) continue;
+        const double c = dist[static_cast<std::size_t>(l1)] +
+                         net.conversion(mid).cost(l1, l2) +
+                         net.weight(links[i], l2);
+        if (c < next[static_cast<std::size_t>(l2)]) {
+          next[static_cast<std::size_t>(l2)] = c;
+          choice[i][static_cast<std::size_t>(l2)] = l1;
+        }
+      }
+    });
+    dist = std::move(next);
+  }
+  double best = kInf;
+  net::Wavelength last = net::kInvalidWavelength;
+  for (net::Wavelength l = 0; l < W; ++l) {
+    if (dist[static_cast<std::size_t>(l)] < best) {
+      best = dist[static_cast<std::size_t>(l)];
+      last = l;
+    }
+  }
+  if (last == net::kInvalidWavelength) return std::nullopt;
+  // Backtrack.
+  std::vector<net::Wavelength> lambdas(links.size());
+  net::Wavelength cur = last;
+  for (std::size_t i = links.size(); i-- > 0;) {
+    lambdas[i] = cur;
+    if (i > 0) cur = choice[i][static_cast<std::size_t>(cur)];
+  }
+  net::Semilightpath slp;
+  slp.found = true;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    slp.hops.push_back(net::Hop{links[i], lambdas[i]});
+  }
+  return slp;
+}
+
+/// Brute-force optimal semilightpath: best assignment over all simple
+/// physical paths.
+inline std::optional<net::Semilightpath> brute_force_semilightpath(
+    const net::WdmNetwork& net, net::NodeId s, net::NodeId t) {
+  std::optional<net::Semilightpath> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& links : all_simple_paths(net.graph(), s, t)) {
+    const auto slp = best_assignment_on_path(net, links);
+    if (!slp) continue;
+    const double c = slp->cost(net);
+    if (c < best_cost) {
+      best_cost = c;
+      best = slp;
+    }
+  }
+  return best;
+}
+
+/// Brute-force optimal edge-disjoint pair: all ordered pairs of
+/// edge-disjoint simple paths, best assignments on each.
+inline std::optional<std::pair<net::Semilightpath, net::Semilightpath>>
+brute_force_disjoint_pair(const net::WdmNetwork& net, net::NodeId s,
+                          net::NodeId t, double* cost_out = nullptr) {
+  const auto paths = all_simple_paths(net.graph(), s, t);
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::optional<std::pair<net::Semilightpath, net::Semilightpath>> best;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = 0; j < paths.size(); ++j) {
+      if (i == j) continue;
+      const auto& a = paths[i];
+      const auto& b = paths[j];
+      const bool disjoint = std::none_of(
+          a.begin(), a.end(), [&](graph::EdgeId e) {
+            return std::find(b.begin(), b.end(), e) != b.end();
+          });
+      if (!disjoint) continue;
+      const auto pa = best_assignment_on_path(net, a);
+      const auto pb = best_assignment_on_path(net, b);
+      if (!pa || !pb) continue;
+      const double c = pa->cost(net) + pb->cost(net);
+      if (c < best_cost) {
+        best_cost = c;
+        best = std::make_pair(*pa, *pb);
+      }
+    }
+  }
+  if (best && cost_out != nullptr) *cost_out = best_cost;
+  return best;
+}
+
+/// Small random WDM network for property sweeps.
+inline net::WdmNetwork random_network(int n, int extra_links, int W,
+                                      std::uint64_t seed,
+                                      topo::NetworkOptions opt = {}) {
+  support::Rng rng(seed);
+  opt.num_wavelengths = W;
+  const topo::Topology t = topo::random_connected(n, extra_links, rng);
+  return topo::build_network(t, opt, rng);
+}
+
+}  // namespace wdm::test

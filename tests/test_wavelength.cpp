@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "wdm/conversion.hpp"
+#include "wdm/wavelength.hpp"
+
+namespace wdm::net {
+namespace {
+
+TEST(WavelengthSet, EmptyByDefault) {
+  WavelengthSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.lowest(), kInvalidWavelength);
+}
+
+TEST(WavelengthSet, AllCount) {
+  EXPECT_EQ(WavelengthSet::all(0).count(), 0);
+  EXPECT_EQ(WavelengthSet::all(5).count(), 5);
+  EXPECT_EQ(WavelengthSet::all(64).count(), 64);
+}
+
+TEST(WavelengthSet, InsertEraseContains) {
+  WavelengthSet s;
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.count(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(WavelengthSet, LowestIsFirstFit) {
+  WavelengthSet s;
+  s.insert(9);
+  s.insert(4);
+  s.insert(30);
+  EXPECT_EQ(s.lowest(), 4);
+}
+
+TEST(WavelengthSet, SetAlgebra) {
+  WavelengthSet a = WavelengthSet::all(4);       // {0,1,2,3}
+  WavelengthSet b;
+  b.insert(2);
+  b.insert(3);
+  b.insert(5);
+  EXPECT_EQ(a.intersect(b).count(), 2);
+  EXPECT_EQ(a.unite(b).count(), 5);
+  EXPECT_EQ(a.minus(b).count(), 2);
+  EXPECT_TRUE(a.minus(a).empty());
+}
+
+TEST(WavelengthSet, ForEachVisitsAscending) {
+  WavelengthSet s;
+  s.insert(10);
+  s.insert(2);
+  s.insert(33);
+  std::vector<Wavelength> seen;
+  s.for_each([&](Wavelength l) { seen.push_back(l); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 2);
+  EXPECT_EQ(seen[1], 10);
+  EXPECT_EQ(seen[2], 33);
+  EXPECT_EQ(s.to_vector(), seen);
+}
+
+TEST(WavelengthSet, BoundsChecked) {
+  WavelengthSet s;
+  EXPECT_THROW(s.insert(64), std::logic_error);
+  EXPECT_THROW(s.insert(-1), std::logic_error);
+}
+
+TEST(WavelengthSet, SingleAndEquality) {
+  EXPECT_EQ(WavelengthSet::single(5), WavelengthSet::from_bits(1ull << 5));
+  EXPECT_FALSE(WavelengthSet::single(5) == WavelengthSet::single(6));
+}
+
+TEST(ConversionTable, IdentityAlwaysAllowedAndFree) {
+  ConversionTable t(4);
+  for (Wavelength l = 0; l < 4; ++l) {
+    EXPECT_TRUE(t.allowed(l, l));
+    EXPECT_DOUBLE_EQ(t.cost(l, l), 0.0);
+  }
+  EXPECT_FALSE(t.allowed(0, 1));
+}
+
+TEST(ConversionTable, FullAllowsEverything) {
+  const ConversionTable t = ConversionTable::full(3, 0.5);
+  EXPECT_TRUE(t.is_full());
+  EXPECT_DOUBLE_EQ(t.cost(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(t.cost(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_cost(), 0.5);
+}
+
+TEST(ConversionTable, NoneIsIdentityOnly) {
+  const ConversionTable t = ConversionTable::none(3);
+  EXPECT_FALSE(t.is_full());
+  EXPECT_DOUBLE_EQ(t.max_cost(), 0.0);
+}
+
+TEST(ConversionTable, LimitedRange) {
+  const ConversionTable t = ConversionTable::limited_range(8, 2, 0.25);
+  EXPECT_TRUE(t.allowed(3, 5));
+  EXPECT_FALSE(t.allowed(3, 6));
+  EXPECT_DOUBLE_EQ(t.cost(3, 5), 0.5);
+  EXPECT_DOUBLE_EQ(t.cost(3, 4), 0.25);
+}
+
+TEST(ConversionTable, SetAndForbid) {
+  ConversionTable t(3);
+  t.set(0, 1, 2.0);
+  EXPECT_TRUE(t.allowed(0, 1));
+  EXPECT_DOUBLE_EQ(t.cost(0, 1), 2.0);
+  EXPECT_FALSE(t.allowed(1, 0));  // asymmetric
+  t.forbid(0, 1);
+  EXPECT_FALSE(t.allowed(0, 1));
+}
+
+TEST(ConversionTable, CostOnDisallowedThrows) {
+  const ConversionTable t = ConversionTable::none(2);
+  EXPECT_THROW(t.cost(0, 1), std::logic_error);
+}
+
+TEST(ConversionTable, IdentityIsProtected) {
+  ConversionTable t(2);
+  EXPECT_THROW(t.set(0, 0, 1.0), std::logic_error);
+  EXPECT_THROW(t.forbid(1, 1), std::logic_error);
+}
+
+TEST(ConversionTable, ReachableComposesSetsAndTable) {
+  ConversionTable t(4);
+  t.set(0, 2, 1.0);
+  t.set(1, 3, 1.0);
+  WavelengthSet from;
+  from.insert(0);
+  const WavelengthSet to = WavelengthSet::all(4);
+  const WavelengthSet r = t.reachable(from, to);
+  EXPECT_TRUE(r.contains(0));   // identity
+  EXPECT_TRUE(r.contains(2));   // 0 -> 2
+  EXPECT_FALSE(r.contains(1));
+  EXPECT_FALSE(r.contains(3));
+}
+
+}  // namespace
+}  // namespace wdm::net

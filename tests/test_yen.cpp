@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dijkstra.hpp"
+#include "graph/yen.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace wdm::graph {
+namespace {
+
+TEST(Yen, FirstPathIsShortest) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  std::vector<double> w{1, 1, 2, 2};
+  const auto paths = yen_k_shortest(g, w, 0, 3, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+}
+
+TEST(Yen, EnumeratesAllSimplePathsOnDiamond) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 2);
+  std::vector<double> w{1, 1, 2, 2, 1};
+  const auto paths = yen_k_shortest(g, w, 0, 3, 10);
+  // Simple 0->3 paths: 0-1-3 (2), 0-1-2-3 (4), 0-2-3 (4).
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 4.0);
+  EXPECT_DOUBLE_EQ(paths[2].cost, 4.0);
+}
+
+TEST(Yen, ExhaustsAndReturnsNullopt) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<double> w{1};
+  KShortestPathEnumerator en(g, w, 0, 1);
+  EXPECT_TRUE(en.next().has_value());
+  EXPECT_FALSE(en.next().has_value());
+  EXPECT_FALSE(en.next().has_value());  // stays exhausted
+}
+
+TEST(Yen, NoPathAtAll) {
+  Digraph g(2);
+  std::vector<double> w;
+  KShortestPathEnumerator en(g, w, 0, 1);
+  EXPECT_FALSE(en.next().has_value());
+}
+
+TEST(Yen, RespectsEdgeMask) {
+  Digraph g(3);
+  const EdgeId direct = g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<double> w{1, 1, 1};
+  std::vector<std::uint8_t> mask{0, 1, 1};
+  (void)direct;
+  const auto paths = yen_k_shortest(g, w, 0, 2, 5, mask);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges.size(), 2u);
+}
+
+TEST(Yen, HandlesParallelEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  std::vector<double> w{1, 2};
+  const auto paths = yen_k_shortest(g, w, 0, 1, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 1.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 2.0);
+}
+
+class YenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(YenPropertyTest, SortedLooplessDistinctAndComplete) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const int n = 4 + static_cast<int>(rng.uniform_int(0, 3));
+  const int m = static_cast<int>(rng.uniform_int(n, 3 * n));
+  const auto [g, w] = test::random_digraph(n, m, rng);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(n - 1);
+
+  const auto expected = test::all_simple_paths(g, s, t);
+  const auto paths =
+      yen_k_shortest(g, w, s, t, static_cast<int>(expected.size()) + 5);
+
+  // Completeness: Yen finds exactly the simple paths.
+  EXPECT_EQ(paths.size(), expected.size());
+
+  std::set<std::vector<EdgeId>> seen;
+  double prev = -1.0;
+  for (const Path& p : paths) {
+    ASSERT_TRUE(p.found);
+    EXPECT_TRUE(p.contiguous_in(g));
+    EXPECT_GE(p.cost, prev - 1e-9);  // nondecreasing
+    prev = p.cost;
+    EXPECT_NEAR(p.cost, path_weight(p, w), 1e-9);
+    EXPECT_TRUE(seen.insert(p.edges).second) << "duplicate path emitted";
+    // Loopless: node repetition check.
+    const auto ns = p.nodes(g);
+    std::set<NodeId> uniq(ns.begin(), ns.end());
+    EXPECT_EQ(uniq.size(), ns.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, YenPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace wdm::graph

@@ -1,0 +1,313 @@
+// wdmtool — command-line front end for the robustwdm library.
+//
+//   wdmtool topologies
+//   wdmtool route <topology> <s> <t> [-W n] [-r router] [--occupy p] [--seed k]
+//   wdmtool simulate <topology> [-W n] [-r router] [--erlang x]
+//            [--duration t] [--failures rate] [--replicas k] [--seed k]
+//   wdmtool audit <topology>
+//   wdmtool dot <topology>
+//
+// Routers: approx (§3.3, default), minload (§4.1), loadcost (§4.2),
+//          node-disjoint, two-step, physical, unprotected, exact.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "graph/dot.hpp"
+#include "rwa/approx_router.hpp"
+#include "rwa/baselines.hpp"
+#include "rwa/exact_router.hpp"
+#include "rwa/loadcost_router.hpp"
+#include "rwa/mincog.hpp"
+#include "rwa/node_disjoint_router.hpp"
+#include "rwa/protectability.hpp"
+#include "sim/replicate.hpp"
+#include "topology/network_builder.hpp"
+#include "wdm/io.hpp"
+
+#include <fstream>
+
+namespace {
+
+using namespace wdm;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  wdmtool topologies\n"
+      "  wdmtool route <topology> <s> <t> [-W n] [-r router] [--occupy p] "
+      "[--seed k]\n"
+      "  wdmtool simulate <topology> [-W n] [-r router] [--erlang x] "
+      "[--duration t]\n"
+      "           [--failures rate] [--replicas k] [--seed k]\n"
+      "  wdmtool audit <topology>\n"
+      "  wdmtool dot <topology>\n"
+      "  wdmtool save <topology> [-W n] [--occupy p] > file.wdm\n"
+      "  (route/simulate accept --net file.wdm to load a saved state)\n"
+      "topologies: nsfnet | arpanet | eon | usnet | ring<n> | grid<r>x<c> | torus<r>x<c>\n"
+      "routers: approx minload loadcost node-disjoint two-step physical "
+      "unprotected exact\n");
+  return 2;
+}
+
+bool parse_topology(const std::string& name, topo::Topology* out) {
+  if (name == "nsfnet") {
+    *out = topo::nsfnet();
+  } else if (name == "arpanet") {
+    *out = topo::arpanet20();
+  } else if (name == "eon") {
+    *out = topo::eon19();
+  } else if (name == "usnet") {
+    *out = topo::usnet24();
+  } else if (name.rfind("torus", 0) == 0) {
+    int r = 0, c = 0;
+    if (std::sscanf(name.c_str() + 5, "%dx%d", &r, &c) != 2 || r < 3 ||
+        c < 3) {
+      return false;
+    }
+    *out = topo::torus(r, c);
+  } else if (name.rfind("ring", 0) == 0) {
+    const int n = std::atoi(name.c_str() + 4);
+    if (n < 3) return false;
+    *out = topo::ring(n);
+  } else if (name.rfind("grid", 0) == 0) {
+    int r = 0, c = 0;
+    if (std::sscanf(name.c_str() + 4, "%dx%d", &r, &c) != 2 || r < 2 || c < 2) {
+      return false;
+    }
+    *out = topo::grid(r, c);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+rwa::RouterPtr make_router(const std::string& name) {
+  if (name == "approx") return std::make_unique<rwa::ApproxDisjointRouter>();
+  if (name == "minload") return std::make_unique<rwa::MinLoadRouter>();
+  if (name == "loadcost") return std::make_unique<rwa::LoadCostRouter>();
+  if (name == "node-disjoint") {
+    return std::make_unique<rwa::NodeDisjointRouter>();
+  }
+  if (name == "two-step") return std::make_unique<rwa::TwoStepRouter>();
+  if (name == "physical") {
+    return std::make_unique<rwa::PhysicalFirstFitRouter>();
+  }
+  if (name == "unprotected") return std::make_unique<rwa::UnprotectedRouter>();
+  if (name == "exact") return std::make_unique<rwa::ExactRouter>();
+  return nullptr;
+}
+
+struct Flags {
+  int W = 8;
+  std::string router = "approx";
+  std::string net_file;  // --net: load the network state instead of building
+  double occupy = 0.0;
+  double erlang = 20.0;
+  double duration = 100.0;
+  double failures = 0.0;
+  int replicas = 1;
+  std::uint64_t seed = 1;
+};
+
+bool parse_flags(int argc, char** argv, int first, Flags* f) {
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double v = 0.0;
+    if (a == "-W") {
+      if (!next(&v)) return false;
+      f->W = static_cast<int>(v);
+    } else if (a == "-r") {
+      if (i + 1 >= argc) return false;
+      f->router = argv[++i];
+    } else if (a == "--net") {
+      if (i + 1 >= argc) return false;
+      f->net_file = argv[++i];
+    } else if (a == "--occupy") {
+      if (!next(&f->occupy)) return false;
+    } else if (a == "--erlang") {
+      if (!next(&f->erlang)) return false;
+    } else if (a == "--duration") {
+      if (!next(&f->duration)) return false;
+    } else if (a == "--failures") {
+      if (!next(&f->failures)) return false;
+    } else if (a == "--replicas") {
+      if (!next(&v)) return false;
+      f->replicas = static_cast<int>(v);
+    } else if (a == "--seed") {
+      if (!next(&v)) return false;
+      f->seed = static_cast<std::uint64_t>(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+net::WdmNetwork make_network(const topo::Topology& t, const Flags& f) {
+  if (!f.net_file.empty()) {
+    std::ifstream in(f.net_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", f.net_file.c_str());
+      std::exit(2);
+    }
+    return io::read_network(in);
+  }
+  support::Rng rng(f.seed);
+  topo::NetworkOptions opt;
+  opt.num_wavelengths = f.W;
+  net::WdmNetwork n = topo::build_network(t, opt, rng);
+  if (f.occupy > 0.0) {
+    for (graph::EdgeId e = 0; e < n.num_links(); ++e) {
+      n.available(e).for_each([&](net::Wavelength l) {
+        if (rng.bernoulli(f.occupy)) n.reserve(e, l);
+      });
+    }
+  }
+  return n;
+}
+
+void print_path(const net::WdmNetwork& n, const char* label,
+                const net::Semilightpath& p) {
+  if (!p.found) {
+    std::printf("%s: (none)\n", label);
+    return;
+  }
+  std::printf("%s (cost %.3f):", label, p.cost(n));
+  for (const net::Hop& h : p.hops) {
+    std::printf(" %d->%d:λ%d", n.graph().tail(h.edge), n.graph().head(h.edge),
+                h.lambda);
+  }
+  std::printf("\n");
+}
+
+int cmd_route(int argc, char** argv) {
+  if (argc < 5) return usage();
+  topo::Topology t;
+  if (!parse_topology(argv[2], &t)) return usage();
+  const auto s = static_cast<net::NodeId>(std::atoi(argv[3]));
+  const auto dst = static_cast<net::NodeId>(std::atoi(argv[4]));
+  Flags f;
+  if (!parse_flags(argc, argv, 5, &f)) return usage();
+  const rwa::RouterPtr router = make_router(f.router);
+  if (!router) return usage();
+  const net::WdmNetwork n = make_network(t, f);
+  if (!n.graph().valid_node(s) || !n.graph().valid_node(dst) || s == dst) {
+    std::fprintf(stderr, "bad endpoints for %s (n=%d)\n", t.name.c_str(),
+                 n.num_nodes());
+    return 2;
+  }
+  const rwa::RouteResult r = router->route(n, s, dst);
+  std::printf("%s on %s (W=%d, occupancy %.0f%%): %s\n",
+              router->name().c_str(), t.name.c_str(), f.W, 100 * f.occupy,
+              r.found ? "FOUND" : "BLOCKED");
+  if (!r.found) return 1;
+  print_path(n, "  primary", r.route.primary);
+  print_path(n, "  backup ", r.route.backup);
+  if (r.route.backup.found) {
+    std::printf("  total cost %.3f, current network load ρ=%.3f\n",
+                r.total_cost(n), n.network_load());
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  topo::Topology t;
+  if (!parse_topology(argv[2], &t)) return usage();
+  Flags f;
+  if (!parse_flags(argc, argv, 3, &f)) return usage();
+  const rwa::RouterPtr router = make_router(f.router);
+  if (!router) return usage();
+  const net::WdmNetwork base = make_network(t, f);
+
+  sim::SimOptions opt;
+  opt.traffic.arrival_rate = f.erlang;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = f.duration;
+  opt.seed = f.seed;
+  if (f.failures > 0.0) {
+    opt.failures.duplex_failure_rate = f.failures;
+    opt.reverse_of = t.reverse_of;
+  }
+  const sim::ReplicationSummary s =
+      sim::replicate(base, *router, opt, f.replicas);
+  std::printf("%s on %s: W=%d, %.1f Erlang, horizon %.0f, %d replica(s)\n",
+              router->name().c_str(), t.name.c_str(), f.W, f.erlang,
+              f.duration, f.replicas);
+  std::printf("  blocking      %.4f ± %.4f\n", s.blocking.mean,
+              s.blocking.ci95);
+  std::printf("  mean load ρ   %.4f ± %.4f\n", s.mean_network_load.mean,
+              s.mean_network_load.ci95);
+  std::printf("  peak load     %.4f\n", s.peak_load.max);
+  std::printf("  route cost    %.3f ± %.3f\n", s.route_cost.mean,
+              s.route_cost.ci95);
+  if (f.failures > 0.0) {
+    std::printf("  recovery      %.4f ± %.4f\n", s.recovery_success.mean,
+                s.recovery_success.ci95);
+  }
+  return 0;
+}
+
+int cmd_audit(int argc, char** argv) {
+  if (argc < 3) return usage();
+  topo::Topology t;
+  if (!parse_topology(argv[2], &t)) return usage();
+  const rwa::ProtectabilityReport r = rwa::audit_protectability(t.g);
+  std::printf("%s: %d nodes, %d duplex fibers\n", t.name.c_str(),
+              t.num_nodes(), t.num_duplex_links());
+  std::printf("  undirected bridges      %d\n", r.undirected_bridges);
+  std::printf("  2-edge components       %d\n", r.two_edge_components);
+  std::printf("  protectable (s,t) pairs %lld / %lld  (%.1f%%)\n",
+              r.protectable_pairs, r.total_pairs, 100.0 * r.fraction());
+  return 0;
+}
+
+int cmd_dot(int argc, char** argv) {
+  if (argc < 3) return usage();
+  topo::Topology t;
+  if (!parse_topology(argv[2], &t)) return usage();
+  graph::DotOptions opt;
+  opt.graph_name = t.name;
+  std::fputs(graph::to_dot(t.g, opt).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "topologies") {
+    std::printf("nsfnet    14 nodes, 21 duplex fibers (NSFNET T1)\n");
+    std::printf("arpanet   20 nodes, 31 duplex fibers\n");
+    std::printf("eon       19 nodes, 37 duplex fibers (European Optical)\n");
+    std::printf("ring<n>   bidirectional ring\n");
+    std::printf("grid<r>x<c> mesh\n");
+    return 0;
+  }
+  if (cmd == "route") return cmd_route(argc, argv);
+  if (cmd == "simulate") return cmd_simulate(argc, argv);
+  if (cmd == "audit") return cmd_audit(argc, argv);
+  if (cmd == "dot") return cmd_dot(argc, argv);
+  if (cmd == "save") {
+    // wdmtool save <topology> [-W n] [--occupy p] [--seed k]  > file.wdm
+    if (argc < 3) return usage();
+    topo::Topology t;
+    if (!parse_topology(argv[2], &t)) return usage();
+    Flags f;
+    if (!parse_flags(argc, argv, 3, &f)) return usage();
+    std::fputs(io::write_network(make_network(t, f)).c_str(), stdout);
+    return 0;
+  }
+  return usage();
+}
