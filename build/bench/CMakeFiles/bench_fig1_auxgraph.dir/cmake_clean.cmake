@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_auxgraph.dir/bench_fig1_auxgraph.cpp.o"
+  "CMakeFiles/bench_fig1_auxgraph.dir/bench_fig1_auxgraph.cpp.o.d"
+  "bench_fig1_auxgraph"
+  "bench_fig1_auxgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_auxgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

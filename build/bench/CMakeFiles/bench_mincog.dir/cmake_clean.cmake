@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mincog.dir/bench_mincog.cpp.o"
+  "CMakeFiles/bench_mincog.dir/bench_mincog.cpp.o.d"
+  "bench_mincog"
+  "bench_mincog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mincog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

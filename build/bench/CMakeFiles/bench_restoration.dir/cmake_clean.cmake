@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restoration.dir/bench_restoration.cpp.o"
+  "CMakeFiles/bench_restoration.dir/bench_restoration.cpp.o.d"
+  "bench_restoration"
+  "bench_restoration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

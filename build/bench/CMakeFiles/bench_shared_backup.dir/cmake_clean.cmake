@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_backup.dir/bench_shared_backup.cpp.o"
+  "CMakeFiles/bench_shared_backup.dir/bench_shared_backup.cpp.o.d"
+  "bench_shared_backup"
+  "bench_shared_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suurballe.dir/bench_suurballe.cpp.o"
+  "CMakeFiles/bench_suurballe.dir/bench_suurballe.cpp.o.d"
+  "bench_suurballe"
+  "bench_suurballe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suurballe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

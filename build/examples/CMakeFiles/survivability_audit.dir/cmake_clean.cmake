@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survivability_audit.dir/survivability_audit.cpp.o"
+  "CMakeFiles/survivability_audit.dir/survivability_audit.cpp.o.d"
+  "survivability_audit"
+  "survivability_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survivability_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

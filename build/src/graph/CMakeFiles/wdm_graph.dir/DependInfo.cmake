@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bellman_ford.cpp" "src/graph/CMakeFiles/wdm_graph.dir/bellman_ford.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/graph/bridges.cpp" "src/graph/CMakeFiles/wdm_graph.dir/bridges.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/bridges.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/wdm_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/wdm_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/wdm_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/wdm_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/maxflow.cpp.o.d"
+  "/root/repo/src/graph/mincostflow.cpp" "src/graph/CMakeFiles/wdm_graph.dir/mincostflow.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/mincostflow.cpp.o.d"
+  "/root/repo/src/graph/path.cpp" "src/graph/CMakeFiles/wdm_graph.dir/path.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/path.cpp.o.d"
+  "/root/repo/src/graph/suurballe.cpp" "src/graph/CMakeFiles/wdm_graph.dir/suurballe.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/suurballe.cpp.o.d"
+  "/root/repo/src/graph/yen.cpp" "src/graph/CMakeFiles/wdm_graph.dir/yen.cpp.o" "gcc" "src/graph/CMakeFiles/wdm_graph.dir/yen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wdm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

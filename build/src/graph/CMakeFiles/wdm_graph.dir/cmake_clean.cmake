@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_graph.dir/bellman_ford.cpp.o"
+  "CMakeFiles/wdm_graph.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/bridges.cpp.o"
+  "CMakeFiles/wdm_graph.dir/bridges.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/digraph.cpp.o"
+  "CMakeFiles/wdm_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/wdm_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/dot.cpp.o"
+  "CMakeFiles/wdm_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/wdm_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/mincostflow.cpp.o"
+  "CMakeFiles/wdm_graph.dir/mincostflow.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/path.cpp.o"
+  "CMakeFiles/wdm_graph.dir/path.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/suurballe.cpp.o"
+  "CMakeFiles/wdm_graph.dir/suurballe.cpp.o.d"
+  "CMakeFiles/wdm_graph.dir/yen.cpp.o"
+  "CMakeFiles/wdm_graph.dir/yen.cpp.o.d"
+  "libwdm_graph.a"
+  "libwdm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/wdm_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/wdm_ilp.dir/model.cpp.o"
+  "CMakeFiles/wdm_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/wdm_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/wdm_ilp.dir/simplex.cpp.o.d"
+  "libwdm_ilp.a"
+  "libwdm_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

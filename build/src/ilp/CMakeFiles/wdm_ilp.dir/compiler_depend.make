@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wdm_ilp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rwa/approx_router.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/approx_router.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/approx_router.cpp.o.d"
+  "/root/repo/src/rwa/aux_graph.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/aux_graph.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/aux_graph.cpp.o.d"
+  "/root/repo/src/rwa/baselines.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/baselines.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/baselines.cpp.o.d"
+  "/root/repo/src/rwa/batch.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/batch.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/batch.cpp.o.d"
+  "/root/repo/src/rwa/exact_router.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/exact_router.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/exact_router.cpp.o.d"
+  "/root/repo/src/rwa/ilp_router.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/ilp_router.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/ilp_router.cpp.o.d"
+  "/root/repo/src/rwa/layered_graph.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/layered_graph.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/layered_graph.cpp.o.d"
+  "/root/repo/src/rwa/loadcost_router.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/loadcost_router.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/loadcost_router.cpp.o.d"
+  "/root/repo/src/rwa/mincog.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/mincog.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/mincog.cpp.o.d"
+  "/root/repo/src/rwa/node_disjoint_router.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/node_disjoint_router.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/node_disjoint_router.cpp.o.d"
+  "/root/repo/src/rwa/protectability.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/protectability.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/protectability.cpp.o.d"
+  "/root/repo/src/rwa/shared_backup.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/shared_backup.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/shared_backup.cpp.o.d"
+  "/root/repo/src/rwa/wavelength_assignment.cpp" "src/rwa/CMakeFiles/wdm_rwa.dir/wavelength_assignment.cpp.o" "gcc" "src/rwa/CMakeFiles/wdm_rwa.dir/wavelength_assignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wdm/CMakeFiles/wdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wdm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/wdm_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wdm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_rwa.dir/approx_router.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/approx_router.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/aux_graph.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/aux_graph.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/baselines.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/baselines.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/batch.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/batch.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/exact_router.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/exact_router.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/ilp_router.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/ilp_router.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/layered_graph.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/layered_graph.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/loadcost_router.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/loadcost_router.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/mincog.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/mincog.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/node_disjoint_router.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/node_disjoint_router.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/protectability.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/protectability.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/shared_backup.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/shared_backup.cpp.o.d"
+  "CMakeFiles/wdm_rwa.dir/wavelength_assignment.cpp.o"
+  "CMakeFiles/wdm_rwa.dir/wavelength_assignment.cpp.o.d"
+  "libwdm_rwa.a"
+  "libwdm_rwa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_rwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

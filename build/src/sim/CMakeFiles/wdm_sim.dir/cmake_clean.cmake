@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_sim.dir/replicate.cpp.o"
+  "CMakeFiles/wdm_sim.dir/replicate.cpp.o.d"
+  "CMakeFiles/wdm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wdm_sim.dir/simulator.cpp.o.d"
+  "libwdm_sim.a"
+  "libwdm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_support.dir/rng.cpp.o"
+  "CMakeFiles/wdm_support.dir/rng.cpp.o.d"
+  "CMakeFiles/wdm_support.dir/stats.cpp.o"
+  "CMakeFiles/wdm_support.dir/stats.cpp.o.d"
+  "CMakeFiles/wdm_support.dir/table.cpp.o"
+  "CMakeFiles/wdm_support.dir/table.cpp.o.d"
+  "libwdm_support.a"
+  "libwdm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

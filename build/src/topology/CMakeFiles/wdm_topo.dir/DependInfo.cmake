@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/network_builder.cpp" "src/topology/CMakeFiles/wdm_topo.dir/network_builder.cpp.o" "gcc" "src/topology/CMakeFiles/wdm_topo.dir/network_builder.cpp.o.d"
+  "/root/repo/src/topology/topologies.cpp" "src/topology/CMakeFiles/wdm_topo.dir/topologies.cpp.o" "gcc" "src/topology/CMakeFiles/wdm_topo.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wdm/CMakeFiles/wdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wdm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wdm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

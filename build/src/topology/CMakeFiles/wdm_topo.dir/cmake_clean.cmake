@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_topo.dir/network_builder.cpp.o"
+  "CMakeFiles/wdm_topo.dir/network_builder.cpp.o.d"
+  "CMakeFiles/wdm_topo.dir/topologies.cpp.o"
+  "CMakeFiles/wdm_topo.dir/topologies.cpp.o.d"
+  "libwdm_topo.a"
+  "libwdm_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wdm/conversion.cpp" "src/wdm/CMakeFiles/wdm_net.dir/conversion.cpp.o" "gcc" "src/wdm/CMakeFiles/wdm_net.dir/conversion.cpp.o.d"
+  "/root/repo/src/wdm/io.cpp" "src/wdm/CMakeFiles/wdm_net.dir/io.cpp.o" "gcc" "src/wdm/CMakeFiles/wdm_net.dir/io.cpp.o.d"
+  "/root/repo/src/wdm/network.cpp" "src/wdm/CMakeFiles/wdm_net.dir/network.cpp.o" "gcc" "src/wdm/CMakeFiles/wdm_net.dir/network.cpp.o.d"
+  "/root/repo/src/wdm/semilightpath.cpp" "src/wdm/CMakeFiles/wdm_net.dir/semilightpath.cpp.o" "gcc" "src/wdm/CMakeFiles/wdm_net.dir/semilightpath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/wdm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wdm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_net.dir/conversion.cpp.o"
+  "CMakeFiles/wdm_net.dir/conversion.cpp.o.d"
+  "CMakeFiles/wdm_net.dir/io.cpp.o"
+  "CMakeFiles/wdm_net.dir/io.cpp.o.d"
+  "CMakeFiles/wdm_net.dir/network.cpp.o"
+  "CMakeFiles/wdm_net.dir/network.cpp.o.d"
+  "CMakeFiles/wdm_net.dir/semilightpath.cpp.o"
+  "CMakeFiles/wdm_net.dir/semilightpath.cpp.o.d"
+  "libwdm_net.a"
+  "libwdm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aux_graph.dir/test_aux_graph.cpp.o"
+  "CMakeFiles/test_aux_graph.dir/test_aux_graph.cpp.o.d"
+  "test_aux_graph"
+  "test_aux_graph.pdb"
+  "test_aux_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aux_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridges.dir/test_bridges.cpp.o"
+  "CMakeFiles/test_bridges.dir/test_bridges.cpp.o.d"
+  "test_bridges"
+  "test_bridges.pdb"
+  "test_bridges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heaps.dir/test_heaps.cpp.o"
+  "CMakeFiles/test_heaps.dir/test_heaps.cpp.o.d"
+  "test_heaps"
+  "test_heaps.pdb"
+  "test_heaps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layered_overrides.dir/test_layered_overrides.cpp.o"
+  "CMakeFiles/test_layered_overrides.dir/test_layered_overrides.cpp.o.d"
+  "test_layered_overrides"
+  "test_layered_overrides.pdb"
+  "test_layered_overrides[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layered_overrides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_disjoint.dir/test_node_disjoint.cpp.o"
+  "CMakeFiles/test_node_disjoint.dir/test_node_disjoint.cpp.o.d"
+  "test_node_disjoint"
+  "test_node_disjoint.pdb"
+  "test_node_disjoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_disjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

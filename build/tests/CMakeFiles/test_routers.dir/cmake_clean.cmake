@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routers.dir/test_routers.cpp.o"
+  "CMakeFiles/test_routers.dir/test_routers.cpp.o.d"
+  "test_routers"
+  "test_routers.pdb"
+  "test_routers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

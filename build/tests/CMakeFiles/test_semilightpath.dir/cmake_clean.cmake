@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semilightpath.dir/test_semilightpath.cpp.o"
+  "CMakeFiles/test_semilightpath.dir/test_semilightpath.cpp.o.d"
+  "test_semilightpath"
+  "test_semilightpath.pdb"
+  "test_semilightpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semilightpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

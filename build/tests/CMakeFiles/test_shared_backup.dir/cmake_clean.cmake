@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_backup.dir/test_shared_backup.cpp.o"
+  "CMakeFiles/test_shared_backup.dir/test_shared_backup.cpp.o.d"
+  "test_shared_backup"
+  "test_shared_backup.pdb"
+  "test_shared_backup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_reconfig.dir/test_sim_reconfig.cpp.o"
+  "CMakeFiles/test_sim_reconfig.dir/test_sim_reconfig.cpp.o.d"
+  "test_sim_reconfig"
+  "test_sim_reconfig.pdb"
+  "test_sim_reconfig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

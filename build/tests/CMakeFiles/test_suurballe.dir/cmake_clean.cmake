@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suurballe.dir/test_suurballe.cpp.o"
+  "CMakeFiles/test_suurballe.dir/test_suurballe.cpp.o.d"
+  "test_suurballe"
+  "test_suurballe.pdb"
+  "test_suurballe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suurballe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_yen.cpp" "tests/CMakeFiles/test_yen.dir/test_yen.cpp.o" "gcc" "tests/CMakeFiles/test_yen.dir/test_yen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/wdm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rwa/CMakeFiles/wdm_rwa.dir/DependInfo.cmake"
+  "/root/repo/build/src/wdm/CMakeFiles/wdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wdm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/wdm_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wdm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yen.dir/test_yen.cpp.o"
+  "CMakeFiles/test_yen.dir/test_yen.cpp.o.d"
+  "test_yen"
+  "test_yen.pdb"
+  "test_yen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdmtool.dir/wdmtool.cpp.o"
+  "CMakeFiles/wdmtool.dir/wdmtool.cpp.o.d"
+  "wdmtool"
+  "wdmtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdmtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

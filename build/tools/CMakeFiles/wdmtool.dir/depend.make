@@ -1,0 +1,2 @@
+# Empty dependencies file for wdmtool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(wdmtool_audit "/root/repo/build/tools/wdmtool" "audit" "nsfnet")
+set_tests_properties(wdmtool_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wdmtool_route "/root/repo/build/tools/wdmtool" "route" "nsfnet" "0" "13" "-r" "loadcost")
+set_tests_properties(wdmtool_route PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wdmtool_route_exact "/root/repo/build/tools/wdmtool" "route" "ring6" "0" "3" "-r" "exact")
+set_tests_properties(wdmtool_route_exact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wdmtool_simulate "/root/repo/build/tools/wdmtool" "simulate" "nsfnet" "--erlang" "5" "--duration" "5" "--replicas" "2")
+set_tests_properties(wdmtool_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wdmtool_dot "/root/repo/build/tools/wdmtool" "dot" "eon")
+set_tests_properties(wdmtool_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wdmtool_usage "/root/repo/build/tools/wdmtool")
+set_tests_properties(wdmtool_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
