@@ -1,0 +1,125 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "wdm/io.hpp"
+
+namespace wdm::fuzz {
+
+namespace {
+
+constexpr const char* kMagic = "#!fuzz";
+
+/// File-name-safe slug of an invariant id.
+std::string slug(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '-');
+  }
+  return out.empty() ? std::string("unknown") : out;
+}
+
+}  // namespace
+
+std::string write_repro_text(const FuzzInstance& inst,
+                             const Violation& violation) {
+  std::ostringstream out;
+  out << kMagic << " v1\n";
+  out << kMagic << " seed " << inst.seed << '\n';
+  out << kMagic << " family " << inst.family << '\n';
+  out << kMagic << " s " << inst.s << '\n';
+  out << kMagic << " t " << inst.t << '\n';
+  out << kMagic << " invariant " << violation.invariant
+      << (violation.router.empty() ? "" : " [" + violation.router + "]")
+      << '\n';
+  if (!violation.detail.empty()) {
+    out << kMagic << " detail " << violation.detail << '\n';
+  }
+  out << io::write_network(inst.network);
+  return out.str();
+}
+
+ReproCase read_repro_text(const std::string& text) {
+  ReproCase repro;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind(kMagic, 0) != 0) continue;
+    std::istringstream ls(line.substr(std::string(kMagic).size()));
+    std::string key;
+    ls >> key;
+    std::string rest;
+    std::getline(ls, rest);
+    const auto strip = [](std::string v) {
+      const auto b = v.find_first_not_of(' ');
+      return b == std::string::npos ? std::string() : v.substr(b);
+    };
+    rest = strip(rest);
+    try {
+      if (key == "seed") repro.instance.seed = std::stoull(rest);
+      else if (key == "family") repro.instance.family = rest;
+      else if (key == "s") repro.instance.s = std::stoi(rest);
+      else if (key == "t") repro.instance.t = std::stoi(rest);
+      else if (key == "invariant") repro.invariant = rest;
+      else if (key == "detail") repro.detail = rest;
+      // "v1" and unknown keys: ignored for forward compatibility.
+    } catch (const std::exception&) {
+      throw io::ParseError(line_no, "bad #!fuzz " + key + " value: " + rest);
+    }
+  }
+  repro.instance.network = io::read_network(text);
+  const auto& g = repro.instance.network.graph();
+  if (!g.valid_node(repro.instance.s) || !g.valid_node(repro.instance.t) ||
+      repro.instance.s == repro.instance.t) {
+    throw io::ParseError(0, "corpus entry has invalid request endpoints");
+  }
+  return repro;
+}
+
+std::string write_repro_file(const std::string& dir, const FuzzInstance& inst,
+                             const Violation& violation) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::ostringstream name;
+  name << slug(violation.invariant) << "-seed" << inst.seed << ".wdm";
+  const fs::path path = fs::path(dir) / name.str();
+  std::ofstream out(path);
+  WDM_CHECK_MSG(out.good(), "cannot open corpus file for writing");
+  out << write_repro_text(inst, violation);
+  return path.string();
+}
+
+std::vector<ReproCase> load_corpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<ReproCase> corpus;
+  if (!fs::is_directory(dir)) return corpus;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".wdm") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) {
+    std::ifstream in(f);
+    std::ostringstream text;
+    text << in.rdbuf();
+    ReproCase repro = read_repro_text(text.str());
+    repro.path = f.string();
+    corpus.push_back(std::move(repro));
+  }
+  return corpus;
+}
+
+std::vector<Violation> replay(const ReproCase& repro, const CheckOptions& opt) {
+  return check_instance(repro.instance, opt);
+}
+
+}  // namespace wdm::fuzz

@@ -1,0 +1,54 @@
+// Repro corpus: shrunk failing instances serialized through wdm/io's .wdm
+// text format, prefixed with `#!fuzz` metadata comment lines (which the
+// plain network reader skips, so every corpus file is also a valid network
+// file for wdmtool and friends).
+//
+//   #!fuzz v1
+//   #!fuzz seed <u64>          # generator seed of the original instance
+//   #!fuzz family <name>
+//   #!fuzz s <node>
+//   #!fuzz t <node>
+//   #!fuzz invariant <id>      # which invariant failed when recorded
+//   #!fuzz detail <free text>
+//   network ...                # wdm::io::write_network output
+//
+// Replay re-runs the invariant suite on every corpus entry; a fixed bug's
+// repro stays green forever as a regression test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/instance.hpp"
+#include "fuzz/invariants.hpp"
+
+namespace wdm::fuzz {
+
+struct ReproCase {
+  FuzzInstance instance;
+  std::string invariant;  // invariant recorded at capture time
+  std::string detail;
+  std::string path;  // file it was loaded from ("" when in-memory)
+};
+
+/// Serializes instance + metadata to the corpus text format.
+std::string write_repro_text(const FuzzInstance& inst,
+                             const Violation& violation);
+
+/// Parses a corpus entry. Throws io::ParseError on malformed input.
+ReproCase read_repro_text(const std::string& text);
+
+/// Writes the repro into `dir` (created if missing) under a deterministic
+/// name derived from invariant + seed; returns the full path.
+std::string write_repro_file(const std::string& dir, const FuzzInstance& inst,
+                             const Violation& violation);
+
+/// Loads every *.wdm file in `dir`, sorted by filename. Missing directory ->
+/// empty corpus.
+std::vector<ReproCase> load_corpus(const std::string& dir);
+
+/// Re-checks one corpus entry against the current invariant suite.
+std::vector<Violation> replay(const ReproCase& repro,
+                              const CheckOptions& opt = {});
+
+}  // namespace wdm::fuzz

@@ -1,0 +1,81 @@
+#include "fuzz/harness.hpp"
+
+#include <sstream>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/shrinker.hpp"
+
+namespace wdm::fuzz {
+
+std::string HarnessReport::summary() const {
+  std::ostringstream out;
+  out << instances_run << " instances, " << failing_instances << " failing";
+  for (const FailureRecord& f : failures) {
+    out << "\n  seed " << f.seed << " [" << f.family
+        << "]: " << f.violation.to_string() << " (size " << f.original_size
+        << " -> " << f.shrunk_size << ")";
+    if (!f.corpus_path.empty()) out << " repro: " << f.corpus_path;
+  }
+  return out.str();
+}
+
+HarnessReport run_fuzz(const HarnessOptions& opt) {
+  HarnessReport report;
+  for (int i = 0; i < opt.num_instances; ++i) {
+    const std::uint64_t seed = opt.base_seed + static_cast<std::uint64_t>(i);
+    const FuzzInstance inst = generate_instance(seed, opt.gen);
+    ++report.instances_run;
+    ++report.instances_per_family[inst.family];
+
+    CheckOptions copt = opt.check;
+    copt.run_ilp = copt.run_ilp || (opt.ilp_every > 0 && i % opt.ilp_every == 0);
+    const std::vector<Violation> violations = check_instance(inst, copt);
+    if (violations.empty()) continue;
+
+    ++report.failing_instances;
+    if (static_cast<int>(report.failures.size()) >= opt.max_recorded_failures) {
+      continue;
+    }
+
+    FailureRecord rec;
+    rec.seed = seed;
+    rec.family = inst.family;
+    rec.violation = violations.front();
+    rec.original_size = inst.size();
+    rec.shrunk = inst;
+
+    if (opt.shrink_failures) {
+      // The failure being chased is the *invariant id*: any router may
+      // trip it on the smaller instance, as long as the same contract
+      // breaks. Chasing the exact (router, detail) pair over-constrains the
+      // shrink and leaves larger repros.
+      const std::string target = rec.violation.invariant;
+      const auto still_fails = [&](const FuzzInstance& cand) {
+        for (const Violation& v : check_instance(cand, copt)) {
+          if (v.invariant == target) return true;
+        }
+        return false;
+      };
+      rec.shrunk = shrink(std::move(rec.shrunk), still_fails,
+                          opt.shrink_budget);
+      // Re-derive the violation on the minimized instance so the corpus
+      // entry's recorded detail matches its own contents.
+      for (const Violation& v : check_instance(rec.shrunk, copt)) {
+        if (v.invariant == target) {
+          rec.violation = v;
+          break;
+        }
+      }
+    }
+    rec.shrunk_size = rec.shrunk.size();
+
+    if (!opt.corpus_dir.empty()) {
+      rec.corpus_path =
+          write_repro_file(opt.corpus_dir, rec.shrunk, rec.violation);
+    }
+    report.failures.push_back(std::move(rec));
+  }
+  return report;
+}
+
+}  // namespace wdm::fuzz

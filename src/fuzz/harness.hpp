@@ -1,0 +1,58 @@
+// The fuzz driver: generate N seeded instances, run the router suite and
+// oracle set on each, and on any invariant violation greedily shrink the
+// instance and serialize the minimized repro into the corpus directory.
+//
+// Everything is deterministic given (base_seed, num_instances): failures
+// reported by CI reproduce locally by seed alone, and the corpus entry
+// carries the seed for provenance even after shrinking.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/invariants.hpp"
+
+namespace wdm::fuzz {
+
+struct HarnessOptions {
+  int num_instances = 500;
+  std::uint64_t base_seed = 20260807;
+  GenOptions gen;
+  CheckOptions check;
+  /// The ILP oracle is orders of magnitude slower than everything else; it
+  /// runs on every `ilp_every`-th instance that fits its size gate.
+  int ilp_every = 8;
+  /// When nonempty, each failure is shrunk and serialized here.
+  std::string corpus_dir;
+  bool shrink_failures = true;
+  int shrink_budget = 600;
+  /// Cap on recorded failure details (the run continues counting past it).
+  int max_recorded_failures = 8;
+};
+
+struct FailureRecord {
+  std::uint64_t seed = 0;
+  std::string family;
+  Violation violation;       // first violation on the original instance
+  FuzzInstance shrunk;       // minimized repro (== original when not shrunk)
+  long original_size = 0;
+  long shrunk_size = 0;
+  std::string corpus_path;   // "" when no corpus_dir configured
+};
+
+struct HarnessReport {
+  int instances_run = 0;
+  int failing_instances = 0;
+  std::map<std::string, int> instances_per_family;
+  std::vector<FailureRecord> failures;
+
+  bool ok() const { return failing_instances == 0; }
+  /// One-line-per-failure human summary for gtest messages.
+  std::string summary() const;
+};
+
+HarnessReport run_fuzz(const HarnessOptions& opt = {});
+
+}  // namespace wdm::fuzz

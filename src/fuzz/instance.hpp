@@ -1,0 +1,51 @@
+// A fuzz instance: one randomly generated WDM network plus a request (s, t)
+// and the provenance needed to regenerate or replay it. The network carries
+// the full §2 state the routers see — topology, Λ(e), w(e,λ), conversion
+// tables, background reservations, and failed links — so an instance is
+// exactly one residual-network snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "wdm/network.hpp"
+
+namespace wdm::fuzz {
+
+/// Topology families the generator draws from. Adversarial families (trap,
+/// bridge) exist because uniform random graphs almost never produce the
+/// structures that break greedy disjoint-path heuristics.
+enum class TopoFamily {
+  kRandomDigraph,    // non-duplex Erdős–Rényi-style directed multigraph
+  kRandomConnected,  // random spanning tree + extra duplex links
+  kRing,             // bidirectional ring
+  kGrid,             // grid mesh
+  kBackbone,         // NSFNET-14 (the canonical research topology)
+  kTrap,             // greedy two-step trap gadget + random decoys
+  kBridge,           // barbell joined by a single bridge fiber
+};
+
+const char* topo_family_name(TopoFamily f);
+
+struct FuzzInstance {
+  net::WdmNetwork network{1, 1};
+  net::NodeId s = 0;
+  net::NodeId t = 0;
+
+  /// Seed that produced the instance (0 for hand-built / shrunk instances,
+  /// which are no longer regenerable from a seed).
+  std::uint64_t seed = 0;
+  std::string family = "manual";
+
+  /// Instance size, the quantity the shrinker minimizes: nodes + links +
+  /// total installed wavelength count.
+  long size() const {
+    long s_ = network.num_nodes() + network.num_links();
+    for (graph::EdgeId e = 0; e < network.num_links(); ++e) {
+      s_ += network.installed(e).count();
+    }
+    return s_;
+  }
+};
+
+}  // namespace wdm::fuzz

@@ -1,0 +1,378 @@
+#include "fuzz/invariants.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "fuzz/generator.hpp"
+#include "graph/mincostflow.hpp"
+#include "graph/suurballe.hpp"
+#include "rwa/approx_router.hpp"
+#include "rwa/aux_graph.hpp"
+#include "rwa/baselines.hpp"
+#include "rwa/exact_router.hpp"
+#include "rwa/ilp_router.hpp"
+#include "rwa/loadcost_router.hpp"
+#include "rwa/mincog.hpp"
+#include "rwa/node_disjoint_router.hpp"
+
+namespace wdm::fuzz {
+
+namespace {
+
+void add(std::vector<Violation>& out, std::string invariant, std::string router,
+         std::string detail) {
+  out.push_back(Violation{std::move(invariant), std::move(router),
+                          std::move(detail)});
+}
+
+/// Structural re-check of one semilightpath from raw tables: contiguity,
+/// endpoints, installation, residual availability, conversion legality.
+/// Returns false (with a violation) on the first defect.
+bool check_path_structure(const net::WdmNetwork& net,
+                          const net::Semilightpath& p, net::NodeId s,
+                          net::NodeId t, const std::string& router,
+                          const char* which, std::vector<Violation>& out) {
+  const auto& g = net.graph();
+  if (!p.found || p.hops.empty()) {
+    add(out, "structure", router, std::string(which) + " path marked found but empty");
+    return false;
+  }
+  for (std::size_t i = 0; i < p.hops.size(); ++i) {
+    const net::Hop& h = p.hops[i];
+    std::ostringstream where;
+    where << which << " hop " << i << " (edge " << h.edge << ", λ" << h.lambda
+          << ")";
+    if (!g.valid_edge(h.edge) || h.lambda < 0 || h.lambda >= net.W()) {
+      add(out, "structure", router, where.str() + ": invalid edge/wavelength");
+      return false;
+    }
+    if (!net.installed(h.edge).contains(h.lambda)) {
+      add(out, "structure", router, where.str() + ": λ not installed on link");
+      return false;
+    }
+    if (net.link_failed(h.edge)) {
+      add(out, "structure", router, where.str() + ": link is failed");
+      return false;
+    }
+    if (net.is_used(h.edge, h.lambda)) {
+      add(out, "structure", router,
+          where.str() + ": wavelength already reserved (not in residual)");
+      return false;
+    }
+    if (i + 1 < p.hops.size()) {
+      const net::Hop& nx = p.hops[i + 1];
+      if (g.head(h.edge) != g.tail(nx.edge)) {
+        add(out, "structure", router, where.str() + ": hops not contiguous");
+        return false;
+      }
+      // Wavelength continuity: a change across the intermediate node is a
+      // conversion and must be allowed by that node's table.
+      const net::NodeId mid = g.head(h.edge);
+      if (h.lambda != nx.lambda &&
+          !net.conversion(mid).allowed(h.lambda, nx.lambda)) {
+        add(out, "continuity", router,
+            where.str() + ": conversion λ" + std::to_string(h.lambda) + "->λ" +
+                std::to_string(nx.lambda) + " not allowed at node " +
+                std::to_string(mid));
+        return false;
+      }
+    }
+  }
+  if (g.tail(p.hops.front().edge) != s || g.head(p.hops.back().edge) != t) {
+    add(out, "endpoints", router,
+        std::string(which) + " path does not run s->t");
+    return false;
+  }
+  return true;
+}
+
+std::set<graph::NodeId> internal_nodes(const net::WdmNetwork& net,
+                                       const net::Semilightpath& p) {
+  std::set<graph::NodeId> ns;
+  for (std::size_t i = 0; i + 1 < p.hops.size(); ++i) {
+    ns.insert(net.graph().head(p.hops[i].edge));
+  }
+  return ns;
+}
+
+}  // namespace
+
+double recompute_cost_eq1(const net::WdmNetwork& net,
+                          const net::Semilightpath& p) {
+  double c = 0.0;
+  for (std::size_t i = 0; i < p.hops.size(); ++i) {
+    c += net.weight(p.hops[i].edge, p.hops[i].lambda);
+    if (i + 1 < p.hops.size()) {
+      c += net.conversion(net.graph().head(p.hops[i].edge))
+               .cost(p.hops[i].lambda, p.hops[i + 1].lambda);
+    }
+  }
+  return c;
+}
+
+void check_route_result(const FuzzInstance& inst, const rwa::RouteResult& r,
+                        const std::string& router, bool requires_backup,
+                        bool requires_node_disjoint, bool check_aux_bound,
+                        double eps, std::vector<Violation>& out) {
+  if (!r.found) return;
+  const net::WdmNetwork& net = inst.network;
+
+  bool ok = check_path_structure(net, r.route.primary, inst.s, inst.t, router,
+                                 "primary", out);
+  if (requires_backup) {
+    ok = check_path_structure(net, r.route.backup, inst.s, inst.t, router,
+                              "backup", out) &&
+         ok;
+  }
+  if (!ok) return;
+
+  // Edge-disjointness (§2): share no directed physical link.
+  if (requires_backup) {
+    std::set<graph::EdgeId> pe;
+    for (const net::Hop& h : r.route.primary.hops) pe.insert(h.edge);
+    for (const net::Hop& h : r.route.backup.hops) {
+      if (pe.count(h.edge)) {
+        add(out, "edge-disjoint", router,
+            "primary and backup share link " + std::to_string(h.edge));
+        return;
+      }
+    }
+    // Differential: the library's own feasibility predicate must agree with
+    // the independent re-derivation above.
+    if (!r.route.feasible(net)) {
+      add(out, "feasible-predicate", router,
+          "ProtectedRoute::feasible disagrees with independent checks");
+      return;
+    }
+  }
+
+  if (requires_node_disjoint) {
+    const auto a = internal_nodes(net, r.route.primary);
+    const auto b = internal_nodes(net, r.route.backup);
+    for (graph::NodeId v : a) {
+      if (b.count(v)) {
+        add(out, "node-disjoint", router,
+            "paths share intermediate node " + std::to_string(v));
+      }
+    }
+  }
+
+  // Independent Eq. (1) re-accounting of each path and of the total.
+  double total = 0.0;
+  const net::Semilightpath* paths[2] = {&r.route.primary, &r.route.backup};
+  const char* names[2] = {"primary", "backup"};
+  for (int i = 0; i < (requires_backup ? 2 : 1); ++i) {
+    const double independent = recompute_cost_eq1(net, *paths[i]);
+    const double library = paths[i]->cost(net);
+    if (std::abs(independent - library) > eps) {
+      std::ostringstream d;
+      d << names[i] << " Eq.(1) mismatch: independent " << independent
+        << " vs Semilightpath::cost " << library;
+      add(out, "cost-accounting", router, d.str());
+    }
+    total += independent;
+  }
+  if (requires_backup && std::abs(total - r.total_cost(net)) > eps) {
+    std::ostringstream d;
+    d << "total_cost " << r.total_cost(net) << " != independent sum " << total;
+    add(out, "cost-accounting", router, d.str());
+  }
+
+  // Lemma 2: delivered cost bounded by the auxiliary-graph pair weight.
+  if (check_aux_bound && !std::isnan(r.aux_cost) && requires_backup) {
+    if (total > r.aux_cost + eps) {
+      std::ostringstream d;
+      d << "delivered cost " << total << " exceeds aux-graph bound "
+        << r.aux_cost << " (Lemma 2)";
+      add(out, "aux-bound", router, d.str());
+    }
+  }
+
+  // Version 2 threshold: every link the route uses had load < ϑ when the
+  // G_c / G_rc filter admitted it.
+  if (!std::isnan(r.theta) && requires_backup) {
+    for (int i = 0; i < 2; ++i) {
+      for (const net::Hop& h : paths[i]->hops) {
+        if (net.link_load(h.edge) >= r.theta) {
+          std::ostringstream d;
+          d << names[i] << " uses link " << h.edge << " with load "
+            << net.link_load(h.edge) << " >= accepted ϑ " << r.theta;
+          add(out, "theta-filter", router, d.str());
+        }
+      }
+    }
+  }
+
+  // Reservation accounting: reserve the route in a copy, recompute per-link
+  // usage and ρ (Eq. 2) independently, release, and verify no leak.
+  net::WdmNetwork copy = net;  // value semantics: full state copy
+  const long long usage_before = copy.total_usage();
+  std::vector<int> extra(static_cast<std::size_t>(copy.num_links()), 0);
+  for (int i = 0; i < (requires_backup ? 2 : 1); ++i) {
+    paths[i]->reserve_in(copy);
+    for (const net::Hop& h : paths[i]->hops) {
+      ++extra[static_cast<std::size_t>(h.edge)];
+    }
+  }
+  double rho = 0.0;
+  for (graph::EdgeId e = 0; e < copy.num_links(); ++e) {
+    // Recount in-use wavelengths bit by bit rather than trusting usage().
+    int used = 0;
+    for (net::Wavelength l = 0; l < copy.W(); ++l) {
+      if (copy.installed(e).contains(l) && copy.is_used(e, l)) ++used;
+    }
+    const int expect = net.usage(e) + extra[static_cast<std::size_t>(e)];
+    if (used != expect) {
+      std::ostringstream d;
+      d << "link " << e << " usage after reserve is " << used << ", expected "
+        << expect;
+      add(out, "rho-recompute", router, d.str());
+    }
+    rho = std::max(rho, static_cast<double>(used) /
+                            static_cast<double>(copy.capacity(e)));
+  }
+  if (std::abs(rho - copy.network_load()) > eps) {
+    std::ostringstream d;
+    d << "network_load() " << copy.network_load()
+      << " != independently recomputed ρ " << rho;
+    add(out, "rho-recompute", router, d.str());
+  }
+  for (int i = 0; i < (requires_backup ? 2 : 1); ++i) {
+    paths[i]->release_in(copy);
+  }
+  if (copy.total_usage() != usage_before) {
+    add(out, "rho-recompute", router, "reserve/release leaked usage");
+  }
+}
+
+std::vector<Violation> check_instance(const FuzzInstance& inst,
+                                      const CheckOptions& opt) {
+  std::vector<Violation> out;
+  const net::WdmNetwork& net = inst.network;
+  const bool full_conv = all_nodes_full_conversion(net);
+  const bool thm2 = in_theorem2_regime(net);
+
+  // --- Route-level invariants over the whole router suite. ---
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::ApproxDisjointRouter approx_norefine(false);
+  const rwa::NodeDisjointRouter node_disjoint;
+  const rwa::MinLoadRouter minload;
+  const rwa::LoadCostRouter loadcost;
+  const rwa::UnprotectedRouter unprotected;
+  const rwa::PhysicalFirstFitRouter physff;
+  const rwa::TwoStepRouter twostep;
+
+  const rwa::RouteResult approx_r = approx.route(net, inst.s, inst.t);
+  check_route_result(inst, approx_r, approx.name(), true, false,
+                     /*check_aux_bound=*/thm2, opt.eps, out);
+  check_route_result(inst, approx_norefine.route(net, inst.s, inst.t),
+                     approx_norefine.name(), true, false, false, opt.eps, out);
+  check_route_result(inst, node_disjoint.route(net, inst.s, inst.t),
+                     node_disjoint.name(), true, true, false, opt.eps, out);
+  check_route_result(inst, minload.route(net, inst.s, inst.t), minload.name(),
+                     true, false, false, opt.eps, out);
+  check_route_result(inst, loadcost.route(net, inst.s, inst.t),
+                     loadcost.name(), true, false, false, opt.eps, out);
+  check_route_result(inst, unprotected.route(net, inst.s, inst.t),
+                     unprotected.name(), false, false, false, opt.eps, out);
+  check_route_result(inst, physff.route(net, inst.s, inst.t), physff.name(),
+                     true, false, false, opt.eps, out);
+  check_route_result(inst, twostep.route(net, inst.s, inst.t), twostep.name(),
+                     true, false, false, opt.eps, out);
+  for (const rwa::Router* extra : opt.extra_routers) {
+    check_route_result(inst, extra->route(net, inst.s, inst.t), extra->name(),
+                       true, false, /*check_aux_bound=*/thm2, opt.eps, out);
+  }
+
+  // --- Exact oracles (gated by instance size). ---
+  const bool exact_ok = opt.run_exact &&
+                        net.num_nodes() <= opt.exact_max_nodes &&
+                        net.num_links() <= opt.exact_max_links;
+  rwa::ExactResult exact;
+  if (exact_ok) {
+    rwa::ExactOptions eopt;
+    eopt.max_candidates = opt.exact_max_candidates;
+    exact = rwa::exact_disjoint_pair(net, inst.s, inst.t, eopt);
+  }
+
+  // Existence + optimality agreement is sound when every node has full
+  // conversion: then G' is exact on existence, every walk shortcuts to a
+  // simple path, and the enumeration optimum is the global optimum.
+  if (exact_ok && exact.proven_optimal && full_conv) {
+    if (approx_r.found != exact.result.found) {
+      add(out, "approx-vs-exact-existence", "",
+          std::string("approx ") + (approx_r.found ? "found" : "blocked") +
+              " but exact " + (exact.result.found ? "found" : "blocked") +
+              " under full conversion");
+    }
+    // The cost comparisons additionally need the Theorem 2 assumptions:
+    // they guarantee any walk shortcuts to a simple path at no extra cost,
+    // making the simple-pair enumeration optimum a true global optimum.
+    if (approx_r.found && exact.result.found && thm2) {
+      const double a = approx_r.total_cost(net);
+      const double x = exact.result.total_cost(net);
+      if (a < x - opt.eps) {
+        std::ostringstream d;
+        d << "approx cost " << a << " beats proven optimum " << x;
+        add(out, "exact-lower-bound", "", d.str());
+      }
+      if (a > 2.0 * x + opt.eps) {
+        std::ostringstream d;
+        d << "approx cost " << a << " > 2 x optimum " << x
+          << " inside the Theorem 2 assumptions";
+        add(out, "theorem2-ratio", "", d.str());
+      }
+    }
+  }
+
+  // ILP vs enumeration (both are simple-pair-exact; must agree).
+  if (exact_ok && exact.proven_optimal && opt.run_ilp &&
+      net.num_nodes() <= opt.ilp_max_nodes &&
+      net.W() <= opt.ilp_max_wavelengths) {
+    const rwa::IlpRouteResult ilp = rwa::ilp_disjoint_pair(net, inst.s, inst.t);
+    if (ilp.result.found != exact.result.found) {
+      add(out, "ilp-vs-exact", "",
+          std::string("ILP ") + (ilp.result.found ? "found" : "blocked") +
+              " but enumeration " +
+              (exact.result.found ? "found" : "blocked"));
+    } else if (ilp.result.found &&
+               std::abs(ilp.result.total_cost(net) -
+                        exact.result.total_cost(net)) > 1e-4) {
+      std::ostringstream d;
+      d << "ILP optimum " << ilp.result.total_cost(net)
+        << " != enumeration optimum " << exact.result.total_cost(net);
+      add(out, "ilp-vs-exact", "", d.str());
+    }
+  }
+
+  // Suurballe vs min-cost-flow (k=2) on the auxiliary graph G': independent
+  // algorithms, identical optimum.
+  {
+    rwa::AuxGraphOptions aopt;
+    aopt.weighting = rwa::AuxWeighting::kCost;
+    const rwa::AuxGraph aux =
+        rwa::build_aux_graph(net, inst.s, inst.t, aopt);
+    const graph::DisjointPair sb =
+        graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+    const auto mcf = graph::min_cost_disjoint_paths(aux.g, aux.w, aux.s_prime,
+                                                    aux.t_second, 2);
+    if (sb.found != mcf.has_value()) {
+      add(out, "suurballe-vs-mcf", "",
+          std::string("Suurballe ") + (sb.found ? "found" : "blocked") +
+              " but min-cost flow " + (mcf ? "found" : "blocked"));
+    } else if (sb.found) {
+      const double mcf_cost = (*mcf)[0].cost + (*mcf)[1].cost;
+      if (std::abs(sb.total_cost() - mcf_cost) > 1e-6) {
+        std::ostringstream d;
+        d << "Suurballe pair weight " << sb.total_cost()
+          << " != min-cost-flow weight " << mcf_cost;
+        add(out, "suurballe-vs-mcf", "", d.str());
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace wdm::fuzz

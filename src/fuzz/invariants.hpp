@@ -1,0 +1,83 @@
+// The invariant library of the differential fuzz harness.
+//
+// Each check re-derives a property from first principles — deliberately NOT
+// by calling the library method under test — and reports a Violation when
+// the routers' output (or the library's own accounting) disagrees. The
+// properties encode the paper's contracts:
+//
+//   * structural: primary/backup run s -> t, every hop realizable in the
+//     residual network, wavelength continuity between conversions,
+//     edge-disjointness (§2), internal node-disjointness for the
+//     node-disjoint extension;
+//   * cost: independent Eq. (1) re-accounting of every returned path;
+//     the Lemma 2 upper bound (delivered cost <= auxiliary-graph weight) and
+//     the Theorem 2 ratio (approx <= 2 x exact) inside the §3.3 assumptions;
+//   * load: every link of a Version 2 route respects the accepted threshold
+//     ϑ (the G_c filter), and ρ after reservation matches an independent
+//     recomputation of Eq. (2);
+//   * differential: approx-vs-exact existence agreement, enumeration-exact
+//     vs ILP-exact cost agreement, Suurballe vs min-cost-flow agreement on
+//     the auxiliary graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/instance.hpp"
+#include "rwa/router.hpp"
+
+namespace wdm::fuzz {
+
+struct Violation {
+  std::string invariant;  // short machine-readable id, e.g. "edge-disjoint"
+  std::string router;     // offending router name ("" for instance-level)
+  std::string detail;     // human-readable explanation
+
+  std::string to_string() const {
+    return invariant + (router.empty() ? "" : " [" + router + "]") + ": " +
+           detail;
+  }
+};
+
+struct CheckOptions {
+  /// Oracle gates: the exact enumeration runs on instances up to these
+  /// sizes; the ILP (much slower) only when `run_ilp` is set by the caller
+  /// (the harness samples it).
+  bool run_exact = true;
+  int exact_max_nodes = 9;
+  int exact_max_links = 48;
+  long exact_max_candidates = 20000;
+
+  bool run_ilp = false;
+  int ilp_max_nodes = 5;
+  int ilp_max_wavelengths = 3;
+
+  /// Additional routers checked against the route-level invariants — the
+  /// mutation-testing entry point (inject a deliberately broken router and
+  /// assert the harness flags it).
+  std::vector<const rwa::Router*> extra_routers;
+
+  double eps = 1e-6;
+};
+
+/// Independent Eq. (1) re-accounting: Σ w(e_i, λ_i) + Σ c_v(λ_i, λ_{i+1}).
+/// Walks raw network tables; never calls Semilightpath::cost.
+double recompute_cost_eq1(const net::WdmNetwork& net,
+                          const net::Semilightpath& p);
+
+/// Route-level invariants for one router result on one instance.
+/// `requires_backup` = false for the unprotected baseline;
+/// `requires_node_disjoint` adds the internal-node-disjointness check;
+/// `check_aux_bound` adds the Lemma 2 delivered <= aux_cost check (only
+/// sound for the G'-weighted router inside the Theorem 2 regime).
+void check_route_result(const FuzzInstance& inst, const rwa::RouteResult& r,
+                        const std::string& router, bool requires_backup,
+                        bool requires_node_disjoint, bool check_aux_bound,
+                        double eps, std::vector<Violation>& out);
+
+/// Runs the full router suite + oracles on the instance and returns every
+/// violation found (empty = instance passes).
+std::vector<Violation> check_instance(const FuzzInstance& inst,
+                                      const CheckOptions& opt = {});
+
+}  // namespace wdm::fuzz

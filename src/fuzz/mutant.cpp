@@ -1,0 +1,34 @@
+#include "fuzz/mutant.hpp"
+
+namespace wdm::fuzz {
+
+const char* mutation_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kUnderreportAuxCost: return "underreport-aux-cost";
+    case MutationKind::kShareEdge: return "share-edge";
+    case MutationKind::kDropBackupHop: return "drop-backup-hop";
+  }
+  return "unknown";
+}
+
+rwa::RouteResult MutantRouter::route(const net::WdmNetwork& net, net::NodeId s,
+                                     net::NodeId t) const {
+  rwa::RouteResult r = inner_.route(net, s, t);
+  if (!r.found) return r;
+  switch (kind_) {
+    case MutationKind::kUnderreportAuxCost:
+      // Claim a tighter bound than was delivered — the kind of bug a wrong
+      // averaging term in the G' weights would produce.
+      r.aux_cost = 0.5 * r.total_cost(net);
+      break;
+    case MutationKind::kShareEdge:
+      r.route.backup = r.route.primary;
+      break;
+    case MutationKind::kDropBackupHop:
+      if (!r.route.backup.hops.empty()) r.route.backup.hops.pop_back();
+      break;
+  }
+  return r;
+}
+
+}  // namespace wdm::fuzz

@@ -1,0 +1,44 @@
+// Mutation testing for the fuzz harness itself: wrap a correct router and
+// corrupt its output in a controlled way, then assert the invariant suite
+// flags it. A harness that cannot catch a planted bug cannot be trusted to
+// catch a real one.
+#pragma once
+
+#include "rwa/router.hpp"
+
+namespace wdm::fuzz {
+
+enum class MutationKind {
+  /// Cost-accounting bug: report an auxiliary-graph bound below the
+  /// delivered cost (violates the Lemma 2 `aux-bound` invariant).
+  kUnderreportAuxCost,
+  /// Protection bug: return the primary path as its own backup (violates
+  /// `edge-disjoint`).
+  kShareEdge,
+  /// Truncation bug: drop the backup's last hop (violates `endpoints` /
+  /// `structure`).
+  kDropBackupHop,
+};
+
+const char* mutation_name(MutationKind kind);
+
+/// Forwards to `inner` and applies the mutation to successful results.
+class MutantRouter final : public rwa::Router {
+ public:
+  MutantRouter(const rwa::Router& inner, MutationKind kind)
+      : inner_(inner), kind_(kind) {}
+
+  rwa::RouteResult route(const net::WdmNetwork& net, net::NodeId s,
+                         net::NodeId t) const override;
+
+  std::string name() const override {
+    return std::string("mutant(") + mutation_name(kind_) + ")/" +
+           inner_.name();
+  }
+
+ private:
+  const rwa::Router& inner_;
+  MutationKind kind_;
+};
+
+}  // namespace wdm::fuzz

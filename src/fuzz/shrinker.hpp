@@ -1,0 +1,42 @@
+// Greedy instance minimization: given a failing instance and a predicate
+// "does the failure persist?", repeatedly try structure-removing edits —
+// drop a link, drop a wavelength from the universe, drop a node — keeping
+// each edit only when the failure survives. The result is a (locally)
+// minimal repro whose serialized form goes into the corpus.
+//
+// Edits rebuild the network from scratch (WdmNetwork has no removal API by
+// design), carrying over conversion tables, installed sets, per-λ costs,
+// reservations, and failure flags of everything kept.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/instance.hpp"
+
+namespace wdm::fuzz {
+
+/// Returns true when the instance still exhibits the failure being chased.
+using FailurePredicate = std::function<bool(const FuzzInstance&)>;
+
+/// Rebuilding edits (exposed for tests; each returns a fresh instance).
+/// drop_link requires a valid link id; drop_wavelength requires W > 1 and
+/// drops links whose installed set becomes empty; drop_node requires
+/// v != s, t and drops all incident links.
+FuzzInstance drop_link(const FuzzInstance& inst, graph::EdgeId e);
+FuzzInstance drop_wavelength(const FuzzInstance& inst, net::Wavelength l);
+FuzzInstance drop_node(const FuzzInstance& inst, net::NodeId v);
+
+struct ShrinkStats {
+  long initial_size = 0;
+  long final_size = 0;
+  int edits_tried = 0;
+  int edits_kept = 0;
+};
+
+/// Greedy fixpoint shrink. `budget` caps predicate evaluations (each is a
+/// full re-check, typically the expensive part). The input instance must
+/// satisfy the predicate.
+FuzzInstance shrink(FuzzInstance inst, const FailurePredicate& still_fails,
+                    int budget = 800, ShrinkStats* stats = nullptr);
+
+}  // namespace wdm::fuzz

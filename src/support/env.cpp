@@ -1,0 +1,30 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace wdm::support {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const auto v = env_string(name);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(*v, &pos);
+    if (pos != v->size()) return fallback;
+    return parsed;
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  return env_string(name).value_or(fallback);
+}
+
+}  // namespace wdm::support

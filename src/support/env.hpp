@@ -1,0 +1,27 @@
+// Environment-variable knobs, used by the fuzz harness (and available to
+// benches) so CI can scale work without rebuilding:
+//
+//   WDM_FUZZ_ITERATIONS  instance count of the differential fuzz sweep
+//   WDM_FUZZ_SEED        base seed (failures reproduce by seed alone)
+//   WDM_FUZZ_CORPUS_DIR  where shrunk repros are written
+//
+// Malformed values fall back to the default (a bad CI variable should not
+// silently disable a test run by throwing at startup).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace wdm::support {
+
+/// The variable's value, or nullopt when unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer-valued variable; unset/empty/malformed -> `fallback`.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// String-valued variable with default.
+std::string env_or(const char* name, const std::string& fallback);
+
+}  // namespace wdm::support

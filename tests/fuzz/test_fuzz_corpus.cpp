@@ -1,0 +1,127 @@
+// Corpus round-trip and replay tests.
+//
+// The load-bearing property is exact serialization: save -> load -> save is
+// byte-identical for every instance the generator can emit, so a corpus
+// entry pins the precise residual network that triggered a failure. The
+// committed seed corpus (tests/fuzz/corpus/) replays through the full
+// invariant suite on every CTest run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/generator.hpp"
+#include "wdm/io.hpp"
+
+namespace wdm::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(WdmIo, SaveLoadSaveIsByteIdentical) {
+  // Satellite: the io round-trip contract, exercised across every topology
+  // family, partial installations, reservations, and failed fibers.
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const FuzzInstance inst = generate_instance(seed);
+    const std::string first = io::write_network(inst.network);
+    net::WdmNetwork loaded = io::read_network(first);
+    const std::string second = io::write_network(loaded);
+    ASSERT_EQ(first, second) << "seed " << seed << " family " << inst.family;
+    // And the reloaded network is semantically the same instance.
+    EXPECT_EQ(loaded.num_nodes(), inst.network.num_nodes());
+    EXPECT_EQ(loaded.num_links(), inst.network.num_links());
+    EXPECT_EQ(loaded.W(), inst.network.W());
+    EXPECT_EQ(loaded.total_usage(), inst.network.total_usage());
+    EXPECT_DOUBLE_EQ(loaded.network_load(), inst.network.network_load());
+  }
+}
+
+TEST(Corpus, ReproTextRoundTripsMetadataAndNetwork) {
+  const FuzzInstance inst = generate_instance(7);
+  Violation v;
+  v.invariant = "aux-bound";
+  v.detail = "delivered cost 5 exceeds aux-graph bound 4 (Lemma 2)";
+  const std::string text = write_repro_text(inst, v);
+
+  const ReproCase repro = read_repro_text(text);
+  EXPECT_EQ(repro.instance.seed, inst.seed);
+  EXPECT_EQ(repro.instance.family, inst.family);
+  EXPECT_EQ(repro.instance.s, inst.s);
+  EXPECT_EQ(repro.instance.t, inst.t);
+  EXPECT_EQ(repro.invariant, "aux-bound");
+  EXPECT_EQ(repro.detail, v.detail);
+  EXPECT_EQ(io::write_network(repro.instance.network),
+            io::write_network(inst.network));
+}
+
+TEST(Corpus, ReproFilesAreValidPlainNetworkFiles) {
+  // The #!fuzz header rides in comment lines, so every corpus entry must
+  // also parse as an ordinary .wdm network file.
+  const FuzzInstance inst = generate_instance(11);
+  Violation v;
+  v.invariant = "edge-disjoint";
+  v.router = "approx-cost(§3.3)";
+  const std::string text = write_repro_text(inst, v);
+  net::WdmNetwork plain = io::read_network(text);
+  EXPECT_EQ(io::write_network(plain), io::write_network(inst.network));
+}
+
+TEST(Corpus, WriteLoadReplayRoundTrip) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "wdm-fuzz-corpus-rt";
+  fs::remove_all(dir);
+
+  const FuzzInstance a = generate_instance(21);
+  const FuzzInstance b = generate_instance(22);
+  Violation v;
+  v.invariant = "rho-recompute";
+  v.detail = "synthetic";
+  const std::string pa = write_repro_file(dir.string(), a, v);
+  const std::string pb = write_repro_file(dir.string(), b, v);
+  EXPECT_TRUE(fs::exists(pa));
+  EXPECT_TRUE(fs::exists(pb));
+  EXPECT_NE(pa, pb);  // names keyed by seed: no clobbering
+
+  const auto corpus = load_corpus(dir.string());
+  ASSERT_EQ(corpus.size(), 2u);
+  for (const ReproCase& repro : corpus) {
+    EXPECT_EQ(repro.invariant, "rho-recompute");
+    EXPECT_FALSE(repro.path.empty());
+    // These instances are healthy; replay must be green.
+    CheckOptions opt;
+    for (const Violation& viol : replay(repro, opt)) {
+      ADD_FAILURE() << repro.path << ": " << viol.to_string();
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Corpus, LoadMissingDirectoryYieldsEmptyCorpus) {
+  EXPECT_TRUE(load_corpus("/nonexistent/wdm-fuzz-no-such-dir").empty());
+}
+
+TEST(Corpus, MalformedEntriesAreRejected) {
+  EXPECT_THROW(read_repro_text("#!fuzz seed not-a-number\nnetwork 2 2\n"),
+               io::ParseError);
+  // Valid network, but the request endpoints are out of range / degenerate.
+  EXPECT_THROW(
+      read_repro_text("#!fuzz s 5\n#!fuzz t 5\nnetwork 2 2\nlink 0 1 cost 1\n"),
+      io::ParseError);
+}
+
+TEST(Corpus, CommittedSeedCorpusReplaysClean) {
+  // The corpus shipped with the repo — adversarial gadget instances — must
+  // stay green against the current invariant suite forever.
+  const auto corpus = load_corpus(WDM_FUZZ_SEED_CORPUS_DIR);
+  ASSERT_GE(corpus.size(), 2u)
+      << "seed corpus missing from " << WDM_FUZZ_SEED_CORPUS_DIR;
+  for (const ReproCase& repro : corpus) {
+    CheckOptions opt;
+    for (const Violation& viol : replay(repro, opt)) {
+      ADD_FAILURE() << repro.path << ": " << viol.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdm::fuzz

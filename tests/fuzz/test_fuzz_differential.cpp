@@ -1,0 +1,121 @@
+// The headline differential sweep: hundreds of seeded random instances,
+// every router, every invariant, zero tolerated violations.
+//
+// Budget knobs (CI / sanitizer smoke runs):
+//   WDM_FUZZ_ITERATIONS  instance count (default 500)
+//   WDM_FUZZ_SEED        base seed (default in-harness)
+//   WDM_FUZZ_CORPUS_DIR  where shrunk repros of any failure are written
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "fuzz/harness.hpp"
+#include "support/env.hpp"
+#include "test_util.hpp"
+#include "wdm/io.hpp"
+
+namespace wdm::fuzz {
+namespace {
+
+HarnessOptions env_options() {
+  HarnessOptions opt;
+  opt.num_instances =
+      static_cast<int>(support::env_int("WDM_FUZZ_ITERATIONS", 500));
+  opt.base_seed = static_cast<std::uint64_t>(
+      support::env_int("WDM_FUZZ_SEED",
+                       static_cast<std::int64_t>(opt.base_seed)));
+  opt.corpus_dir = support::env_or("WDM_FUZZ_CORPUS_DIR", "");
+  return opt;
+}
+
+TEST(FuzzSweep, SeededInstancesSatisfyAllInvariants) {
+  const HarnessOptions opt = env_options();
+  const HarnessReport report = run_fuzz(opt);
+  EXPECT_EQ(report.instances_run, opt.num_instances);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzSweep, Theorem2RegimeSweep) {
+  // A denser pass through the regime where the sharpest contracts are live:
+  // Theorem 2's 2x ratio, Lemma 2's aux bound, and two-sided
+  // approx-vs-exact existence agreement all check on every instance here.
+  HarnessOptions opt = env_options();
+  opt.num_instances = std::max(20, opt.num_instances / 4);
+  opt.base_seed += 0x517e0000;
+  opt.gen.theorem2_regime_only = true;
+  const HarnessReport report = run_fuzz(opt);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(FuzzSweep, CoversEveryTopologyFamily) {
+  HarnessOptions opt;
+  opt.num_instances = 200;
+  opt.check.run_exact = false;  // coverage question only; keep it cheap
+  opt.ilp_every = 0;
+  HarnessReport report;
+  for (int i = 0; i < opt.num_instances; ++i) {
+    const FuzzInstance inst =
+        generate_instance(opt.base_seed + static_cast<std::uint64_t>(i));
+    ++report.instances_per_family[inst.family];
+  }
+  for (const char* family :
+       {"random-digraph", "random-connected", "ring", "grid", "backbone",
+        "trap", "bridge"}) {
+    EXPECT_GT(report.instances_per_family[family], 0)
+        << "family " << family << " never generated in 200 draws";
+  }
+}
+
+TEST(FuzzGenerator, DeterministicGivenSeed) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const FuzzInstance a = generate_instance(seed);
+    const FuzzInstance b = generate_instance(seed);
+    EXPECT_EQ(a.s, b.s);
+    EXPECT_EQ(a.t, b.t);
+    EXPECT_EQ(a.family, b.family);
+    // Bit-identical state via the exact-roundtrip serialization.
+    EXPECT_EQ(io::write_network(a.network), io::write_network(b.network));
+  }
+}
+
+TEST(FuzzGenerator, Theorem2RegimeFlagHolds) {
+  GenOptions gen;
+  gen.theorem2_regime_only = true;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const FuzzInstance inst = generate_instance(seed, gen);
+    EXPECT_TRUE(in_theorem2_regime(inst.network))
+        << "seed " << seed << " family " << inst.family;
+  }
+}
+
+TEST(RandomDigraph, ForbiddenParallelEdgesYieldsSimpleDigraph) {
+  support::Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const auto rg =
+        test::random_digraph(6, 40, rng, 1.0, 10.0, /*allow_parallel=*/false);
+    // m clamped to the 6*5 distinct ordered pairs, each at most once.
+    EXPECT_EQ(rg.g.num_edges(), 30);
+    std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+    for (graph::EdgeId e = 0; e < rg.g.num_edges(); ++e) {
+      EXPECT_NE(rg.g.tail(e), rg.g.head(e));
+      EXPECT_TRUE(seen.emplace(rg.g.tail(e), rg.g.head(e)).second)
+          << "duplicate edge " << rg.g.tail(e) << "->" << rg.g.head(e);
+    }
+  }
+}
+
+TEST(FuzzGenerator, InstancesAreWellFormedRequests) {
+  for (std::uint64_t seed = 100; seed < 200; ++seed) {
+    const FuzzInstance inst = generate_instance(seed);
+    EXPECT_NE(inst.s, inst.t);
+    EXPECT_TRUE(inst.network.graph().valid_node(inst.s));
+    EXPECT_TRUE(inst.network.graph().valid_node(inst.t));
+    EXPECT_GT(inst.network.num_links(), 0);
+    EXPECT_GE(inst.network.W(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace wdm::fuzz

@@ -1,0 +1,262 @@
+// Adversarial-gadget tests: the deterministic trap and bridge instances the
+// fuzz generator draws from, pinned down as named regressions.
+//
+// The trap is the structure Suurballe exists for: the globally cheapest
+// semilightpath uses links every disjoint pair needs, so the greedy
+// two-step heuristic routes itself into a dead end while the §3.3 joint
+// optimization succeeds. The barbell shows the opposite failure: when an
+// undirected bridge separates s from t, NO router may claim a protected
+// route — cross-checked against the graph-level bridges oracle.
+#include <gtest/gtest.h>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/invariants.hpp"
+#include "graph/bridges.hpp"
+#include "rwa/approx_router.hpp"
+#include "rwa/baselines.hpp"
+#include "rwa/exact_router.hpp"
+#include "rwa/node_disjoint_router.hpp"
+
+namespace wdm::fuzz {
+namespace {
+
+constexpr net::NodeId kS = 0, kA = 1, kB = 2, kT = 3;
+
+/// The classic cost trap on four nodes: cheap chain s->a->b->t, dear arms
+/// s->b and a->t. All wavelengths installed at a uniform per-link cost, full
+/// zero-cost conversion — squarely inside the Theorem 2 regime.
+FuzzInstance cost_trap() {
+  FuzzInstance inst;
+  inst.network = net::WdmNetwork(4, 2);
+  inst.s = kS;
+  inst.t = kT;
+  inst.family = "trap/manual";
+  net::WdmNetwork& n = inst.network;
+  for (net::NodeId v = 0; v < 4; ++v) {
+    n.set_conversion(v, net::ConversionTable::full(2, 0.0));
+  }
+  const net::WavelengthSet all = net::WavelengthSet::all(2);
+  n.add_link(kS, kA, all, 1.0);
+  n.add_link(kA, kB, all, 1.0);
+  n.add_link(kB, kT, all, 1.0);
+  n.add_link(kS, kB, all, 5.0);
+  n.add_link(kA, kT, all, 5.0);
+  return inst;
+}
+
+TEST(TrapTopology, GreedyTwoStepIsBlocked) {
+  const FuzzInstance inst = cost_trap();
+  const rwa::TwoStepRouter twostep;
+  const rwa::RouteResult r = twostep.route(inst.network, inst.s, inst.t);
+  // Greedy takes s->a->b->t (cost 3); the survivors s->b and a->t cannot
+  // form a second s->t path.
+  EXPECT_FALSE(r.found);
+}
+
+TEST(TrapTopology, ApproxRouterEscapesTheTrap) {
+  const FuzzInstance inst = cost_trap();
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::RouteResult r = approx.route(inst.network, inst.s, inst.t);
+  ASSERT_TRUE(r.found);
+  // The only disjoint pair is {s->a->t, s->b->t}, total 2*(1+5) = 12.
+  EXPECT_NEAR(r.total_cost(inst.network), 12.0, 1e-9);
+  // And it survives the full invariant suite (structure, disjointness,
+  // Eq. (1) accounting, Lemma 2 bound, ρ recomputation).
+  std::vector<Violation> out;
+  check_route_result(inst, r, approx.name(), /*requires_backup=*/true,
+                     /*requires_node_disjoint=*/false,
+                     /*check_aux_bound=*/true, 1e-6, out);
+  for (const Violation& v : out) ADD_FAILURE() << v.to_string();
+}
+
+TEST(TrapTopology, ExactAgreesAndRatioHolds) {
+  const FuzzInstance inst = cost_trap();
+  ASSERT_TRUE(in_theorem2_regime(inst.network));
+  const rwa::ExactResult exact =
+      rwa::exact_disjoint_pair(inst.network, inst.s, inst.t);
+  ASSERT_TRUE(exact.result.found);
+  ASSERT_TRUE(exact.proven_optimal);
+  EXPECT_NEAR(exact.result.total_cost(inst.network), 12.0, 1e-9);
+
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::RouteResult r = approx.route(inst.network, inst.s, inst.t);
+  ASSERT_TRUE(r.found);
+  EXPECT_LE(r.total_cost(inst.network),
+            2.0 * exact.result.total_cost(inst.network) + 1e-9);
+}
+
+/// Wavelength-level trap: same shape, but the chain is cheap only because of
+/// per-wavelength costs (λ0 cheap, λ1 dear on the chain; mirrored on the
+/// arms). The greedy optimal semilightpath rides λ0 down the chain and
+/// strands the arms; the joint router must mix wavelengths per path.
+FuzzInstance wavelength_trap() {
+  FuzzInstance inst;
+  inst.network = net::WdmNetwork(4, 2);
+  inst.s = kS;
+  inst.t = kT;
+  inst.family = "trap/wavelength";
+  net::WdmNetwork& n = inst.network;
+  for (net::NodeId v = 0; v < 4; ++v) {
+    n.set_conversion(v, net::ConversionTable::full(2, 0.0));
+  }
+  const net::WavelengthSet all = net::WavelengthSet::all(2);
+  n.add_link(kS, kA, all, std::vector<double>{1.0, 10.0});
+  n.add_link(kA, kB, all, std::vector<double>{1.0, 10.0});
+  n.add_link(kB, kT, all, std::vector<double>{1.0, 10.0});
+  n.add_link(kS, kB, all, std::vector<double>{10.0, 4.0});
+  n.add_link(kA, kT, all, std::vector<double>{10.0, 4.0});
+  return inst;
+}
+
+TEST(TrapTopology, WavelengthCostTrapDefeatsGreedyOnly) {
+  const FuzzInstance inst = wavelength_trap();
+  const rwa::TwoStepRouter twostep;
+  EXPECT_FALSE(twostep.route(inst.network, inst.s, inst.t).found);
+
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::RouteResult r = approx.route(inst.network, inst.s, inst.t);
+  ASSERT_TRUE(r.found);
+  // Best pair mixes wavelengths: s->a(λ0)+a->t(λ1) = 5 and
+  // s->b(λ1)+b->t(λ0) = 5; conversions are free.
+  EXPECT_NEAR(r.total_cost(inst.network), 10.0, 1e-9);
+
+  const rwa::ExactResult exact =
+      rwa::exact_disjoint_pair(inst.network, inst.s, inst.t);
+  ASSERT_TRUE(exact.result.found);
+  EXPECT_NEAR(exact.result.total_cost(inst.network), 10.0, 1e-9);
+
+  std::vector<Violation> out;
+  check_route_result(inst, r, approx.name(), true, false,
+                     /*check_aux_bound=*/false, 1e-6, out);
+  for (const Violation& v : out) ADD_FAILURE() << v.to_string();
+}
+
+/// Availability-level trap: the chain carries only λ0, the arms only λ1, so
+/// any escaping pair must convert mid-path. Exercises wavelength continuity
+/// across conversions on the trap shape.
+FuzzInstance conversion_trap() {
+  FuzzInstance inst;
+  inst.network = net::WdmNetwork(4, 2);
+  inst.s = kS;
+  inst.t = kT;
+  inst.family = "trap/conversion";
+  net::WdmNetwork& n = inst.network;
+  for (net::NodeId v = 0; v < 4; ++v) {
+    n.set_conversion(v, net::ConversionTable::full(2, 0.25));
+  }
+  const net::WavelengthSet l0 = net::WavelengthSet::single(0);
+  const net::WavelengthSet l1 = net::WavelengthSet::single(1);
+  n.add_link(kS, kA, l0, std::vector<double>{1.0, 0.0});
+  n.add_link(kA, kB, l0, std::vector<double>{1.0, 0.0});
+  n.add_link(kB, kT, l0, std::vector<double>{1.0, 0.0});
+  n.add_link(kS, kB, l1, std::vector<double>{0.0, 5.0});
+  n.add_link(kA, kT, l1, std::vector<double>{0.0, 5.0});
+  return inst;
+}
+
+TEST(TrapTopology, SemilightpathTrapForcesConversions) {
+  const FuzzInstance inst = conversion_trap();
+  const rwa::TwoStepRouter twostep;
+  EXPECT_FALSE(twostep.route(inst.network, inst.s, inst.t).found);
+
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::RouteResult r = approx.route(inst.network, inst.s, inst.t);
+  ASSERT_TRUE(r.found);
+  // {s->a(λ0) conv@a ->t(λ1), s->b(λ1) conv@b ->t(λ0)}:
+  // (1 + 0.25 + 5) * 2 = 12.5. Each path must change wavelength mid-route.
+  EXPECT_NEAR(r.total_cost(inst.network), 12.5, 1e-9);
+  const auto uses_both = [](const net::Semilightpath& p) {
+    bool l0 = false, l1 = false;
+    for (const net::Hop& h : p.hops) (h.lambda == 0 ? l0 : l1) = true;
+    return l0 && l1;
+  };
+  EXPECT_TRUE(uses_both(r.route.primary));
+  EXPECT_TRUE(uses_both(r.route.backup));
+
+  std::vector<Violation> out;
+  check_route_result(inst, r, approx.name(), true, false, false, 1e-6, out);
+  for (const Violation& v : out) ADD_FAILURE() << v.to_string();
+}
+
+/// Barbell: duplex triangles {0,1,2} and {3,4,5} joined by one duplex
+/// bridge 2<->3.
+FuzzInstance barbell() {
+  FuzzInstance inst;
+  inst.network = net::WdmNetwork(6, 2);
+  inst.s = 0;
+  inst.t = 4;
+  inst.family = "bridge/manual";
+  net::WdmNetwork& n = inst.network;
+  for (net::NodeId v = 0; v < 6; ++v) {
+    n.set_conversion(v, net::ConversionTable::full(2, 0.0));
+  }
+  const net::WavelengthSet all = net::WavelengthSet::all(2);
+  const auto duplex = [&](net::NodeId u, net::NodeId v) {
+    n.add_link(u, v, all, 1.0);
+    n.add_link(v, u, all, 1.0);
+  };
+  duplex(0, 1);
+  duplex(1, 2);
+  duplex(2, 0);
+  duplex(3, 4);
+  duplex(4, 5);
+  duplex(5, 3);
+  duplex(2, 3);  // the bridge
+  return inst;
+}
+
+TEST(BridgeTopology, NoProtectedRouteAcrossABridge) {
+  const FuzzInstance inst = barbell();
+  const graph::BridgeAnalysis bridges = find_bridges(inst.network.graph());
+  ASSERT_EQ(bridges.num_bridges, 1);
+  ASSERT_FALSE(bridges.two_edge_connected(inst.s, inst.t));
+
+  // Every protected router must agree with the graph oracle: no disjoint
+  // pair exists across the cut.
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::NodeDisjointRouter node_disjoint;
+  const rwa::TwoStepRouter twostep;
+  EXPECT_FALSE(approx.route(inst.network, inst.s, inst.t).found);
+  EXPECT_FALSE(node_disjoint.route(inst.network, inst.s, inst.t).found);
+  EXPECT_FALSE(twostep.route(inst.network, inst.s, inst.t).found);
+  const rwa::ExactResult exact =
+      rwa::exact_disjoint_pair(inst.network, inst.s, inst.t);
+  EXPECT_FALSE(exact.result.found);
+
+  // An unprotected primary still crosses the bridge fine.
+  const rwa::UnprotectedRouter unprotected;
+  EXPECT_TRUE(unprotected.route(inst.network, inst.s, inst.t).found);
+}
+
+TEST(BridgeTopology, SameSideRequestsStayProtectable) {
+  FuzzInstance inst = barbell();
+  inst.t = 2;  // both endpoints inside the first triangle
+  const graph::BridgeAnalysis bridges = find_bridges(inst.network.graph());
+  ASSERT_TRUE(bridges.two_edge_connected(inst.s, inst.t));
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::RouteResult r = approx.route(inst.network, inst.s, inst.t);
+  ASSERT_TRUE(r.found);
+  std::vector<Violation> out;
+  check_route_result(inst, r, approx.name(), true, false, true, 1e-6, out);
+  for (const Violation& v : out) ADD_FAILURE() << v.to_string();
+}
+
+TEST(BridgeTopology, GeneratedBridgeInstancesMatchOracle) {
+  // The generator's bridge family must reproduce the same contract on every
+  // draw: routability of a protected route == 2-edge-connectivity.
+  GenOptions gen;
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed < 400 && checked < 10; ++seed) {
+    const FuzzInstance inst = generate_instance(seed, gen);
+    if (inst.family != "bridge") continue;
+    ++checked;
+    const graph::BridgeAnalysis bridges = find_bridges(inst.network.graph());
+    EXPECT_FALSE(bridges.two_edge_connected(inst.s, inst.t)) << seed;
+    const rwa::ApproxDisjointRouter approx;
+    EXPECT_FALSE(approx.route(inst.network, inst.s, inst.t).found) << seed;
+  }
+  EXPECT_EQ(checked, 10);
+}
+
+}  // namespace
+}  // namespace wdm::fuzz

@@ -22,14 +22,26 @@ struct RandomGraph {
   std::vector<double> w;
 };
 
+/// With `allow_parallel` (the default, preserving historical behavior) the
+/// generator samples endpoint pairs independently and can silently emit
+/// parallel duplicate edges — which inflates apparent edge-connectivity and
+/// skews disjointness properties (a "disjoint" pair may ride two copies of
+/// the same random link). Pass `allow_parallel = false` for tests whose
+/// property depends on the simple-digraph structure; then each (u, v) pair
+/// appears at most once and m is clamped to the n*(n-1) distinct pairs.
 inline RandomGraph random_digraph(int n, int m, support::Rng& rng,
-                                  double lo = 1.0, double hi = 10.0) {
+                                  double lo = 1.0, double hi = 10.0,
+                                  bool allow_parallel = true) {
   RandomGraph rg;
   rg.g = graph::Digraph(n);
+  if (!allow_parallel) m = std::min(m, n * (n - 1));
   for (int i = 0; i < m; ++i) {
-    const auto u = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
-    auto v = u;
-    while (v == u) v = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+    graph::NodeId u, v;
+    do {
+      u = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+      v = u;
+      while (v == u) v = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+    } while (!allow_parallel && rg.g.find_edge(u, v) != graph::kInvalidEdge);
     rg.g.add_edge(u, v);
     rg.w.push_back(rng.uniform(lo, hi));
   }
