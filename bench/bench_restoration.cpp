@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     opt.failures.duplex_failure_rate = 0.02;
     opt.failures.mean_repair = 3.0;
     opt.reverse_of = t.reverse_of;
+    opt.record_recovery_delays = true;  // the p99 column needs raw samples
     sim::Simulator sim(std::move(network), router, opt);
     const sim::SimMetrics m = sim.run();
 
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(m.recoveries_attempted)
             : 0.0;
     const double mean_delay =
-        m.recovery_delays.empty() ? 0.0 : support::mean_of(m.recovery_delays);
+        m.recovery_delay.count() ? m.recovery_delay.mean() : 0.0;
     const double p99 = m.recovery_delays.empty()
                            ? 0.0
                            : support::percentile(m.recovery_delays, 0.99);

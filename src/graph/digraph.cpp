@@ -13,8 +13,18 @@ Digraph::Digraph(NodeId n) {
 }
 
 NodeId Digraph::add_node() {
-  out_.emplace_back();
-  in_.emplace_back();
+  if (!spare_.empty()) {
+    out_.push_back(std::move(spare_.back()));
+    spare_.pop_back();
+  } else {
+    out_.emplace_back();
+  }
+  if (!spare_.empty()) {
+    in_.push_back(std::move(spare_.back()));
+    spare_.pop_back();
+  } else {
+    in_.emplace_back();
+  }
   return static_cast<NodeId>(out_.size() - 1);
 }
 
@@ -50,6 +60,22 @@ void Digraph::reserve(NodeId nodes, EdgeId edges) {
   in_.reserve(static_cast<std::size_t>(nodes));
   tail_.reserve(static_cast<std::size_t>(edges));
   head_.reserve(static_cast<std::size_t>(edges));
+}
+
+void Digraph::clear_keep_capacity() {
+  tail_.clear();
+  head_.clear();
+  spare_.reserve(spare_.size() + out_.size() + in_.size());
+  for (auto& adj : out_) {
+    adj.clear();
+    spare_.push_back(std::move(adj));
+  }
+  for (auto& adj : in_) {
+    adj.clear();
+    spare_.push_back(std::move(adj));
+  }
+  out_.clear();
+  in_.clear();
 }
 
 std::vector<std::uint8_t> Digraph::reachable_from(

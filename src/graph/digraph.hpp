@@ -66,6 +66,12 @@ class Digraph {
 
   void reserve(NodeId nodes, EdgeId edges);
 
+  /// Removes every node and edge but retains allocated capacity, including
+  /// the per-node adjacency buffers (recycled through an internal pool that
+  /// add_node drains). Lets arena-style builders (rwa::AuxGraphBuilder)
+  /// rebuild a same-shaped graph with zero heap allocations in steady state.
+  void clear_keep_capacity();
+
   /// Nodes reachable from `src` (by out-edges); `enabled` optionally masks
   /// edges (empty span = all enabled; otherwise enabled[e] != 0 keeps e).
   std::vector<std::uint8_t> reachable_from(
@@ -83,6 +89,8 @@ class Digraph {
   std::vector<NodeId> head_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
+  /// Cleared adjacency buffers recycled by clear_keep_capacity -> add_node.
+  std::vector<std::vector<EdgeId>> spare_;
 };
 
 }  // namespace wdm::graph

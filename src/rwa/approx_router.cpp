@@ -13,7 +13,8 @@ RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
   RouteResult result;
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
-  const AuxGraph aux = build_aux_graph(net, s, t, opt);
+  auto builder = builders_.lease();
+  const AuxGraph& aux = builder->build(net, s, t, opt);
 
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);

@@ -16,6 +16,7 @@
 // projection's feasibility) may fail, which bench E2 measures.
 #pragma once
 
+#include "rwa/aux_graph.hpp"
 #include "rwa/router.hpp"
 
 namespace wdm::rwa {
@@ -37,6 +38,9 @@ class ApproxDisjointRouter final : public Router {
 
  private:
   bool refine_;
+  /// Warm auxiliary-graph builders reused across route() calls; a pool
+  /// (rather than one builder) keeps concurrent route() calls safe.
+  mutable AuxGraphBuilderPool builders_;
 };
 
 }  // namespace wdm::rwa

@@ -30,8 +30,91 @@ bool mean_conversion_cost(const net::WdmNetwork& net, net::NodeId v,
   return true;
 }
 
-AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
-                         net::NodeId t, const AuxGraphOptions& opt) {
+void AuxGraphBuilder::bind(const net::WdmNetwork& net) {
+  if (net_uid_ == net.uid() && bound_nodes_ == net.num_nodes() &&
+      bound_links_ == net.num_links()) {
+    return;
+  }
+  ++stats_.rebinds;
+  net_uid_ = net.uid();
+  bound_nodes_ = net.num_nodes();
+  bound_links_ = net.num_links();
+
+  const auto& pg = net.graph();
+  pair_base_.assign(static_cast<std::size_t>(pg.num_nodes()) + 1, 0);
+  std::size_t total = 0;
+  for (NodeId v = 0; v < pg.num_nodes(); ++v) {
+    pair_base_[static_cast<std::size_t>(v)] = total;
+    total += static_cast<std::size_t>(pg.in_degree(v)) *
+             static_cast<std::size_t>(pg.out_degree(v));
+  }
+  pair_base_[static_cast<std::size_t>(pg.num_nodes())] = total;
+  pair_in_rev_.assign(total, kNoRevision);
+  pair_out_rev_.assign(total, kNoRevision);
+  pair_conv_rev_.assign(total, kNoRevision);
+  pair_has_.assign(total, 0);
+  pair_mean_.assign(total, 0.0);
+
+  const auto m = static_cast<std::size_t>(net.num_links());
+  link_rev_seen_.assign(m, kNoRevision);
+  link_sum_.assign(m, 0.0);
+  link_cnt_.assign(m, 0);
+}
+
+void AuxGraphBuilder::invalidate() {
+  net_uid_ = 0;
+  bound_nodes_ = -1;
+  bound_links_ = -1;
+}
+
+bool AuxGraphBuilder::transit_mean(const net::WdmNetwork& net, net::NodeId v,
+                                   std::size_t idx, graph::EdgeId in_link,
+                                   graph::EdgeId out_link, double* mean_out) {
+  const std::uint64_t in_rev = net.link_revision(in_link);
+  const std::uint64_t out_rev = net.link_revision(out_link);
+  const std::uint64_t conv_rev = net.conversion_revision(v);
+  if (pair_in_rev_[idx] == in_rev && pair_out_rev_[idx] == out_rev &&
+      pair_conv_rev_[idx] == conv_rev) {
+    ++stats_.conv_hits;
+    *mean_out = pair_mean_[idx];
+    return pair_has_[idx] != 0;
+  }
+  ++stats_.conv_misses;
+  double mean = 0.0;
+  const bool has = mean_conversion_cost(net, v, in_link, out_link, &mean);
+  pair_in_rev_[idx] = in_rev;
+  pair_out_rev_[idx] = out_rev;
+  pair_conv_rev_[idx] = conv_rev;
+  pair_has_[idx] = has ? 1 : 0;
+  pair_mean_[idx] = mean;
+  *mean_out = mean;
+  return has;
+}
+
+void AuxGraphBuilder::link_costs(const net::WdmNetwork& net, graph::EdgeId e,
+                                 double* sum, int* count) {
+  const std::uint64_t rev = net.link_revision(e);
+  const auto i = static_cast<std::size_t>(e);
+  if (link_rev_seen_[i] == rev) {
+    ++stats_.link_hits;
+  } else {
+    ++stats_.link_misses;
+    // Accumulate in ascending-λ order, exactly like mean_available_weight
+    // and the cold G_rc sum, so cached weights stay bit-identical.
+    double s = 0.0;
+    const net::WavelengthSet avail = net.available(e);
+    avail.for_each([&](net::Wavelength l) { s += net.weight(e, l); });
+    link_sum_[i] = s;
+    link_cnt_[i] = avail.count();
+    link_rev_seen_[i] = rev;
+  }
+  *sum = link_sum_[i];
+  *count = link_cnt_[i];
+}
+
+const AuxGraph& AuxGraphBuilder::build(const net::WdmNetwork& net,
+                                       net::NodeId s, net::NodeId t,
+                                       const AuxGraphOptions& opt) {
   const auto& pg = net.graph();
   WDM_CHECK(pg.valid_node(s) && pg.valid_node(t));
   WDM_CHECK(s != t);
@@ -42,7 +125,20 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
     WDM_CHECK_MSG(opt.load_base > 1.0, "G_c requires exponent base a > 1");
   }
 
-  AuxGraph aux;
+  bind(net);
+  ++stats_.builds;
+
+  AuxGraph& aux = aux_;
+  aux.g.clear_keep_capacity();
+  aux.w.clear();
+  aux.phys_edge_of_arc.clear();
+  aux.phys_edge_of_node.clear();
+  aux.is_in_node.clear();
+  aux.s_prime = graph::kInvalidNode;
+  aux.t_second = graph::kInvalidNode;
+  aux.num_edge_nodes = 0;
+  aux.num_link_arcs = 0;
+  aux.num_transit_arcs = 0;
 
   // A link is usable when it survives the caller's mask, still has available
   // wavelengths (residual network membership), and — for G_c / G_rc — its
@@ -62,11 +158,11 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
     return true;
   };
 
-  // Edge-nodes: out_node[e] = u_out^e, in_node[e] = v_in^e.
-  std::vector<NodeId> out_node(static_cast<std::size_t>(pg.num_edges()),
-                               graph::kInvalidNode);
-  std::vector<NodeId> in_node(static_cast<std::size_t>(pg.num_edges()),
-                              graph::kInvalidNode);
+  // Edge-nodes: out_node_[e] = u_out^e, in_node_[e] = v_in^e.
+  out_node_.assign(static_cast<std::size_t>(pg.num_edges()),
+                   graph::kInvalidNode);
+  in_node_.assign(static_cast<std::size_t>(pg.num_edges()),
+                  graph::kInvalidNode);
   auto new_node = [&](EdgeId e, bool is_in) {
     const NodeId v = aux.g.add_node();
     aux.phys_edge_of_node.push_back(e);
@@ -75,8 +171,8 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
   };
   for (EdgeId e = 0; e < pg.num_edges(); ++e) {
     if (!usable(e)) continue;
-    out_node[static_cast<std::size_t>(e)] = new_node(e, false);
-    in_node[static_cast<std::size_t>(e)] = new_node(e, true);
+    out_node_[static_cast<std::size_t>(e)] = new_node(e, false);
+    in_node_[static_cast<std::size_t>(e)] = new_node(e, true);
     aux.num_edge_nodes += 2;
   }
   aux.s_prime = new_node(graph::kInvalidEdge, false);
@@ -90,12 +186,17 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
 
   // Link arcs u_out^e -> v_in^e.
   for (EdgeId e = 0; e < pg.num_edges(); ++e) {
-    if (out_node[static_cast<std::size_t>(e)] == graph::kInvalidNode) continue;
+    if (out_node_[static_cast<std::size_t>(e)] == graph::kInvalidNode) continue;
     double weight = 0.0;
     switch (opt.weighting) {
-      case AuxWeighting::kCost:
-        weight = net.mean_available_weight(e);
+      case AuxWeighting::kCost: {
+        double sum = 0.0;
+        int count = 0;
+        link_costs(net, e, &sum, &count);
+        WDM_DCHECK(count > 0);
+        weight = sum / count;
         break;
+      }
       case AuxWeighting::kLoadExponential: {
         const double u = net.usage(e);
         const double cap = net.capacity(e);
@@ -109,37 +210,42 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
         // follow the paper as written by default (see header comment) and
         // expose the true mean as an ablation.
         double sum = 0.0;
-        net.available(e).for_each(
-            [&](net::Wavelength l) { sum += net.weight(e, l); });
-        weight = sum / (opt.grc_mean_over_available
-                            ? net.available(e).count()
-                            : net.capacity(e));
+        int count = 0;
+        link_costs(net, e, &sum, &count);
+        weight = sum / (opt.grc_mean_over_available ? count
+                                                    : net.capacity(e));
         break;
       }
     }
-    add_arc(out_node[static_cast<std::size_t>(e)],
-            in_node[static_cast<std::size_t>(e)], weight, e);
+    add_arc(out_node_[static_cast<std::size_t>(e)],
+            in_node_[static_cast<std::size_t>(e)], weight, e);
     ++aux.num_link_arcs;
   }
 
   // Transit arcs v_in^e -> v_out^e' when some available conversion exists.
   for (NodeId v = 0; v < pg.num_nodes(); ++v) {
+    const auto in_edges = pg.in_edges(v);
+    const auto out_edges = pg.out_edges(v);
+    const std::size_t base = pair_base_[static_cast<std::size_t>(v)];
+    const std::size_t out_deg = out_edges.size();
     if (opt.protect_nodes && v != s && v != t) {
       // Node gadget: every transit at v funnels through one hub arc of
       // capacity 1 (for Suurballe's purposes: one edge), making the two
       // auxiliary paths internally node-disjoint in G.
       double sum = 0.0;
       int pairs = 0;
-      for (EdgeId e : pg.in_edges(v)) {
-        if (in_node[static_cast<std::size_t>(e)] == graph::kInvalidNode) {
+      for (std::size_t i = 0; i < in_edges.size(); ++i) {
+        const EdgeId e = in_edges[i];
+        if (in_node_[static_cast<std::size_t>(e)] == graph::kInvalidNode) {
           continue;
         }
-        for (EdgeId e2 : pg.out_edges(v)) {
-          if (out_node[static_cast<std::size_t>(e2)] == graph::kInvalidNode) {
+        for (std::size_t j = 0; j < out_deg; ++j) {
+          const EdgeId e2 = out_edges[j];
+          if (out_node_[static_cast<std::size_t>(e2)] == graph::kInvalidNode) {
             continue;
           }
           double mean = 0.0;
-          if (mean_conversion_cost(net, v, e, e2, &mean)) {
+          if (transit_mean(net, v, base + i * out_deg + j, e, e2, &mean)) {
             sum += mean;
             ++pairs;
           }
@@ -153,28 +259,32 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
       const NodeId hub_out = new_node(graph::kInvalidEdge, false);
       add_arc(hub_in, hub_out, hub_weight, graph::kInvalidEdge);
       ++aux.num_transit_arcs;
-      for (EdgeId e : pg.in_edges(v)) {
-        const NodeId a = in_node[static_cast<std::size_t>(e)];
+      for (const EdgeId e : in_edges) {
+        const NodeId a = in_node_[static_cast<std::size_t>(e)];
         if (a != graph::kInvalidNode) {
           add_arc(a, hub_in, 0.0, graph::kInvalidEdge);
         }
       }
-      for (EdgeId e2 : pg.out_edges(v)) {
-        const NodeId b = out_node[static_cast<std::size_t>(e2)];
+      for (const EdgeId e2 : out_edges) {
+        const NodeId b = out_node_[static_cast<std::size_t>(e2)];
         if (b != graph::kInvalidNode) {
           add_arc(hub_out, b, 0.0, graph::kInvalidEdge);
         }
       }
       continue;
     }
-    for (EdgeId e : pg.in_edges(v)) {
-      const NodeId a = in_node[static_cast<std::size_t>(e)];
+    for (std::size_t i = 0; i < in_edges.size(); ++i) {
+      const EdgeId e = in_edges[i];
+      const NodeId a = in_node_[static_cast<std::size_t>(e)];
       if (a == graph::kInvalidNode) continue;
-      for (EdgeId e2 : pg.out_edges(v)) {
-        const NodeId b = out_node[static_cast<std::size_t>(e2)];
+      for (std::size_t j = 0; j < out_deg; ++j) {
+        const EdgeId e2 = out_edges[j];
+        const NodeId b = out_node_[static_cast<std::size_t>(e2)];
         if (b == graph::kInvalidNode) continue;
         double mean = 0.0;
-        if (!mean_conversion_cost(net, v, e, e2, &mean)) continue;
+        if (!transit_mean(net, v, base + i * out_deg + j, e, e2, &mean)) {
+          continue;
+        }
         const double weight =
             (opt.weighting == AuxWeighting::kLoadExponential) ? 0.0 : mean;
         add_arc(a, b, weight, graph::kInvalidEdge);
@@ -185,14 +295,68 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
 
   // Hub arcs.
   for (EdgeId e : pg.out_edges(s)) {
-    const NodeId b = out_node[static_cast<std::size_t>(e)];
-    if (b != graph::kInvalidNode) add_arc(aux.s_prime, b, 0.0, graph::kInvalidEdge);
+    const NodeId b = out_node_[static_cast<std::size_t>(e)];
+    if (b != graph::kInvalidNode) {
+      add_arc(aux.s_prime, b, 0.0, graph::kInvalidEdge);
+    }
   }
   for (EdgeId e : pg.in_edges(t)) {
-    const NodeId a = in_node[static_cast<std::size_t>(e)];
-    if (a != graph::kInvalidNode) add_arc(a, aux.t_second, 0.0, graph::kInvalidEdge);
+    const NodeId a = in_node_[static_cast<std::size_t>(e)];
+    if (a != graph::kInvalidNode) {
+      add_arc(a, aux.t_second, 0.0, graph::kInvalidEdge);
+    }
   }
-  return aux;
+  return aux_;
+}
+
+void AuxGraphBuilder::build_batch(
+    const net::WdmNetwork& net,
+    std::span<const std::pair<net::NodeId, net::NodeId>> queries,
+    const AuxGraphOptions& opt,
+    const std::function<void(std::size_t, const AuxGraph&)>& fn) {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    fn(i, build(net, queries[i].first, queries[i].second, opt));
+  }
+}
+
+AuxGraph AuxGraphBuilder::take_last() {
+  AuxGraph out = std::move(aux_);
+  aux_ = AuxGraph{};
+  return out;
+}
+
+AuxGraphBuilderPool::Lease::~Lease() {
+  if (builder_ != nullptr) pool_->put(std::move(builder_));
+}
+
+AuxGraphBuilderPool::Lease AuxGraphBuilderPool::lease() {
+  std::unique_ptr<AuxGraphBuilder> builder;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      builder = std::move(idle_.back());
+      idle_.pop_back();
+    }
+  }
+  if (builder == nullptr) builder = std::make_unique<AuxGraphBuilder>();
+  return Lease(this, std::move(builder));
+}
+
+std::size_t AuxGraphBuilderPool::idle_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+void AuxGraphBuilderPool::put(std::unique_ptr<AuxGraphBuilder> builder) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(builder));
+}
+
+AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
+                         net::NodeId t, const AuxGraphOptions& opt) {
+  AuxGraphBuilder builder;
+  builder.build(net, s, t, opt);
+  return builder.take_last();
 }
 
 std::vector<EdgeId> AuxGraph::project(const graph::Path& p) const {

@@ -22,7 +22,13 @@
 // Lemma 2 rests on.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "graph/digraph.hpp"
 #include "graph/path.hpp"
@@ -94,7 +100,9 @@ struct AuxGraph {
 };
 
 /// Builds the auxiliary graph for a query s -> t over the current residual
-/// network.
+/// network. One-shot convenience wrapper over AuxGraphBuilder (cold arena,
+/// cold caches) — the reference construction the differential tests compare
+/// the reusable builder against.
 AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
                          net::NodeId t, const AuxGraphOptions& opt = {});
 
@@ -104,5 +112,149 @@ AuxGraph build_aux_graph(const net::WdmNetwork& net, net::NodeId s,
 bool mean_conversion_cost(const net::WdmNetwork& net, net::NodeId v,
                           graph::EdgeId in_link, graph::EdgeId out_link,
                           double* mean_out);
+
+/// Reusable auxiliary-graph builder — the fast path for every per-request
+/// construction of G' / G_c / G_rc (§3.3.1, §4.1, §4.2).
+///
+/// A cold build_aux_graph call pays twice on every request: it reallocates
+/// the whole graph (nodes, arcs, weights, adjacency), and it redoes the
+/// O(|Λ|²) wavelength-pair scan of mean_conversion_cost for every
+/// (in-link, out-link) pair at every node. The builder keeps both across
+/// calls:
+///
+///   * arena reuse — the AuxGraph (and its Digraph adjacency buffers),
+///     edge-node maps, and weight vectors are cleared in place, so a
+///     steady-state rebuild allocates nothing;
+///   * conversion-mean caching — mean_conversion_cost results are memoized
+///     per (node, in-link, out-link), validated against the network's
+///     link_revision / conversion_revision counters (see WdmNetwork's
+///     cache-invalidation contract): reserve/release/fail on a link only
+///     invalidates the entries that touch it;
+///   * per-link available-cost sums (the G' / G_rc link-arc weights) are
+///     memoized the same way.
+///
+/// The produced graph is arc-for-arc identical — topology, node ids, arc
+/// order, and bit-exact weights — to a cold build_aux_graph of the same
+/// query, which tests/fuzz/test_fuzz_aux_builder.cpp enforces under
+/// randomized churn.
+///
+/// Not thread-safe; route() implementations that may run concurrently lease
+/// one from an AuxGraphBuilderPool instead of sharing an instance.
+class AuxGraphBuilder {
+ public:
+  AuxGraphBuilder() = default;
+
+  /// Builds the graph for (s, t) into the internal arena and returns it.
+  /// The reference is invalidated by the next build/build_batch/take_last
+  /// call. Binding follows the network's uid(): the first build against a
+  /// different WdmNetwork object drops every cache automatically.
+  const AuxGraph& build(const net::WdmNetwork& net, net::NodeId s,
+                        net::NodeId t, const AuxGraphOptions& opt = {});
+
+  /// Batch entry point: builds the graph for each (s, t) query in order and
+  /// invokes `fn(i, aux)` after each. Arenas and conversion-mean caches stay
+  /// warm across the whole batch even when `fn` reserves or releases
+  /// wavelengths between queries — the provision_batch / simulator pattern.
+  void build_batch(const net::WdmNetwork& net,
+                   std::span<const std::pair<net::NodeId, net::NodeId>> queries,
+                   const AuxGraphOptions& opt,
+                   const std::function<void(std::size_t, const AuxGraph&)>& fn);
+
+  /// Moves the last-built graph out of the arena (donating its buffers);
+  /// the next build starts from empty vectors but keeps the caches.
+  AuxGraph take_last();
+
+  /// Drops every cache and the network binding; arena capacity is kept.
+  void invalidate();
+
+  struct CacheStats {
+    std::uint64_t builds = 0;
+    std::uint64_t rebinds = 0;      // network changed -> full cache drop
+    std::uint64_t conv_hits = 0;    // transit-arc mean served from cache
+    std::uint64_t conv_misses = 0;  // recomputed via mean_conversion_cost
+    std::uint64_t link_hits = 0;    // link-arc cost sum served from cache
+    std::uint64_t link_misses = 0;
+  };
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  void bind(const net::WdmNetwork& net);
+  /// Cached mean_conversion_cost for the transit pair at CSR slot `idx`.
+  bool transit_mean(const net::WdmNetwork& net, net::NodeId v,
+                    std::size_t idx, graph::EdgeId in_link,
+                    graph::EdgeId out_link, double* mean_out);
+  /// Cached Σ_{λ∈Λ_avail(e)} w(e, λ) and |Λ_avail(e)|.
+  void link_costs(const net::WdmNetwork& net, graph::EdgeId e, double* sum,
+                  int* count);
+
+  static constexpr std::uint64_t kNoRevision = ~std::uint64_t{0};
+
+  // Network binding: caches are valid only for this exact object.
+  std::uint64_t net_uid_ = 0;
+  graph::NodeId bound_nodes_ = -1;
+  graph::EdgeId bound_links_ = -1;
+
+  // Transit-pair cache, CSR-indexed: the pair (i-th in-edge, j-th out-edge)
+  // of node v lives at pair_base_[v] + i * out_degree(v) + j.
+  std::vector<std::size_t> pair_base_;
+  std::vector<std::uint64_t> pair_in_rev_;
+  std::vector<std::uint64_t> pair_out_rev_;
+  std::vector<std::uint64_t> pair_conv_rev_;
+  std::vector<std::uint8_t> pair_has_;
+  std::vector<double> pair_mean_;
+
+  // Per-link available-cost cache.
+  std::vector<std::uint64_t> link_rev_seen_;
+  std::vector<double> link_sum_;
+  std::vector<int> link_cnt_;
+
+  // Arena.
+  AuxGraph aux_;
+  std::vector<graph::NodeId> out_node_;
+  std::vector<graph::NodeId> in_node_;
+
+  CacheStats stats_;
+};
+
+/// Thread-safe LIFO pool of builders. Router::route() is const but may run
+/// concurrently (sim::replicate's parallel Monte Carlo); each call leases a
+/// builder for its duration. A single-threaded caller therefore always gets
+/// the same warm builder back, while concurrent callers each get their own.
+class AuxGraphBuilderPool {
+ public:
+  class Lease {
+   public:
+    Lease(AuxGraphBuilderPool* pool, std::unique_ptr<AuxGraphBuilder> builder)
+        : pool_(pool), builder_(std::move(builder)) {}
+    Lease(Lease&& other) noexcept = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    AuxGraphBuilder& operator*() { return *builder_; }
+    AuxGraphBuilder* operator->() { return builder_.get(); }
+    AuxGraphBuilder* get() { return builder_.get(); }
+
+   private:
+    AuxGraphBuilderPool* pool_;
+    std::unique_ptr<AuxGraphBuilder> builder_;
+  };
+
+  AuxGraphBuilderPool() = default;
+  AuxGraphBuilderPool(const AuxGraphBuilderPool&) = delete;
+  AuxGraphBuilderPool& operator=(const AuxGraphBuilderPool&) = delete;
+
+  Lease lease();
+  /// Builders currently parked in the pool (observability for tests).
+  std::size_t idle_count() const;
+
+ private:
+  friend class Lease;
+  void put(std::unique_ptr<AuxGraphBuilder> builder);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<AuxGraphBuilder>> idle_;
+};
 
 }  // namespace wdm::rwa

@@ -1,9 +1,10 @@
 #include "rwa/batch.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <numeric>
 #include <queue>
+#include <unordered_map>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -21,27 +22,47 @@ const char* batch_order_name(BatchOrder order) {
 
 namespace {
 
-/// BFS hop distances from every source appearing in the batch (cached).
-int hop_distance(const graph::Digraph& g, net::NodeId s, net::NodeId t) {
-  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+/// All-targets BFS hop distances from `s`. Unreachable nodes get
+/// kUnreachableHops, so under the stable hop sort they land after every
+/// reachable request in kShortestFirst and before them in kLongestFirst.
+std::vector<int> bfs_hops(const graph::Digraph& g, net::NodeId s) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
+                        kUnreachableHops);
   std::queue<net::NodeId> q;
   dist[static_cast<std::size_t>(s)] = 0;
   q.push(s);
   while (!q.empty()) {
     const net::NodeId v = q.front();
     q.pop();
-    if (v == t) return dist[static_cast<std::size_t>(v)];
     for (graph::EdgeId e : g.out_edges(v)) {
       const net::NodeId w = g.head(e);
-      if (dist[static_cast<std::size_t>(w)] < 0) {
+      if (dist[static_cast<std::size_t>(w)] == kUnreachableHops) {
         dist[static_cast<std::size_t>(w)] =
             dist[static_cast<std::size_t>(v)] + 1;
         q.push(w);
       }
     }
   }
-  return std::numeric_limits<int>::max();  // unreachable: order last
+  return dist;
 }
+
+/// Memoizes one all-targets BFS per distinct source across a batch — a
+/// batch of k requests from r distinct sources costs r BFS passes, not k
+/// (duplicate sources, the common case under hotspot traffic, are free).
+class HopDistances {
+ public:
+  explicit HopDistances(const graph::Digraph& g) : g_(g) {}
+
+  int operator()(net::NodeId s, net::NodeId t) {
+    auto [it, inserted] = memo_.try_emplace(s);
+    if (inserted) it->second = bfs_hops(g_, s);
+    return it->second[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  const graph::Digraph& g_;
+  std::unordered_map<net::NodeId, std::vector<int>> memo_;
+};
 
 }  // namespace
 
@@ -58,9 +79,10 @@ BatchOutcome provision_batch(net::WdmNetwork& net, const Router& router,
       break;
     case BatchOrder::kShortestFirst:
     case BatchOrder::kLongestFirst: {
+      HopDistances hop_distance(net.graph());
       std::vector<int> hops(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        hops[i] = hop_distance(net.graph(), batch[i].s, batch[i].t);
+        hops[i] = hop_distance(batch[i].s, batch[i].t);
       }
       std::stable_sort(perm.begin(), perm.end(),
                        [&](std::size_t a, std::size_t b) {

@@ -10,6 +10,7 @@
 // here are the standard candidates, compared in bench_policies.
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,12 @@ struct BatchRequest {
   net::NodeId t = 0;
   long id = 0;
 };
+
+/// Hop value assigned to requests whose destination is unreachable from the
+/// source. The stable hop sort therefore places them *after* every reachable
+/// request under kShortestFirst and *before* them under kLongestFirst (where
+/// they waste one route() attempt each but cannot reserve anything).
+inline constexpr int kUnreachableHops = std::numeric_limits<int>::max();
 
 enum class BatchOrder {
   kArrival,        // as given

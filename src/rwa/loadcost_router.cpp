@@ -11,9 +11,10 @@ namespace wdm::rwa {
 RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                   net::NodeId t) const {
   RouteResult result;
+  auto builder = builders_.lease();
 
   // Phase 1: minimum feasible network-load threshold.
-  const MinCogResult mc = find_two_paths_mincog(net, s, t, opt_);
+  const MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
   if (!mc.found) return result;
@@ -23,7 +24,7 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   aopt.weighting = AuxWeighting::kCostLoadFiltered;
   aopt.theta = mc.theta;
   aopt.grc_mean_over_available = grc_mean_over_available_;
-  const AuxGraph aux = build_aux_graph(net, s, t, aopt);
+  const AuxGraph& aux = builder->build(net, s, t, aopt);
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
   // G_rc(ϑ) has the same topology as the G_c(ϑ) phase 1 accepted, so a pair

@@ -33,6 +33,9 @@ class LoadCostRouter final : public Router {
  private:
   MinCogOptions opt_;
   bool grc_mean_over_available_;
+  /// One leased builder serves both phases of a route() call: the G_c(ϑ)
+  /// probes and the final G_rc(ϑ) share their conversion-mean cache.
+  mutable AuxGraphBuilderPool builders_;
 };
 
 }  // namespace wdm::rwa

@@ -12,22 +12,24 @@ namespace wdm::rwa {
 
 namespace {
 
-/// One probe: build G_c(ϑ), run Suurballe. Feasible iff a pair exists.
+/// One probe: build G_c(ϑ) through the shared warm builder, run Suurballe.
+/// Feasible iff a pair exists. The network is untouched between probes, so
+/// only the first probe of a search pays the transit-arc scans.
 bool probe(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
-           double theta, double load_base, MinCogResult* into,
-           bool inclusive = false) {
+           double theta, double load_base, AuxGraphBuilder& builder,
+           MinCogResult* into, bool inclusive = false) {
   AuxGraphOptions aopt;
   aopt.weighting = AuxWeighting::kLoadExponential;
   aopt.theta = theta;
   aopt.load_base = load_base;
   aopt.include_at_threshold = inclusive;
-  AuxGraph aux = build_aux_graph(net, s, t, aopt);
+  const AuxGraph& aux = builder.build(net, s, t, aopt);
   graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
   if (!pair.found) return false;
   if (into != nullptr) {
     into->aux_pair = std::move(pair);
-    into->aux = std::move(aux);
+    into->aux = aux;  // copy out of the builder's arena (success path only)
   }
   return true;
 }
@@ -40,7 +42,8 @@ namespace {
 /// link load (plus ϑ_min / ϑ_max) in increasing order. Exact minimum grid
 /// threshold, up to O(m) probes.
 MinCogResult mincog_linear_scan(const net::WdmNetwork& net, net::NodeId s,
-                                net::NodeId t, const MinCogOptions& opt) {
+                                net::NodeId t, const MinCogOptions& opt,
+                                AuxGraphBuilder& builder) {
   MinCogResult result;
   std::set<double> grid;
   grid.insert(net.theta_min());
@@ -52,7 +55,7 @@ MinCogResult mincog_linear_scan(const net::WdmNetwork& net, net::NodeId s,
   }
   for (double theta : grid) {
     ++result.iterations;
-    if (probe(net, s, t, theta, opt.load_base, &result)) {
+    if (probe(net, s, t, theta, opt.load_base, builder, &result)) {
       result.found = true;
       result.theta = theta;
       return result;
@@ -65,19 +68,20 @@ MinCogResult mincog_linear_scan(const net::WdmNetwork& net, net::NodeId s,
 /// Ablation variant: bisection on [ϑ_min, ϑ_max] after establishing
 /// feasibility at ϑ_max.
 MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
-                              net::NodeId t, const MinCogOptions& opt) {
+                              net::NodeId t, const MinCogOptions& opt,
+                              AuxGraphBuilder& builder) {
   MinCogResult result;
   double lo = net.theta_min();
   double hi = net.theta_max();
   ++result.iterations;
-  if (probe(net, s, t, lo, opt.load_base, &result)) {
+  if (probe(net, s, t, lo, opt.load_base, builder, &result)) {
     result.found = true;
     result.theta = lo;
     return result;
   }
   result.last_infeasible_theta = lo;
   ++result.iterations;
-  if (!probe(net, s, t, hi, opt.load_base, &result)) {
+  if (!probe(net, s, t, hi, opt.load_base, builder, &result)) {
     result.last_infeasible_theta = hi;
     return result;  // drop: infeasible even with every link admitted
   }
@@ -86,7 +90,7 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
     const double mid = 0.5 * (lo + hi);
     ++result.iterations;
     MinCogResult probe_result;
-    if (probe(net, s, t, mid, opt.load_base, &probe_result)) {
+    if (probe(net, s, t, mid, opt.load_base, builder, &probe_result)) {
       hi = mid;
       best = mid;
       result.aux_pair = std::move(probe_result.aux_pair);
@@ -104,12 +108,15 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
 }  // namespace
 
 MinCogResult find_two_paths_mincog(const net::WdmNetwork& net, net::NodeId s,
-                                   net::NodeId t, const MinCogOptions& opt) {
+                                   net::NodeId t, const MinCogOptions& opt,
+                                   AuxGraphBuilder* builder) {
+  AuxGraphBuilder local;
+  AuxGraphBuilder& b = (builder != nullptr) ? *builder : local;
   if (opt.search == ThetaSearch::kLinearScan) {
-    return mincog_linear_scan(net, s, t, opt);
+    return mincog_linear_scan(net, s, t, opt, b);
   }
   if (opt.search == ThetaSearch::kBisection) {
-    return mincog_bisection(net, s, t, opt);
+    return mincog_bisection(net, s, t, opt, b);
   }
 
   MinCogResult result;
@@ -124,7 +131,7 @@ MinCogResult find_two_paths_mincog(const net::WdmNetwork& net, net::NodeId s,
               : 0;
   while (true) {
     ++result.iterations;
-    if (probe(net, s, t, theta, opt.load_base, &result)) {
+    if (probe(net, s, t, theta, opt.load_base, b, &result)) {
       result.found = true;
       result.theta = theta;
       return result;
@@ -149,8 +156,9 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
   for (graph::EdgeId e = 0; e < net.num_links(); ++e) {
     candidates.insert(net.link_load(e));
   }
+  AuxGraphBuilder builder;  // warm across the probe sweep
   for (double load : candidates) {
-    if (probe(net, s, t, load, 2.0, nullptr, /*inclusive=*/true)) {
+    if (probe(net, s, t, load, 2.0, builder, nullptr, /*inclusive=*/true)) {
       if (theta_out != nullptr) *theta_out = load;
       return true;
     }
@@ -161,7 +169,8 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
 RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                  net::NodeId t) const {
   RouteResult result;
-  MinCogResult mc = find_two_paths_mincog(net, s, t, opt_);
+  auto builder = builders_.lease();
+  MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
   if (!mc.found) return result;

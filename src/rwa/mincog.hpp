@@ -53,8 +53,13 @@ struct MinCogResult {
 
 /// The threshold search itself. Exposed separately from the Router wrapper
 /// so bench E5 can compare the accepted ϑ against the exact minimum.
+/// Every probe builds a fresh G_c(ϑ); `builder` (optional) supplies the
+/// warm AuxGraphBuilder the probes share — since the network is untouched
+/// between probes, every transit-arc scan after the first is a cache hit.
+/// With nullptr a search-local builder is used, still warming across probes.
 MinCogResult find_two_paths_mincog(const net::WdmNetwork& net, net::NodeId s,
-                                   net::NodeId t, const MinCogOptions& opt = {});
+                                   net::NodeId t, const MinCogOptions& opt = {},
+                                   AuxGraphBuilder* builder = nullptr);
 
 /// Exact minimum achievable bottleneck load L*: the smallest value such that
 /// two edge-disjoint routes exist using only links with load <= L*. Under
@@ -79,6 +84,7 @@ class MinLoadRouter final : public Router {
 
  private:
   MinCogOptions opt_;
+  mutable AuxGraphBuilderPool builders_;
 };
 
 }  // namespace wdm::rwa

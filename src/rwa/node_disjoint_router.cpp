@@ -15,7 +15,8 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
   opt.protect_nodes = true;
-  const AuxGraph aux = build_aux_graph(net, s, t, opt);
+  auto builder = builders_.lease();
+  const AuxGraph& aux = builder->build(net, s, t, opt);
 
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);

@@ -8,6 +8,7 @@
 // weighting, so the Lemma 2 refinement applies unchanged.
 #pragma once
 
+#include "rwa/aux_graph.hpp"
 #include "rwa/router.hpp"
 
 namespace wdm::rwa {
@@ -18,6 +19,9 @@ class NodeDisjointRouter final : public Router {
                     net::NodeId t) const override;
 
   std::string name() const override { return "node-disjoint(ext)"; }
+
+ private:
+  mutable AuxGraphBuilderPool builders_;
 };
 
 }  // namespace wdm::rwa

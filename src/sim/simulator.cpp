@@ -249,8 +249,11 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
       c.has_backup = false;
       ++metrics_.recoveries_succeeded;
       ++metrics_.switchover_recoveries;
-      metrics_.recovery_delays.push_back(
-          opt_.failures.active_switchover_delay);
+      metrics_.recovery_delay.add(opt_.failures.active_switchover_delay);
+      if (opt_.record_recovery_delays) {
+        metrics_.recovery_delays.push_back(
+            opt_.failures.active_switchover_delay);
+      }
       if (opt_.failures.reprovision_backup) {
         std::vector<std::uint8_t> mask(
             static_cast<std::size_t>(net_.num_links()), 1);
@@ -278,10 +281,14 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
       c.primary = std::move(np);
       ++metrics_.recoveries_succeeded;
       ++metrics_.recompute_recoveries;
-      metrics_.recovery_delays.push_back(
+      const double delay =
           opt_.failures.passive_base_delay +
           opt_.failures.passive_per_hop_delay *
-              static_cast<double>(c.primary.length()));
+              static_cast<double>(c.primary.length());
+      metrics_.recovery_delay.add(delay);
+      if (opt_.record_recovery_delays) {
+        metrics_.recovery_delays.push_back(delay);
+      }
     } else {
       live_.erase(it);
       ++metrics_.dropped_on_failure;

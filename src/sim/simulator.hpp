@@ -86,6 +86,11 @@ struct SimOptions {
   std::vector<graph::EdgeId> reverse_of;
   /// Record (time, ρ) samples at every arrival.
   bool record_load_series = false;
+  /// Record every individual recovery delay in SimMetrics::recovery_delays
+  /// (needed for percentiles). Off by default: the aggregate
+  /// SimMetrics::recovery_delay stats are always maintained and keep memory
+  /// O(1) over arbitrarily long failure-heavy runs.
+  bool record_recovery_delays = false;
 };
 
 struct SimMetrics {
@@ -105,6 +110,10 @@ struct SimMetrics {
   long backups_reprovisioned = 0;
   long backup_lost = 0;            // reserved backups hit by a fiber cut
   long dropped_on_failure = 0;
+  /// Aggregate delay of every successful recovery (always maintained).
+  support::RunningStats recovery_delay;
+  /// Raw per-recovery delays; populated only when
+  /// SimOptions::record_recovery_delays is set.
   std::vector<double> recovery_delays;
 
   long reconfigurations = 0;

@@ -1,23 +1,83 @@
 #include "wdm/network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 #include "graph/path.hpp"
 #include "support/check.hpp"
 
 namespace wdm::net {
 
+namespace {
+
+std::uint64_t next_network_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 WdmNetwork::WdmNetwork(NodeId num_nodes, int num_wavelengths)
-    : g_(num_nodes), w_(num_wavelengths) {
+    : g_(num_nodes), w_(num_wavelengths), uid_(next_network_uid()) {
   WDM_CHECK(num_wavelengths > 0 &&
             num_wavelengths <= WavelengthSet::kMaxWavelengths);
   conv_.assign(static_cast<std::size_t>(num_nodes),
                ConversionTable::none(w_));
+  conv_rev_.assign(static_cast<std::size_t>(num_nodes), 0);
+}
+
+WdmNetwork::WdmNetwork(const WdmNetwork& other)
+    : g_(other.g_), w_(other.w_), conv_(other.conv_),
+      installed_(other.installed_), used_(other.used_),
+      failed_(other.failed_), weight_(other.weight_),
+      revision_(other.revision_), link_rev_(other.link_rev_),
+      conv_rev_(other.conv_rev_), uid_(next_network_uid()) {}
+
+WdmNetwork& WdmNetwork::operator=(const WdmNetwork& other) {
+  if (this == &other) return *this;
+  g_ = other.g_;
+  w_ = other.w_;
+  conv_ = other.conv_;
+  installed_ = other.installed_;
+  used_ = other.used_;
+  failed_ = other.failed_;
+  weight_ = other.weight_;
+  revision_ = other.revision_;
+  link_rev_ = other.link_rev_;
+  conv_rev_ = other.conv_rev_;
+  uid_ = next_network_uid();
+  return *this;
+}
+
+WdmNetwork::WdmNetwork(WdmNetwork&& other) noexcept
+    : g_(std::move(other.g_)), w_(other.w_), conv_(std::move(other.conv_)),
+      installed_(std::move(other.installed_)), used_(std::move(other.used_)),
+      failed_(std::move(other.failed_)), weight_(std::move(other.weight_)),
+      revision_(other.revision_), link_rev_(std::move(other.link_rev_)),
+      conv_rev_(std::move(other.conv_rev_)), uid_(next_network_uid()) {}
+
+WdmNetwork& WdmNetwork::operator=(WdmNetwork&& other) noexcept {
+  if (this == &other) return *this;
+  g_ = std::move(other.g_);
+  w_ = other.w_;
+  conv_ = std::move(other.conv_);
+  installed_ = std::move(other.installed_);
+  used_ = std::move(other.used_);
+  failed_ = std::move(other.failed_);
+  weight_ = std::move(other.weight_);
+  revision_ = other.revision_;
+  link_rev_ = std::move(other.link_rev_);
+  conv_rev_ = std::move(other.conv_rev_);
+  uid_ = next_network_uid();
+  return *this;
 }
 
 NodeId WdmNetwork::add_node(ConversionTable conversion) {
   WDM_CHECK(conversion.num_wavelengths() == w_);
   conv_.push_back(std::move(conversion));
+  conv_rev_.push_back(0);
+  ++revision_;
   return g_.add_node();
 }
 
@@ -38,6 +98,8 @@ EdgeId WdmNetwork::add_link(NodeId u, NodeId v, WavelengthSet installed,
   installed_.push_back(installed);
   used_.push_back(WavelengthSet{});
   failed_.push_back(0);
+  link_rev_.push_back(0);
+  ++revision_;
   for (int l = 0; l < w_; ++l) {
     const double c = cost_per_lambda[static_cast<std::size_t>(l)];
     WDM_CHECK(!installed.contains(l) || c >= 0.0);
@@ -57,6 +119,8 @@ void WdmNetwork::set_conversion(NodeId v, ConversionTable table) {
   WDM_CHECK(g_.valid_node(v));
   WDM_CHECK(table.num_wavelengths() == w_);
   conv_[static_cast<std::size_t>(v)] = std::move(table);
+  ++conv_rev_[static_cast<std::size_t>(v)];
+  ++revision_;
 }
 
 const ConversionTable& WdmNetwork::conversion(NodeId v) const {
@@ -78,7 +142,11 @@ WavelengthSet WdmNetwork::available(EdgeId e) const {
 
 void WdmNetwork::set_link_failed(EdgeId e, bool failed) {
   WDM_CHECK(g_.valid_edge(e));
-  failed_[static_cast<std::size_t>(e)] = failed ? 1 : 0;
+  const std::uint8_t next = failed ? 1 : 0;
+  if (failed_[static_cast<std::size_t>(e)] == next) return;  // no state change
+  failed_[static_cast<std::size_t>(e)] = next;
+  ++link_rev_[static_cast<std::size_t>(e)];
+  ++revision_;
 }
 
 bool WdmNetwork::link_failed(EdgeId e) const {
@@ -146,11 +214,15 @@ void WdmNetwork::reserve(EdgeId e, Wavelength l) {
   WDM_CHECK_MSG(available(e).contains(l),
                 "reserve: wavelength not available on link");
   used_[static_cast<std::size_t>(e)].insert(l);
+  ++link_rev_[static_cast<std::size_t>(e)];
+  ++revision_;
 }
 
 void WdmNetwork::release(EdgeId e, Wavelength l) {
   WDM_CHECK_MSG(is_used(e, l), "release: wavelength not in use on link");
   used_[static_cast<std::size_t>(e)].erase(l);
+  ++link_rev_[static_cast<std::size_t>(e)];
+  ++revision_;
 }
 
 long long WdmNetwork::total_usage() const {
@@ -169,8 +241,21 @@ std::vector<std::uint64_t> WdmNetwork::usage_snapshot() const {
 void WdmNetwork::restore_usage(std::span<const std::uint64_t> snapshot) {
   WDM_CHECK(snapshot.size() == used_.size());
   for (std::size_t i = 0; i < used_.size(); ++i) {
+    if (used_[i].bits() == snapshot[i]) continue;  // keep caches warm
     used_[i] = WavelengthSet::from_bits(snapshot[i]);
+    ++link_rev_[i];
   }
+  ++revision_;
+}
+
+std::uint64_t WdmNetwork::link_revision(EdgeId e) const {
+  WDM_CHECK(g_.valid_edge(e));
+  return link_rev_[static_cast<std::size_t>(e)];
+}
+
+std::uint64_t WdmNetwork::conversion_revision(NodeId v) const {
+  WDM_CHECK(g_.valid_node(v));
+  return conv_rev_[static_cast<std::size_t>(v)];
 }
 
 double WdmNetwork::theta_min() const {

@@ -28,6 +28,14 @@ class WdmNetwork {
   /// initially with identity-only (no) conversion capability.
   WdmNetwork(NodeId num_nodes, int num_wavelengths);
 
+  /// Copies and moves produce a *distinct* object: the target gets a fresh
+  /// uid() so external caches keyed on the source never match it.
+  WdmNetwork(const WdmNetwork& other);
+  WdmNetwork& operator=(const WdmNetwork& other);
+  WdmNetwork(WdmNetwork&& other) noexcept;
+  WdmNetwork& operator=(WdmNetwork&& other) noexcept;
+  ~WdmNetwork() = default;
+
   const graph::Digraph& graph() const { return g_; }
   int W() const { return w_; }
   NodeId num_nodes() const { return g_.num_nodes(); }
@@ -107,6 +115,38 @@ class WdmNetwork {
   double theta_min() const;
   double theta_max() const;
 
+  // --- Cache-invalidation contract (rwa::AuxGraphBuilder and friends) -----
+  //
+  // External caches over the residual network key their entries on these
+  // monotone counters; a cached value derived from available(e) (resp.
+  // conversion(v)) is valid exactly while link_revision(e) (resp.
+  // conversion_revision(v)) is unchanged and uid() still matches.
+  //
+  // What bumps them:
+  //   * reserve / release          -> link_revision(e), revision()
+  //   * set_link_failed (on a real
+  //     state change only)         -> link_revision(e), revision()
+  //   * restore_usage              -> link_revision of every link whose
+  //                                   usage actually changed, revision()
+  //   * set_conversion             -> conversion_revision(v), revision()
+  //   * add_node / add_link        -> revision() (topology growth)
+  // What must NOT bump them: any const query, and mutations that provably
+  // leave the residual state untouched (set_link_failed to the current
+  // state). Λ(e) and w(e, λ) are immutable after add_link and carry no
+  // counter of their own.
+
+  /// Monotone counter over *all* mutations (topology, usage, failure,
+  /// conversion). Equal revisions on the same uid() imply an identical
+  /// network state.
+  std::uint64_t revision() const { return revision_; }
+  /// Monotone per-link counter covering everything available(e) depends on.
+  std::uint64_t link_revision(EdgeId e) const;
+  /// Monotone per-node counter over conversion-table replacement.
+  std::uint64_t conversion_revision(NodeId v) const;
+  /// Process-unique object identity; fresh for every constructed, copied, or
+  /// moved-into instance (never recycled, unlike addresses).
+  std::uint64_t uid() const { return uid_; }
+
  private:
   graph::Digraph g_;
   int w_;
@@ -115,6 +155,11 @@ class WdmNetwork {
   std::vector<WavelengthSet> used_;
   std::vector<std::uint8_t> failed_;
   std::vector<double> weight_;  // m * W, row per edge
+
+  std::uint64_t revision_ = 0;
+  std::vector<std::uint64_t> link_rev_;
+  std::vector<std::uint64_t> conv_rev_;
+  std::uint64_t uid_;
 };
 
 }  // namespace wdm::net

@@ -1,0 +1,258 @@
+// Differential identity check for the reusable AuxGraphBuilder: under
+// randomized reserve/release/fiber-cut churn, a long-lived builder must
+// produce a graph arc-for-arc identical — topology, node ids, arc order,
+// AND bit-exact weights — to a cold build_aux_graph of the same query.
+// This is the contract the routers' correctness rests on: if it holds, the
+// caching fast path is observationally invisible.
+//
+// Budget knob: WDM_FUZZ_ITERATIONS scales the instance count (default 500,
+// used as instances = max(20, WDM_FUZZ_ITERATIONS / 5)).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "rwa/aux_graph.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::fuzz {
+namespace {
+
+using rwa::AuxGraph;
+using rwa::AuxGraphBuilder;
+using rwa::AuxGraphOptions;
+using rwa::AuxWeighting;
+
+/// Exact structural + weight equality. EXPECT_EQ on doubles is deliberate:
+/// the builder promises *bit-identical* weights, not approximately equal
+/// ones, because routers compare path costs built from them.
+void expect_identical(const AuxGraph& cold, const AuxGraph& warm,
+                      const std::string& context) {
+  ASSERT_EQ(cold.g.num_nodes(), warm.g.num_nodes()) << context;
+  ASSERT_EQ(cold.g.num_edges(), warm.g.num_edges()) << context;
+  EXPECT_EQ(cold.s_prime, warm.s_prime) << context;
+  EXPECT_EQ(cold.t_second, warm.t_second) << context;
+  EXPECT_EQ(cold.num_edge_nodes, warm.num_edge_nodes) << context;
+  EXPECT_EQ(cold.num_link_arcs, warm.num_link_arcs) << context;
+  EXPECT_EQ(cold.num_transit_arcs, warm.num_transit_arcs) << context;
+  ASSERT_EQ(cold.w.size(), warm.w.size()) << context;
+  ASSERT_EQ(cold.phys_edge_of_arc.size(), warm.phys_edge_of_arc.size())
+      << context;
+  ASSERT_EQ(cold.phys_edge_of_node.size(), warm.phys_edge_of_node.size())
+      << context;
+  ASSERT_EQ(cold.is_in_node.size(), warm.is_in_node.size()) << context;
+  for (graph::EdgeId a = 0; a < cold.g.num_edges(); ++a) {
+    const auto i = static_cast<std::size_t>(a);
+    ASSERT_EQ(cold.g.tail(a), warm.g.tail(a)) << context << " arc " << a;
+    ASSERT_EQ(cold.g.head(a), warm.g.head(a)) << context << " arc " << a;
+    ASSERT_EQ(cold.w[i], warm.w[i]) << context << " arc " << a
+                                    << " (weights must be bit-identical)";
+    ASSERT_EQ(cold.phys_edge_of_arc[i], warm.phys_edge_of_arc[i])
+        << context << " arc " << a;
+  }
+  for (graph::NodeId v = 0; v < cold.g.num_nodes(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    ASSERT_EQ(cold.phys_edge_of_node[i], warm.phys_edge_of_node[i])
+        << context << " node " << v;
+    ASSERT_EQ(cold.is_in_node[i], warm.is_in_node[i]) << context << " node "
+                                                      << v;
+  }
+}
+
+/// One random residual-state mutation: reserve an available wavelength,
+/// release a used one, or toggle a link's failure state.
+void churn_step(net::WdmNetwork& net, support::Rng& rng) {
+  const graph::EdgeId e =
+      static_cast<graph::EdgeId>(rng.index(static_cast<std::size_t>(
+          net.num_links())));
+  const double dice = rng.uniform();
+  if (dice < 0.1) {
+    net.set_link_failed(e, !net.link_failed(e));
+    return;
+  }
+  if (dice < 0.55) {
+    const std::vector<net::Wavelength> avail = net.available(e).to_vector();
+    if (!avail.empty()) net.reserve(e, avail[rng.index(avail.size())]);
+    return;
+  }
+  std::vector<net::Wavelength> used;
+  net.installed(e).for_each([&](net::Wavelength l) {
+    if (net.is_used(e, l)) used.push_back(l);
+  });
+  if (!used.empty()) net.release(e, used[rng.index(used.size())]);
+}
+
+int instance_budget() {
+  const auto iters = support::env_int("WDM_FUZZ_ITERATIONS", 500);
+  return std::max<int>(20, static_cast<int>(iters / 5));
+}
+
+struct Arm {
+  const char* label;
+  AuxWeighting weighting;
+  bool protect_nodes;
+};
+
+constexpr Arm kArms[] = {
+    {"G'", AuxWeighting::kCost, false},
+    {"G_c", AuxWeighting::kLoadExponential, false},
+    {"G_rc", AuxWeighting::kCostLoadFiltered, false},
+    {"G'+protect", AuxWeighting::kCost, true},
+};
+
+TEST(AuxBuilderDifferential, WarmEqualsColdUnderChurn) {
+  const int instances = instance_budget();
+  for (int i = 0; i < instances; ++i) {
+    const std::uint64_t seed = 0xab11de50ull + static_cast<std::uint64_t>(i);
+    FuzzInstance inst = generate_instance(seed);
+    support::Rng rng(seed ^ 0x5eedull);
+
+    // One long-lived builder per arm survives the whole churn sequence;
+    // the cold reference is rebuilt from scratch at every step.
+    AuxGraphBuilder builders[std::size(kArms)];
+    const int steps = 8;
+    for (int step = 0; step < steps; ++step) {
+      for (int k = 0; k < 3; ++k) churn_step(inst.network, rng);
+      // Vary the query too: the arena must cope with changing (s, t).
+      const net::NodeId s =
+          step % 2 == 0 ? inst.s
+                        : static_cast<net::NodeId>(rng.index(
+                              static_cast<std::size_t>(
+                                  inst.network.num_nodes())));
+      net::NodeId t = inst.t;
+      if (t == s) t = (t + 1) % inst.network.num_nodes();
+
+      for (std::size_t a = 0; a < std::size(kArms); ++a) {
+        AuxGraphOptions opt;
+        opt.weighting = kArms[a].weighting;
+        opt.protect_nodes = kArms[a].protect_nodes;
+        if (opt.weighting != AuxWeighting::kCost) {
+          // A mid-range ϑ so the filter actually drops some links.
+          opt.theta = 0.25 + 0.75 * rng.uniform();
+        }
+        const AuxGraph cold = rwa::build_aux_graph(inst.network, s, t, opt);
+        const AuxGraph& warm = builders[a].build(inst.network, s, t, opt);
+        expect_identical(
+            cold, warm,
+            std::string("seed ") + std::to_string(seed) + " family " +
+                inst.family + " step " + std::to_string(step) + " arm " +
+                kArms[a].label);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(AuxBuilderDifferential, CacheActuallyHitsOnUnchangedNetwork) {
+  FuzzInstance inst = generate_instance(7);
+  AuxGraphBuilder builder;
+  AuxGraphOptions opt;  // G': exercises both transit and link caches
+  builder.build(inst.network, inst.s, inst.t, opt);
+  const auto after_first = builder.stats();
+  builder.build(inst.network, inst.s, inst.t, opt);
+  const auto after_second = builder.stats();
+  EXPECT_EQ(after_second.builds, 2u);
+  // Nothing changed between builds: the second is all hits, no misses.
+  EXPECT_EQ(after_second.conv_misses, after_first.conv_misses);
+  EXPECT_EQ(after_second.link_misses, after_first.link_misses);
+  EXPECT_GT(after_second.link_hits, after_first.link_hits);
+}
+
+TEST(AuxBuilderDifferential, ReserveInvalidatesOnlyTouchedLink) {
+  FuzzInstance inst = generate_instance(11);
+  net::WdmNetwork& net = inst.network;
+  AuxGraphBuilder builder;
+  builder.build(net, inst.s, inst.t, AuxGraphOptions{});
+
+  // Find a link with an available wavelength and reserve it.
+  for (graph::EdgeId e = 0; e < net.num_links(); ++e) {
+    const net::WavelengthSet avail = net.available(e);
+    if (avail.count() == 0) continue;
+    net.reserve(e, avail.lowest());
+    break;
+  }
+  const auto before = builder.stats();
+  const AuxGraph warm = [&] {
+    builder.build(net, inst.s, inst.t, AuxGraphOptions{});
+    return builder.take_last();
+  }();
+  const auto after = builder.stats();
+  // The rebuild re-derives only entries touching the mutated link; on any
+  // non-trivial instance most link-cost entries are still served from cache.
+  EXPECT_GT(after.link_hits, before.link_hits);
+  const AuxGraph cold =
+      rwa::build_aux_graph(net, inst.s, inst.t, AuxGraphOptions{});
+  expect_identical(cold, warm, "post-reserve rebuild");
+}
+
+TEST(AuxBuilderDifferential, RebindsOnDifferentNetworkObject) {
+  FuzzInstance a = generate_instance(3);
+  FuzzInstance b = generate_instance(4);
+  AuxGraphBuilder builder;
+  builder.build(a.network, a.s, a.t, AuxGraphOptions{});
+  builder.build(b.network, b.s, b.t, AuxGraphOptions{});
+  EXPECT_EQ(builder.stats().rebinds, 2u);
+  // A copy is a distinct object (fresh uid) even though its state is equal.
+  const net::WdmNetwork copy = b.network;
+  const AuxGraph warm = [&] {
+    builder.build(copy, b.s, b.t, AuxGraphOptions{});
+    return builder.take_last();
+  }();
+  EXPECT_EQ(builder.stats().rebinds, 3u);
+  const AuxGraph cold = rwa::build_aux_graph(copy, b.s, b.t, AuxGraphOptions{});
+  expect_identical(cold, warm, "post-rebind build");
+}
+
+TEST(AuxBuilderDifferential, BatchMatchesPerQueryColdBuilds) {
+  FuzzInstance inst = generate_instance(19);
+  support::Rng rng(19);
+  std::vector<std::pair<net::NodeId, net::NodeId>> queries;
+  const net::NodeId n = inst.network.num_nodes();
+  for (int i = 0; i < 6; ++i) {
+    const auto s = static_cast<net::NodeId>(rng.index(
+        static_cast<std::size_t>(n)));
+    const auto t = static_cast<net::NodeId>((s + 1 + rng.index(
+        static_cast<std::size_t>(n - 1))) % n);
+    queries.emplace_back(s, t);
+  }
+  AuxGraphOptions opt;
+  AuxGraphBuilder builder;
+  std::size_t seen = 0;
+  builder.build_batch(inst.network, queries, opt,
+                      [&](std::size_t i, const AuxGraph& warm) {
+                        ASSERT_EQ(i, seen++);
+                        const AuxGraph cold = rwa::build_aux_graph(
+                            inst.network, queries[i].first, queries[i].second,
+                            opt);
+                        expect_identical(cold, warm,
+                                         "batch query " + std::to_string(i));
+                      });
+  EXPECT_EQ(seen, queries.size());
+}
+
+TEST(AuxBuilderPool, SingleThreadedCallerGetsWarmBuilderBack) {
+  rwa::AuxGraphBuilderPool pool;
+  EXPECT_EQ(pool.idle_count(), 0u);
+  AuxGraphBuilder* first = nullptr;
+  {
+    auto lease = pool.lease();
+    first = lease.get();
+    EXPECT_EQ(pool.idle_count(), 0u);
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  {
+    auto lease = pool.lease();
+    EXPECT_EQ(lease.get(), first) << "LIFO pool must recycle the warm builder";
+    auto second = pool.lease();
+    EXPECT_NE(second.get(), first);
+  }
+  EXPECT_EQ(pool.idle_count(), 2u);
+}
+
+}  // namespace
+}  // namespace wdm::fuzz

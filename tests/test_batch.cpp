@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rwa/approx_router.hpp"
 #include "rwa/batch.hpp"
 #include "support/rng.hpp"
@@ -102,6 +104,62 @@ TEST(Batch, ShortestAndLongestAreValidPermutations) {
     }
     EXPECT_EQ(n.total_usage(), expected);
   }
+}
+
+TEST(Batch, HopOrderingObservableUnderContention) {
+  // W=1 multigraph: two parallel links 0->1 and two parallel 1->2, plus an
+  // isolated node 3. The 1-hop request (0,1) and the 2-hop request (0,2)
+  // both need BOTH 0->1 links (disjoint pair), so whichever is processed
+  // first wins and the other drops; (0,3) is unreachable.
+  auto make_net = [] {
+    net::WdmNetwork n(4, 1);
+    const net::WavelengthSet l0 = net::WavelengthSet::all(1);
+    n.add_link(0, 1, l0, 1.0);
+    n.add_link(0, 1, l0, 1.0);
+    n.add_link(1, 2, l0, 1.0);
+    n.add_link(1, 2, l0, 1.0);
+    return n;
+  };
+  const std::vector<BatchRequest> batch = {
+      {0, 2, 0},  // 2 hops
+      {0, 3, 1},  // unreachable: kUnreachableHops
+      {0, 1, 2},  // 1 hop
+  };
+  ApproxDisjointRouter router;
+
+  net::WdmNetwork ns = make_net();
+  const BatchOutcome shortest =
+      provision_batch(ns, router, batch, BatchOrder::kShortestFirst);
+  EXPECT_TRUE(shortest.routes[2].has_value()) << "1-hop first, must win";
+  EXPECT_FALSE(shortest.routes[0].has_value()) << "2-hop starved of 0->1";
+  EXPECT_FALSE(shortest.routes[1].has_value()) << "unreachable always drops";
+
+  net::WdmNetwork nl = make_net();
+  const BatchOutcome longest =
+      provision_batch(nl, router, batch, BatchOrder::kLongestFirst);
+  EXPECT_TRUE(longest.routes[0].has_value()) << "2-hop first, must win";
+  EXPECT_FALSE(longest.routes[2].has_value()) << "1-hop starved of 0->1";
+  EXPECT_FALSE(longest.routes[1].has_value());
+}
+
+TEST(Batch, UnreachableSortsLastUnderShortestFirst) {
+  // Documented sentinel semantics: kUnreachableHops = INT_MAX, so the
+  // stable sort keeps unreachable requests at the back (shortest-first) /
+  // front (longest-first) — they can never starve a routable request of
+  // capacity under shortest-first.
+  EXPECT_EQ(kUnreachableHops, std::numeric_limits<int>::max());
+  net::WdmNetwork n(3, 1);
+  n.add_link(0, 1, net::WavelengthSet::all(1), 1.0);
+  n.add_link(0, 1, net::WavelengthSet::all(1), 1.0);
+  // 40 unreachable requests ahead of one routable one in arrival order.
+  std::vector<BatchRequest> batch;
+  for (int i = 0; i < 40; ++i) batch.push_back({0, 2, i});
+  batch.push_back({0, 1, 40});
+  ApproxDisjointRouter router;
+  const BatchOutcome out =
+      provision_batch(n, router, batch, BatchOrder::kShortestFirst);
+  EXPECT_EQ(out.accepted, 1);
+  EXPECT_TRUE(out.routes[40].has_value());
 }
 
 TEST(Batch, OrderNamesDistinct) {
