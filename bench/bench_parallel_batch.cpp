@@ -1,0 +1,310 @@
+// E17 — optimistic parallel batch provisioning: serial provision_batch vs
+// rwa::ParallelBatchEngine at 1/2/4/8 worker threads on NSFNET-W16 and a
+// 60-node random WAN at W=32, under contention heavy enough that batches
+// actually drop requests (the regime the engine's drop-run speculation
+// targets).
+//
+// Two things are enforced by exit status, not just reported:
+//   * determinism — at EVERY thread count the engine's outcome (accept set,
+//     routes, cost sum, reservation ledger) must equal the serial loop's,
+//     and the 1-thread engine must equal serial by construction (exit 3 on
+//     any mismatch, always enforced);
+//   * the acceptance bar — >= 2x serial throughput at 4 threads on
+//     random60-w32 (exit 2 when missed). The bar is only *meaningful* on a
+//     machine with >= 4 usable cores; on smaller hosts (or under
+//     ROBUSTWDM_E17_SKIP_BAR=1 for sanitizer smoke runs) it is reported but
+//     waived, with the waiver recorded in the JSON.
+//
+// Writes BENCH_parallel_batch.json (override via --out <path>).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rwa/approx_router.hpp"
+#include "rwa/batch.hpp"
+#include "rwa/parallel_batch.hpp"
+#include "support/env.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "topology/network_builder.hpp"
+
+namespace {
+
+using namespace wdm;
+
+std::vector<rwa::BatchRequest> make_batch(int count, net::NodeId n,
+                                          std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<rwa::BatchRequest> batch;
+  for (int i = 0; i < count; ++i) {
+    rwa::BatchRequest r;
+    r.id = i;
+    r.s = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
+    r.t = r.s;
+    while (r.t == r.s) {
+      r.t = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
+    }
+    batch.push_back(r);
+  }
+  return batch;
+}
+
+/// Background reservations pushing the network into the contended regime:
+/// batches that mostly *drop* are exactly where speculative provisioning
+/// pays (consecutive drops validate against one snapshot), and exactly the
+/// load level §4's routing is designed for.
+void preload(net::WdmNetwork& net, double prob, std::uint64_t seed) {
+  support::Rng rng(seed);
+  for (graph::EdgeId e = 0; e < net.num_links(); ++e) {
+    net.available(e).for_each([&](net::Wavelength l) {
+      if (rng.uniform() < prob) net.reserve(e, l);
+    });
+  }
+}
+
+bool outcomes_identical(const rwa::BatchOutcome& a, const rwa::BatchOutcome& b,
+                        const net::WdmNetwork& na, const net::WdmNetwork& nb) {
+  if (a.accepted != b.accepted || a.dropped != b.dropped ||
+      a.total_cost != b.total_cost ||
+      a.final_network_load != b.final_network_load ||
+      a.routes.size() != b.routes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    if (a.routes[i].has_value() != b.routes[i].has_value()) return false;
+    if (!a.routes[i].has_value()) continue;
+    if (!(a.routes[i]->primary.hops == b.routes[i]->primary.hops)) return false;
+    if (!(a.routes[i]->backup.hops == b.routes[i]->backup.hops)) return false;
+  }
+  return na.usage_snapshot() == nb.usage_snapshot();
+}
+
+struct ArmResult {
+  int threads = 0;
+  double ms = 0.0;
+  double rps = 0.0;
+  double speedup = 0.0;
+  bool identical = true;
+  rwa::ParallelBatchStats stats;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  int batch_size = 0;
+  int rounds = 0;
+  long long requests = 0;
+  int serial_accepted = 0;
+  int serial_dropped = 0;
+  double serial_ms = 0.0;
+  double serial_rps = 0.0;
+  std::vector<ArmResult> arms;
+};
+
+ScenarioResult run_scenario(const char* name, const net::WdmNetwork& base,
+                            int batch_size, int rounds, std::uint64_t seed) {
+  ScenarioResult sr;
+  sr.scenario = name;
+  sr.batch_size = batch_size;
+  sr.rounds = rounds;
+  sr.requests = static_cast<long long>(batch_size) * rounds;
+
+  const auto batch = make_batch(batch_size, base.num_nodes(), seed);
+  const rwa::ApproxDisjointRouter router;
+
+  // Serial reference: per-round outcome on a fresh copy of the base network
+  // (kept for the determinism diff), then the timed throughput loop.
+  net::WdmNetwork ref_net = base;
+  const rwa::BatchOutcome ref =
+      rwa::provision_batch(ref_net, router, batch, rwa::BatchOrder::kArrival);
+  sr.serial_accepted = ref.accepted;
+  sr.serial_dropped = ref.dropped;
+
+  {
+    net::WdmNetwork net = base;
+    support::Stopwatch sw;
+    for (int r = 0; r < rounds; ++r) {
+      const rwa::BatchOutcome out = rwa::provision_batch(
+          net, router, batch, rwa::BatchOrder::kArrival);
+      rwa::release_batch(net, out);
+    }
+    sr.serial_ms = sw.elapsed_ms();
+    sr.serial_rps = bench::requests_per_second(sr.requests, sr.serial_ms);
+  }
+
+  for (int threads : {1, 2, 4, 8}) {
+    ArmResult arm;
+    arm.threads = threads;
+    rwa::ParallelBatchOptions opt;
+    opt.threads = threads;
+    rwa::ParallelBatchEngine engine(opt);
+
+    // Untimed determinism pass against the serial reference.
+    {
+      net::WdmNetwork net = base;
+      const rwa::BatchOutcome out =
+          engine.run(net, router, batch, rwa::BatchOrder::kArrival);
+      arm.identical = outcomes_identical(ref, out, ref_net, net);
+      rwa::release_batch(net, out);
+    }
+
+    engine.reset_stats();
+    {
+      net::WdmNetwork net = base;
+      support::Stopwatch sw;
+      for (int r = 0; r < rounds; ++r) {
+        const rwa::BatchOutcome out =
+            engine.run(net, router, batch, rwa::BatchOrder::kArrival);
+        rwa::release_batch(net, out);
+      }
+      arm.ms = sw.elapsed_ms();
+    }
+    arm.rps = bench::requests_per_second(sr.requests, arm.ms);
+    arm.speedup = arm.ms > 0.0 ? sr.serial_ms / arm.ms : 0.0;
+    arm.stats = engine.stats();
+    sr.arms.push_back(arm);
+  }
+  return sr;
+}
+
+const ArmResult* find_arm(const ScenarioResult& sr, int threads) {
+  for (const ArmResult& a : sr.arms) {
+    if (a.threads == threads) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = wdm::bench::quick_mode(argc, argv);
+  std::string out_path = "BENCH_parallel_batch.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+  wdm::bench::banner(
+      "E17 — optimistic parallel batch provisioning",
+      "Expected shape: the speculative engine tracks serial provision_batch "
+      "bit-for-bit at every thread count (enforced, exit 3), and beats it by "
+      ">= 2x at 4 threads on random60-w32 when >= 4 cores are available "
+      "(enforced, exit 2). Conflict/retry rates quantify the optimism tax.");
+
+  const int cores = support::hardware_threads();
+  const bool skip_bar = support::env_int("ROBUSTWDM_E17_SKIP_BAR", 0) != 0;
+  const int rounds = quick ? 3 : 12;
+
+  std::vector<ScenarioResult> results;
+  {
+    net::WdmNetwork nsf = topo::nsfnet_network(16, 0.5);
+    preload(nsf, 0.55, 1001);
+    results.push_back(
+        run_scenario("nsfnet-w16", nsf, quick ? 120 : 240, rounds, 11));
+  }
+  {
+    support::Rng rng(7);
+    const topo::Topology t = topo::random_connected(60, 50, rng);
+    topo::NetworkOptions nopt;
+    nopt.num_wavelengths = 32;
+    net::WdmNetwork big = topo::build_network(t, nopt, rng);
+    preload(big, 0.93, 1002);
+    results.push_back(
+        run_scenario("random60-w32", big, quick ? 150 : 300, rounds, 21));
+  }
+
+  bool determinism_ok = true;
+  wdm::support::TextTable table({"scenario", "threads", "ms", "requests/s",
+                                 "speedup", "conflict rate", "spec hits",
+                                 "retries", "fallbacks", "identical"});
+  for (const ScenarioResult& sr : results) {
+    table.add_row({sr.scenario, "serial",
+                   wdm::support::TextTable::num(sr.serial_ms, 2),
+                   wdm::support::TextTable::num(sr.serial_rps, 0), "1.00", "-",
+                   "-", "-", "-", "-"});
+    for (const ArmResult& a : sr.arms) {
+      determinism_ok = determinism_ok && a.identical;
+      table.add_row({sr.scenario, wdm::support::TextTable::integer(a.threads),
+                     wdm::support::TextTable::num(a.ms, 2),
+                     wdm::support::TextTable::num(a.rps, 0),
+                     wdm::support::TextTable::num(a.speedup, 2),
+                     wdm::support::TextTable::num(a.stats.conflict_rate(), 3),
+                     wdm::support::TextTable::num(a.stats.spec_hit_rate(), 3),
+                     wdm::support::TextTable::integer(
+                         static_cast<int>(a.stats.retries)),
+                     wdm::support::TextTable::integer(
+                         static_cast<int>(a.stats.serial_fallbacks)),
+                     a.identical ? "yes" : "NO"});
+    }
+  }
+  wdm::bench::print_table(table);
+
+  const ArmResult* bar_arm = find_arm(results.back(), 4);
+  const double bar_speedup = bar_arm ? bar_arm->speedup : 0.0;
+  const bool bar_waived = skip_bar || cores < 4;
+  const bool bar_met = bar_speedup >= 2.0;
+
+  std::printf("usable cores: %d\n", cores);
+  std::printf("determinism (all thread counts == serial): %s\n",
+              determinism_ok ? "OK" : "VIOLATED");
+  if (bar_waived) {
+    std::printf(
+        "random60-w32 >= 2x @ 4 threads bar: %.2fx — WAIVED (%s)\n",
+        bar_speedup, skip_bar ? "ROBUSTWDM_E17_SKIP_BAR" : "< 4 cores");
+  } else {
+    std::printf("random60-w32 >= 2x @ 4 threads bar: %.2fx — %s\n",
+                bar_speedup, bar_met ? "MET" : "NOT MET");
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"E17 parallel batch provisioning\",\n");
+  std::fprintf(f, "  \"usable_cores\": %d,\n", cores);
+  std::fprintf(f, "  \"determinism_ok\": %s,\n",
+               determinism_ok ? "true" : "false");
+  std::fprintf(f, "  \"bar_speedup_4t_random60\": %.3f,\n", bar_speedup);
+  std::fprintf(f, "  \"bar_met\": %s,\n", bar_met ? "true" : "false");
+  std::fprintf(f, "  \"bar_waived_insufficient_cores\": %s,\n",
+               bar_waived ? "true" : "false");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const ScenarioResult& sr = results[s];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"batch_size\": %d, "
+                 "\"rounds\": %d, \"serial_accepted\": %d, "
+                 "\"serial_dropped\": %d, \"serial_ms\": %.3f, "
+                 "\"serial_rps\": %.1f,\n     \"arms\": [\n",
+                 sr.scenario.c_str(), sr.batch_size, sr.rounds,
+                 sr.serial_accepted, sr.serial_dropped, sr.serial_ms,
+                 sr.serial_rps);
+    for (std::size_t i = 0; i < sr.arms.size(); ++i) {
+      const ArmResult& a = sr.arms[i];
+      std::fprintf(
+          f,
+          "      {\"threads\": %d, \"ms\": %.3f, \"rps\": %.1f, "
+          "\"speedup\": %.3f, \"identical\": %s, \"conflict_rate\": %.4f, "
+          "\"spec_hit_rate\": %.4f, \"speculations\": %lld, "
+          "\"conflicts\": %lld, \"retries\": %lld, "
+          "\"commit_reroutes\": %lld, \"serial_fallbacks\": %lld, "
+          "\"epochs\": %lld, \"snapshot_syncs\": %lld, "
+          "\"snapshot_copies\": %lld}%s\n",
+          a.threads, a.ms, a.rps, a.speedup, a.identical ? "true" : "false",
+          a.stats.conflict_rate(), a.stats.spec_hit_rate(),
+          a.stats.speculations, a.stats.conflicts, a.stats.retries,
+          a.stats.commit_reroutes, a.stats.serial_fallbacks, a.stats.epochs,
+          a.stats.snapshot_syncs, a.stats.snapshot_copies,
+          i + 1 < sr.arms.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", s + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!determinism_ok) return 3;
+  if (!bar_waived && !bar_met) return 2;
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "rwa/approx_router.hpp"
+#include "support/timer.hpp"
 #include "rwa/baselines.hpp"
 #include "rwa/batch.hpp"
 #include "rwa/loadcost_router.hpp"
@@ -73,11 +74,13 @@ int main(int argc, char** argv) {
     wdm::support::TextTable table(
         {"batch order", "mean accepted / " +
                             wdm::support::TextTable::integer(batch_size),
-         "mean total cost", "mean final rho"});
+         "mean total cost", "mean final rho", "requests/s"});
     for (rwa::BatchOrder order :
          {rwa::BatchOrder::kArrival, rwa::BatchOrder::kShortestFirst,
           rwa::BatchOrder::kLongestFirst, rwa::BatchOrder::kRandom}) {
       support::RunningStats accepted, cost, rho;
+      support::Stopwatch sw;
+      double provision_ms = 0.0;
       for (int trial = 0; trial < trials; ++trial) {
         support::Rng rng(static_cast<std::uint64_t>(trial) * 13 + 7);
         net::WdmNetwork n = topo::nsfnet_network(4, 0.5);
@@ -94,16 +97,21 @@ int main(int argc, char** argv) {
         }
         rwa::ApproxDisjointRouter router;
         support::Rng order_rng(trial);
+        sw.reset();
         const rwa::BatchOutcome out =
             rwa::provision_batch(n, router, batch, order, &order_rng);
+        provision_ms += sw.elapsed_ms();
         accepted.add(out.accepted);
         cost.add(out.total_cost);
         rho.add(out.final_network_load);
       }
+      const double rps = wdm::bench::requests_per_second(
+          static_cast<long long>(trials) * batch_size, provision_ms);
       table.add_row({rwa::batch_order_name(order),
                      wdm::support::TextTable::num(accepted.mean(), 2),
                      wdm::support::TextTable::num(cost.mean(), 1),
-                     wdm::support::TextTable::num(rho.mean(), 4)});
+                     wdm::support::TextTable::num(rho.mean(), 4),
+                     wdm::support::TextTable::num(rps, 0)});
     }
     wdm::bench::print_table(table);
   }

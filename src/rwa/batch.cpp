@@ -66,12 +66,9 @@ class HopDistances {
 
 }  // namespace
 
-BatchOutcome provision_batch(net::WdmNetwork& net, const Router& router,
-                             const std::vector<BatchRequest>& batch,
-                             BatchOrder order, support::Rng* rng) {
-  BatchOutcome out;
-  out.routes.resize(batch.size());
-
+std::vector<std::size_t> batch_order_permutation(
+    const net::WdmNetwork& net, const std::vector<BatchRequest>& batch,
+    BatchOrder order, support::Rng* rng) {
   std::vector<std::size_t> perm(batch.size());
   std::iota(perm.begin(), perm.end(), 0);
   switch (order) {
@@ -97,18 +94,34 @@ BatchOutcome provision_batch(net::WdmNetwork& net, const Router& router,
       rng->shuffle(std::span<std::size_t>(perm));
       break;
   }
+  return perm;
+}
 
-  for (std::size_t i : perm) {
+namespace detail {
+
+bool commit_route(net::WdmNetwork& net, const RouteResult& r, std::size_t i,
+                  BatchOutcome& out) {
+  if (r.found && r.route.feasible(net)) {
+    r.route.reserve_in(net);
+    out.routes[i] = r.route;
+    ++out.accepted;
+    out.total_cost += r.route.total_cost(net);
+    return true;
+  }
+  ++out.dropped;
+  return false;
+}
+
+}  // namespace detail
+
+BatchOutcome provision_batch(net::WdmNetwork& net, const Router& router,
+                             const std::vector<BatchRequest>& batch,
+                             BatchOrder order, support::Rng* rng) {
+  BatchOutcome out;
+  out.routes.resize(batch.size());
+  for (std::size_t i : batch_order_permutation(net, batch, order, rng)) {
     const BatchRequest& req = batch[i];
-    const RouteResult r = router.route(net, req.s, req.t);
-    if (r.found && r.route.feasible(net)) {
-      r.route.reserve_in(net);
-      out.routes[i] = r.route;
-      ++out.accepted;
-      out.total_cost += r.route.total_cost(net);
-    } else {
-      ++out.dropped;
-    }
+    detail::commit_route(net, router.route(net, req.s, req.t), i, out);
   }
   out.final_network_load = net.network_load();
   return out;

@@ -56,6 +56,25 @@ BatchOutcome provision_batch(net::WdmNetwork& net, const Router& router,
                              BatchOrder order = BatchOrder::kArrival,
                              support::Rng* rng = nullptr);
 
+/// The processing permutation `provision_batch` uses for `order` — input
+/// indices in the order requests are routed. kRandom consumes exactly one
+/// shuffle from `rng` (required then, ignored otherwise), so serial and
+/// parallel callers seeding identical RNGs draw identical permutations.
+std::vector<std::size_t> batch_order_permutation(
+    const net::WdmNetwork& net, const std::vector<BatchRequest>& batch,
+    BatchOrder order, support::Rng* rng = nullptr);
+
+namespace detail {
+
+/// The single accept/drop decision of §2, shared verbatim by the serial loop
+/// and the parallel engine's commit thread: a route is accepted iff found and
+/// feasible against `net`'s *current* residual state; accepted routes are
+/// reserved immediately and recorded at input index `i`. Returns acceptance.
+bool commit_route(net::WdmNetwork& net, const RouteResult& r, std::size_t i,
+                  BatchOutcome& out);
+
+}  // namespace detail
+
 /// Releases every route a batch reserved (undo helper for sweeps).
 void release_batch(net::WdmNetwork& net, const BatchOutcome& outcome);
 

@@ -1,0 +1,295 @@
+#include "rwa/parallel_batch.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+#include "wdm/network.hpp"
+
+namespace wdm::rwa {
+
+namespace {
+
+/// Per-request speculation slot. All fields are guarded by Shared::mu; the
+/// route computation itself runs unlocked against an immutable snapshot.
+struct Slot {
+  RouteResult res;
+  std::uint64_t epoch = ~std::uint64_t{0};  // epoch `res` was computed in
+  std::uint64_t claim_epoch = ~std::uint64_t{0};  // epoch of the latest claim
+  int attempts = 0;     // speculation claims (retries = attempts - 1)
+  int in_flight = 0;    // outstanding route() calls for this slot
+  bool has = false;     // res holds a published (possibly stale) result
+};
+
+struct Shared {
+  std::mutex mu;
+  std::condition_variable work_cv;    // workers: window opened / epoch / stop
+  std::condition_variable result_cv;  // commit: a result landed
+
+  std::vector<Slot> slots;
+  std::shared_ptr<const net::WdmNetwork> snap;
+  std::uint64_t cur_epoch = 0;
+  std::size_t commit_idx = 0;  // next slot to finalize (policy order)
+  std::size_t cursor = 0;      // next slot to claim for speculation
+  std::size_t window = 1;
+  int max_attempts = 1;  // 1 + max_speculation_retries
+  bool stop = false;
+  std::exception_ptr first_exception;
+
+  ParallelBatchStats st;  // this run's counters
+
+  bool claimable() const {
+    return cursor < std::min(slots.size(), commit_idx + window);
+  }
+};
+
+/// Joins the worker pool on every exit path (including exceptions thrown on
+/// the commit thread) before Shared goes out of scope.
+class WorkerPool {
+ public:
+  explicit WorkerPool(Shared& sh) : sh_(sh) {}
+  ~WorkerPool() { stop_and_join(); }
+
+  void add(std::thread t) { threads_.push_back(std::move(t)); }
+
+  void stop_and_join() {
+    {
+      std::lock_guard<std::mutex> lk(sh_.mu);
+      sh_.stop = true;
+    }
+    sh_.work_cv.notify_all();
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+ private:
+  Shared& sh_;
+  std::vector<std::thread> threads_;
+};
+
+void worker_loop(Shared& sh, const Router& router,
+                 const std::vector<BatchRequest>& batch,
+                 const std::vector<std::size_t>& perm) {
+  std::unique_lock<std::mutex> lk(sh.mu);
+  for (;;) {
+    sh.work_cv.wait(lk, [&] { return sh.stop || sh.claimable(); });
+    if (sh.stop) return;
+    const std::size_t i = sh.cursor++;
+    Slot& sl = sh.slots[i];
+    if (sl.attempts >= sh.max_attempts) continue;  // left to the commit thread
+    ++sl.attempts;
+    if (sl.attempts > 1) ++sh.st.retries;
+    ++sl.in_flight;
+    sl.claim_epoch = sh.cur_epoch;
+    const std::uint64_t epoch = sh.cur_epoch;
+    const BatchRequest& req = batch[perm[i]];
+    {
+      // Route unlocked against the immutable snapshot; the shared_ptr keeps
+      // it alive (and un-reusable by the pool) for the duration.
+      std::shared_ptr<const net::WdmNetwork> snap = sh.snap;
+      lk.unlock();
+      RouteResult r;
+      try {
+        r = router.route(*snap, req.s, req.t);
+      } catch (...) {
+        lk.lock();
+        if (!sh.first_exception) sh.first_exception = std::current_exception();
+        sh.stop = true;
+        --sh.slots[i].in_flight;
+        sh.work_cv.notify_all();
+        sh.result_cv.notify_all();
+        return;
+      }
+      lk.lock();
+      ++sh.st.speculations;
+      --sl.in_flight;
+      if (epoch == sh.cur_epoch) {
+        sl.res = std::move(r);
+        sl.epoch = epoch;
+        sl.has = true;
+      } else {
+        ++sh.st.conflicts;  // a commit invalidated this speculation mid-route
+      }
+    }
+    sh.result_cv.notify_all();
+  }
+}
+
+}  // namespace
+
+struct ParallelBatchEngine::SnapshotPool {
+  std::vector<std::shared_ptr<net::WdmNetwork>> entries;
+  // Identity of the base network the pooled copies were taken from; any
+  // change (different object, topology growth, conversion-table swap)
+  // flushes the pool — sync_residual_from only tracks usage and failure.
+  std::uint64_t base_uid = 0;
+  graph::NodeId base_nodes = -1;
+  graph::EdgeId base_links = -1;
+  int base_w = 0;
+  std::uint64_t base_conv_sum = 0;
+
+  static std::uint64_t conv_sum(const net::WdmNetwork& n) {
+    std::uint64_t s = 0;
+    for (graph::NodeId v = 0; v < n.num_nodes(); ++v) {
+      s += n.conversion_revision(v);
+    }
+    return s;
+  }
+
+  std::shared_ptr<const net::WdmNetwork> publish(const net::WdmNetwork& live,
+                                                 ParallelBatchStats& st) {
+    const std::uint64_t cs = conv_sum(live);
+    if (live.uid() != base_uid || live.num_nodes() != base_nodes ||
+        live.num_links() != base_links || live.W() != base_w ||
+        cs != base_conv_sum) {
+      entries.clear();
+      base_uid = live.uid();
+      base_nodes = live.num_nodes();
+      base_links = live.num_links();
+      base_w = live.W();
+      base_conv_sum = cs;
+    }
+    for (auto& sp : entries) {
+      if (sp.use_count() == 1) {  // held only by the pool: free to refresh
+        sp->sync_residual_from(live);
+        ++st.snapshot_syncs;
+        return sp;
+      }
+    }
+    entries.push_back(std::make_shared<net::WdmNetwork>(live));
+    ++st.snapshot_copies;
+    return entries.back();
+  }
+};
+
+ParallelBatchEngine::ParallelBatchEngine(ParallelBatchOptions opt)
+    : opt_(opt), pool_(std::make_unique<SnapshotPool>()) {}
+
+ParallelBatchEngine::~ParallelBatchEngine() = default;
+
+int ParallelBatchEngine::resolved_threads() const {
+  return opt_.threads > 0 ? opt_.threads : support::hardware_threads();
+}
+
+BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
+                                      const Router& router,
+                                      const std::vector<BatchRequest>& batch,
+                                      BatchOrder order, support::Rng* rng) {
+  const std::vector<std::size_t> perm =
+      batch_order_permutation(net, batch, order, rng);
+  BatchOutcome out;
+  out.routes.resize(batch.size());
+  stats_.requests += static_cast<long long>(batch.size());
+
+  const int threads = resolved_threads();
+  if (threads <= 1 || batch.size() <= 1) {
+    // Serial path through the exact same commit helper — identical to
+    // provision_batch by construction.
+    for (std::size_t i : perm) {
+      const BatchRequest& req = batch[i];
+      detail::commit_route(net, router.route(net, req.s, req.t), i, out);
+    }
+    out.final_network_load = net.network_load();
+    return out;
+  }
+
+  Shared sh;
+  sh.slots.resize(batch.size());
+  sh.window = opt_.window > 0 ? static_cast<std::size_t>(opt_.window)
+                              : static_cast<std::size_t>(4 * threads);
+  sh.window = std::max<std::size_t>(sh.window, 1);
+  sh.max_attempts = 1 + std::max(0, opt_.max_speculation_retries);
+  sh.snap = pool_->publish(net, sh.st);
+
+  WorkerPool workers(sh);
+  for (int w = 0; w < threads; ++w) {
+    workers.add(std::thread(worker_loop, std::ref(sh), std::cref(router),
+                            std::cref(batch), std::cref(perm)));
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(sh.mu);
+    for (std::size_t k = 0; k < sh.slots.size(); ++k) {
+      sh.commit_idx = k;
+      sh.work_cv.notify_all();  // the speculation window moved forward
+      Slot& sl = sh.slots[k];
+      RouteResult r;
+      bool from_spec = false;
+      for (;;) {
+        if (sh.first_exception) break;
+        if (sl.has && sl.epoch == sh.cur_epoch) {
+          r = std::move(sl.res);
+          sl.has = false;
+          from_spec = true;
+          break;
+        }
+        if (sl.has) {  // published against a superseded epoch
+          sl.has = false;
+          ++sh.st.conflicts;
+          continue;
+        }
+        if (sl.in_flight > 0 && sl.claim_epoch == sh.cur_epoch) {
+          sh.result_cv.wait(lk);  // a fresh speculation is coming
+          continue;
+        }
+        // No usable speculation in flight: route it on the commit thread
+        // against the live network (the serial state by induction).
+        if (sl.attempts >= sh.max_attempts) ++sh.st.serial_fallbacks;
+        ++sh.st.commit_reroutes;
+        if (sh.cursor <= k) sh.cursor = k + 1;  // nobody else claims k
+        const BatchRequest& req = batch[perm[k]];
+        lk.unlock();
+        RouteResult mine;
+        try {
+          mine = router.route(net, req.s, req.t);
+        } catch (...) {
+          lk.lock();
+          if (!sh.first_exception) sh.first_exception = std::current_exception();
+          break;
+        }
+        lk.lock();
+        r = std::move(mine);
+        break;
+      }
+      if (sh.first_exception) break;
+
+      if (from_spec) ++sh.st.spec_commits;
+      // The serial accept/drop decision, evaluated against the live network.
+      if (detail::commit_route(net, r, perm[k], out)) {
+        ++sh.cur_epoch;
+        ++sh.st.epochs;
+        sh.snap = pool_->publish(net, sh.st);
+        sh.cursor = k + 1;  // everything past k must re-speculate
+        sh.work_cv.notify_all();
+      }
+    }
+    sh.stop = true;
+  }
+  sh.work_cv.notify_all();
+  workers.stop_and_join();
+
+  // Merge this run's counters (single-threaded again: workers are gone).
+  stats_.speculations += sh.st.speculations;
+  stats_.spec_commits += sh.st.spec_commits;
+  stats_.conflicts += sh.st.conflicts;
+  stats_.retries += sh.st.retries;
+  stats_.commit_reroutes += sh.st.commit_reroutes;
+  stats_.serial_fallbacks += sh.st.serial_fallbacks;
+  stats_.epochs += sh.st.epochs;
+  stats_.snapshot_syncs += sh.st.snapshot_syncs;
+  stats_.snapshot_copies += sh.st.snapshot_copies;
+
+  if (sh.first_exception) std::rethrow_exception(sh.first_exception);
+
+  out.final_network_load = net.network_load();
+  return out;
+}
+
+}  // namespace wdm::rwa

@@ -1,0 +1,137 @@
+// Optimistic parallel batch provisioning with conflict-checked commits.
+//
+// §2 fixes the operating model: a batch of connection requests per interval,
+// processed one by one against the evolving residual network. provision_batch
+// reproduces that serially; ParallelBatchEngine produces the *same answer* —
+// bit-for-bit identical accept/drop decisions, routes, reservations, and
+// costs for every BatchOrder policy — while routing speculatively on a
+// worker pool.
+//
+// Protocol (snapshot / speculate / validate / commit):
+//
+//   1. SNAPSHOT. The engine publishes an immutable copy of the live network
+//      (`spec snapshot`). Snapshots come from a small pool and are refreshed
+//      in place via WdmNetwork::sync_residual_from, which touches only the
+//      links that changed and bumps only their link_revision counters — so
+//      the AuxGraphBuilders warm inside each router's pool keep their
+//      revision-validated caches across epochs.
+//   2. SPECULATE. Workers claim requests in policy order (work-stealing
+//      cursor, bounded `window` past the commit frontier) and route them
+//      against the current snapshot. Router::route is const and
+//      thread-compatible; every in-tree router leases per-thread builders.
+//   3. VALIDATE + COMMIT. A single commit thread (the caller) finalizes
+//      requests strictly in policy order. A speculative result is valid iff
+//      its epoch matches the current one — i.e. *nothing* was reserved since
+//      its snapshot was published, which makes the snapshot's residual state
+//      bit-identical to the live network's, which in turn makes the
+//      deterministic router's output identical to what the serial loop would
+//      have computed. Dropped requests do not mutate the network, so a whole
+//      run of consecutive drops (the common case under contention, exactly
+//      where batching matters) validates against one snapshot and commits at
+//      the cost of its slowest member instead of the sum.
+//   4. CONFLICT. Each accepted commit bumps the epoch, republishes the
+//      snapshot, and invalidates outstanding speculation (counted as
+//      conflicts); conflicted requests are re-speculated against the new
+//      snapshot (counted as retries, bounded by max_speculation_retries),
+//      after which — or whenever no fresh speculation is in flight for the
+//      head request — the commit thread routes the request itself against
+//      the live network (serial fallback).
+//
+// Why this is exact rather than approximate: acceptance itself is always
+// decided by rwa::detail::commit_route against the *live* network, the same
+// helper the serial loop runs; speculation only decides which route gets
+// proposed, and a proposal is used only when its base state provably equals
+// the live state. Resource-level validation (route links disjoint from the
+// dirty set) is deliberately NOT sufficient here: load-aware routers (G_c's
+// exponential load weights, the ϑ filter) and conversion-mean transit
+// weights read state on links a route never touches, so only revision-exact
+// snapshots guarantee serial equality for arbitrary Router implementations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rwa/batch.hpp"
+#include "rwa/router.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::rwa {
+
+struct ParallelBatchOptions {
+  /// Worker threads routing speculatively. <= 0 picks
+  /// support::hardware_threads(); 1 runs the serial path (still through the
+  /// shared commit helper, so the outcome is identical by construction).
+  int threads = 0;
+  /// Max requests speculated past the commit frontier. <= 0 picks
+  /// 4 * threads. Larger windows salvage longer drop runs per snapshot;
+  /// smaller ones waste less work when accepts are dense.
+  int window = 0;
+  /// A request whose speculation went stale this many times is left to the
+  /// commit thread (serial fallback) instead of being re-speculated.
+  int max_speculation_retries = 3;
+};
+
+struct ParallelBatchStats {
+  long long requests = 0;
+  long long speculations = 0;      // worker route() calls
+  long long spec_commits = 0;      // finalized from a fresh speculative result
+  long long conflicts = 0;         // speculations invalidated by a commit
+  long long retries = 0;           // re-speculations after a conflict
+  long long commit_reroutes = 0;   // routed on the commit thread instead
+  long long serial_fallbacks = 0;  // retry budget exhausted
+  long long epochs = 0;            // accepted commits = snapshot republishes
+  long long snapshot_syncs = 0;    // snapshots refreshed in place (cheap)
+  long long snapshot_copies = 0;   // snapshots deep-copied (pool growth)
+
+  /// Fraction of speculative route computations wasted on stale state.
+  double conflict_rate() const {
+    return speculations > 0
+               ? static_cast<double>(conflicts) /
+                     static_cast<double>(speculations)
+               : 0.0;
+  }
+  /// Fraction of requests finalized straight from a speculative result.
+  double spec_hit_rate() const {
+    return requests > 0 ? static_cast<double>(spec_commits) /
+                              static_cast<double>(requests)
+                        : 0.0;
+  }
+};
+
+/// Reusable engine: keeps its snapshot pool (and thus stable snapshot uids,
+/// which keep router-side AuxGraphBuilder caches warm) across run() calls on
+/// the same base network — the simulator's per-interval pattern. Not itself
+/// thread-safe: one engine per provisioning stream.
+class ParallelBatchEngine {
+ public:
+  explicit ParallelBatchEngine(ParallelBatchOptions opt = {});
+  ~ParallelBatchEngine();
+
+  ParallelBatchEngine(const ParallelBatchEngine&) = delete;
+  ParallelBatchEngine& operator=(const ParallelBatchEngine&) = delete;
+
+  /// Provisions the batch against `net` (mutated exactly as provision_batch
+  /// would mutate it). `rng` is required for BatchOrder::kRandom and is
+  /// consumed identically to the serial path. The caller must not touch
+  /// `net` until run() returns.
+  BatchOutcome run(net::WdmNetwork& net, const Router& router,
+                   const std::vector<BatchRequest>& batch,
+                   BatchOrder order = BatchOrder::kArrival,
+                   support::Rng* rng = nullptr);
+
+  /// Counters for the run() calls since construction (cumulative).
+  const ParallelBatchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// The thread count run() will actually use (resolved from options).
+  int resolved_threads() const;
+
+ private:
+  struct SnapshotPool;
+
+  ParallelBatchOptions opt_;
+  ParallelBatchStats stats_;
+  std::unique_ptr<SnapshotPool> pool_;
+};
+
+}  // namespace wdm::rwa

@@ -1,8 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "rwa/layered_graph.hpp"
+#include "rwa/parallel_batch.hpp"
 #include "support/check.hpp"
 
 namespace wdm::sim {
@@ -74,6 +76,14 @@ Simulator::Simulator(net::WdmNetwork network, const rwa::Router& router,
     for (double& c : pair_cdf_) c /= total;
   }
 
+  if (opt_.batching.interval > 0.0) {
+    rwa::ParallelBatchOptions bo;
+    bo.threads = opt_.batching.threads;
+    bo.window = opt_.batching.window;
+    bo.max_speculation_retries = opt_.batching.max_speculation_retries;
+    batch_engine_ = std::make_unique<rwa::ParallelBatchEngine>(bo);
+  }
+
   // Duplex inventory for the failure process. Without reverse pairing each
   // directed edge is its own failure unit.
   if (opt_.reverse_of.empty()) {
@@ -87,6 +97,8 @@ Simulator::Simulator(net::WdmNetwork network, const rwa::Router& router,
     }
   }
 }
+
+Simulator::~Simulator() = default;
 
 void Simulator::schedule_arrival(double now) {
   const double t = now + rng_.exponential(opt_.traffic.arrival_rate);
@@ -130,11 +142,28 @@ std::pair<net::NodeId, net::NodeId> Simulator::draw_pair() {
   }
 }
 
+void Simulator::sample_load(double now) {
+  const double rho = net_.network_load();
+  metrics_.network_load.add(rho);
+  metrics_.mean_link_load.add(net_.mean_load());
+  metrics_.peak_load = std::max(metrics_.peak_load, rho);
+  if (opt_.record_load_series) metrics_.load_series.emplace_back(now, rho);
+}
+
 void Simulator::handle_arrival(double now) {
   ++metrics_.offered;
   schedule_arrival(now);
 
   const auto [s, t] = draw_pair();
+
+  if (batch_engine_) {
+    // Batch mode: park the request until the next provisioning tick. The
+    // holding time is drawn now so the RNG stream is independent of the
+    // commit outcome (and of the engine's thread count).
+    pending_.push_back(
+        {s, t, rng_.exponential(1.0 / opt_.traffic.mean_holding)});
+    return;
+  }
 
   const rwa::RouteResult rr = router_.route(net_, s, t);
   bool ok = rr.found && rr.route.primary.fits_residual(net_);
@@ -170,12 +199,55 @@ void Simulator::handle_arrival(double now) {
     live_.emplace(c.id, std::move(c));
   }
 
-  const double rho = net_.network_load();
-  metrics_.network_load.add(rho);
-  metrics_.mean_link_load.add(net_.mean_load());
-  metrics_.peak_load = std::max(metrics_.peak_load, rho);
-  if (opt_.record_load_series) metrics_.load_series.emplace_back(now, rho);
+  sample_load(now);
+  maybe_reconfigure(now);
+}
 
+void Simulator::handle_batch_provision(double now) {
+  // Chain the next tick first so a throwing router cannot stall the clock.
+  if (now < opt_.duration) {
+    queue_.push(Event{std::min(now + opt_.batching.interval, opt_.duration),
+                      EventType::kBatchProvision, 0});
+  }
+  if (pending_.empty()) return;
+
+  std::vector<rwa::BatchRequest> batch;
+  batch.reserve(pending_.size());
+  for (const PendingRequest& p : pending_) {
+    batch.push_back({p.s, p.t, static_cast<long>(batch.size())});
+  }
+  const rwa::BatchOutcome outcome = batch_engine_->run(
+      net_, router_, batch, opt_.batching.order, &rng_);
+
+  const bool protect = opt_.restoration == RestorationMode::kActive;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (!outcome.routes[i].has_value()) {
+      ++metrics_.blocked;
+      continue;
+    }
+    const net::ProtectedRoute& r = *outcome.routes[i];
+    Connection c;
+    c.id = next_conn_id_++;
+    c.s = pending_[i].s;
+    c.t = pending_[i].t;
+    c.primary = r.primary;
+    if (protect) {
+      c.backup = r.backup;
+      c.has_backup = true;
+      metrics_.route_cost.add(c.primary.cost(net_) + c.backup.cost(net_));
+    } else {
+      // The engine reserved the full protected pair (the batch accept
+      // criterion); without active restoration the backup is not kept.
+      r.backup.release_in(net_);
+      metrics_.route_cost.add(c.primary.cost(net_));
+    }
+    queue_.push(Event{now + pending_[i].holding, EventType::kDeparture, c.id});
+    ++metrics_.accepted;
+    live_.emplace(c.id, std::move(c));
+  }
+  pending_.clear();
+
+  sample_load(now);
   maybe_reconfigure(now);
 }
 
@@ -360,6 +432,10 @@ void Simulator::maybe_reconfigure(double now) {
 
 SimMetrics Simulator::run() {
   schedule_arrival(0.0);
+  if (batch_engine_) {
+    queue_.push(Event{std::min(opt_.batching.interval, opt_.duration),
+                      EventType::kBatchProvision, 0});
+  }
   if (opt_.failures.duplex_failure_rate > 0.0) {
     for (std::size_t d = 0; d < duplex_.size(); ++d) {
       const double t = rng_.exponential(opt_.failures.duplex_failure_rate);
@@ -377,7 +453,16 @@ SimMetrics Simulator::run() {
       case EventType::kDeparture: handle_departure(ev.id); break;
       case EventType::kLinkFail: handle_link_fail(ev.time, ev.id); break;
       case EventType::kLinkRepair: handle_link_repair(ev.time, ev.id); break;
+      case EventType::kBatchProvision:
+        handle_batch_provision(ev.time);
+        break;
     }
+  }
+
+  // Batch mode: an arrival landing exactly at the horizon can pop after the
+  // final tick; give stragglers one last provisioning pass.
+  if (batch_engine_ && !pending_.empty()) {
+    handle_batch_provision(opt_.duration);
   }
 
   // Drain remaining connections and verify the reservation ledger balances.

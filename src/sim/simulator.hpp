@@ -19,14 +19,20 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
+#include "rwa/batch.hpp"
 #include "rwa/router.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "topology/topologies.hpp"
+
+namespace wdm::rwa {
+class ParallelBatchEngine;
+}
 
 namespace wdm::sim {
 
@@ -74,10 +80,29 @@ struct ReconfigOptions {
   double min_interval = 1.0;
 };
 
+/// Opt-in §2 batch operating model: arrivals accumulate and are provisioned
+/// together every `interval` time units through rwa::ParallelBatchEngine.
+/// The default (interval == 0) keeps the classic route-on-arrival behavior
+/// and touches no engine code. Batch mode applies the batch accept criterion
+/// uniformly — a request is accepted iff its full protected pair is feasible
+/// (rwa::detail::commit_route) — so acceptance is identical for every thread
+/// count, including 1; non-active restoration modes release the backup
+/// immediately after commit. The traffic RNG stream is consumed identically
+/// regardless of `threads` (pairs and holding times are drawn at arrival
+/// time), keeping whole simulations replayable across thread counts.
+struct BatchProvisioningOptions {
+  double interval = 0.0;  // <= 0 disables batching
+  rwa::BatchOrder order = rwa::BatchOrder::kArrival;
+  int threads = 1;  // engine worker threads; <= 0 = hardware_threads()
+  int window = 0;   // speculation window; <= 0 = engine default
+  int max_speculation_retries = 3;
+};
+
 struct SimOptions {
   TrafficOptions traffic;
   FailureOptions failures;
   ReconfigOptions reconfig;
+  BatchProvisioningOptions batching;
   RestorationMode restoration = RestorationMode::kActive;
   double duration = 1000.0;
   std::uint64_t seed = 1;
@@ -140,6 +165,7 @@ class Simulator {
   /// state); the router is borrowed and must outlive run().
   Simulator(net::WdmNetwork network, const rwa::Router& router,
             SimOptions options);
+  ~Simulator();
 
   /// Runs the full horizon and returns the metrics. Call once.
   SimMetrics run();
@@ -156,7 +182,13 @@ class Simulator {
     bool has_backup = false;
   };
 
-  enum class EventType { kArrival, kDeparture, kLinkFail, kLinkRepair };
+  enum class EventType {
+    kArrival,
+    kDeparture,
+    kLinkFail,
+    kLinkRepair,
+    kBatchProvision,
+  };
   struct Event {
     double time;
     EventType type;
@@ -164,9 +196,19 @@ class Simulator {
     bool operator<(const Event& o) const { return time > o.time; }
   };
 
+  /// An arrival waiting for the next provisioning tick. The holding time is
+  /// drawn at arrival (not at commit) so the RNG stream does not depend on
+  /// which requests the batch accepts or on the engine's thread count.
+  struct PendingRequest {
+    net::NodeId s = 0, t = 0;
+    double holding = 0.0;
+  };
+
   void schedule_arrival(double now);
   std::pair<net::NodeId, net::NodeId> draw_pair();
   void handle_arrival(double now);
+  void handle_batch_provision(double now);
+  void sample_load(double now);
   void handle_departure(long conn_id);
   void handle_link_fail(double now, long duplex_index);
   void handle_link_repair(double now, long duplex_index);
@@ -180,6 +222,10 @@ class Simulator {
   SimOptions opt_;
   support::Rng rng_;
   std::priority_queue<Event> queue_;
+  /// Batch mode only: arrivals awaiting the next tick, and the engine that
+  /// provisions them (kept across ticks so its snapshot pool stays warm).
+  std::vector<PendingRequest> pending_;
+  std::unique_ptr<rwa::ParallelBatchEngine> batch_engine_;
   std::map<long, Connection> live_;
   long next_conn_id_ = 0;
   double last_reconfig_ = -1e18;

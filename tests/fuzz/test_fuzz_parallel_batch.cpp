@@ -1,0 +1,112 @@
+// Differential fuzz for the parallel batch engine: on seeded random
+// instances (every topology family, background churn, failed fibers), the
+// engine at N threads must agree bit-for-bit with the serial loop — accept
+// set, per-request routes, reservation ledger, and cost sum — for every
+// ordering policy.
+//
+// Budget knobs: WDM_FUZZ_ITERATIONS (default 120), WDM_FUZZ_SEED.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "rwa/approx_router.hpp"
+#include "rwa/baselines.hpp"
+#include "rwa/parallel_batch.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::fuzz {
+namespace {
+
+std::vector<rwa::BatchRequest> instance_batch(const FuzzInstance& inst,
+                                              std::uint64_t seed) {
+  support::Rng rng(seed ^ 0xba7c4);
+  const auto n = static_cast<std::int64_t>(inst.network.num_nodes());
+  const int count = static_cast<int>(rng.uniform_int(2, 24));
+  std::vector<rwa::BatchRequest> batch;
+  batch.push_back({inst.s, inst.t, 0});  // the instance's own request
+  for (int i = 1; i < count; ++i) {
+    rwa::BatchRequest r;
+    r.id = i;
+    r.s = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
+    r.t = r.s;
+    while (r.t == r.s && n > 1) {
+      r.t = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
+    }
+    batch.push_back(r);
+  }
+  return batch;
+}
+
+void diff_serial_vs_engine(const FuzzInstance& inst,
+                           const std::vector<rwa::BatchRequest>& batch,
+                           const rwa::Router& router, rwa::BatchOrder order,
+                           int threads) {
+  net::WdmNetwork net_serial = inst.network;
+  net::WdmNetwork net_par = inst.network;
+  support::Rng rng_serial(inst.seed + 1), rng_par(inst.seed + 1);
+
+  const rwa::BatchOutcome serial =
+      rwa::provision_batch(net_serial, router, batch, order, &rng_serial);
+
+  rwa::ParallelBatchOptions opt;
+  opt.threads = threads;
+  // Vary the speculation shape with the seed so retry exhaustion and tiny
+  // windows get fuzzed too, not just the defaults.
+  opt.window = static_cast<int>(inst.seed % 5);           // 0 = default
+  opt.max_speculation_retries = static_cast<int>(inst.seed % 3);
+  rwa::ParallelBatchEngine engine(opt);
+  const rwa::BatchOutcome par =
+      engine.run(net_par, router, batch, order, &rng_par);
+
+  ASSERT_EQ(serial.accepted, par.accepted)
+      << "seed " << inst.seed << " family " << inst.family << " order "
+      << rwa::batch_order_name(order) << " threads " << threads;
+  ASSERT_EQ(serial.dropped, par.dropped) << "seed " << inst.seed;
+  ASSERT_EQ(serial.total_cost, par.total_cost) << "seed " << inst.seed;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(serial.routes[i].has_value(), par.routes[i].has_value())
+        << "seed " << inst.seed << " request " << i;
+    if (!serial.routes[i].has_value()) continue;
+    ASSERT_TRUE(serial.routes[i]->primary.hops == par.routes[i]->primary.hops)
+        << "seed " << inst.seed << " request " << i;
+    ASSERT_TRUE(serial.routes[i]->backup.hops == par.routes[i]->backup.hops)
+        << "seed " << inst.seed << " request " << i;
+  }
+  ASSERT_EQ(net_serial.usage_snapshot(), net_par.usage_snapshot())
+      << "reservation ledgers diverged at seed " << inst.seed;
+}
+
+TEST(FuzzParallelBatch, EngineMatchesSerialOnRandomInstances) {
+  const int iterations =
+      static_cast<int>(support::env_int("WDM_FUZZ_ITERATIONS", 120));
+  const auto base_seed = static_cast<std::uint64_t>(
+      support::env_int("WDM_FUZZ_SEED", 0x9a11e7));
+  GenOptions gen;
+  gen.preload_probability = 0.15;  // contended residuals conflict more
+  gen.failure_probability = 0.2;
+
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::TwoStepRouter two_step;
+  constexpr rwa::BatchOrder kOrders[] = {
+      rwa::BatchOrder::kArrival, rwa::BatchOrder::kShortestFirst,
+      rwa::BatchOrder::kLongestFirst, rwa::BatchOrder::kRandom};
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const FuzzInstance inst = generate_instance(seed, gen);
+    const auto batch = instance_batch(inst, seed);
+    // Rotate routers / orders / thread counts across instances to cover the
+    // matrix without multiplying the runtime.
+    const rwa::Router& router =
+        (i % 2 == 0) ? static_cast<const rwa::Router&>(approx)
+                     : static_cast<const rwa::Router&>(two_step);
+    const rwa::BatchOrder order = kOrders[i % 4];
+    const int threads = 2 + i % 3;  // 2..4
+    diff_serial_vs_engine(inst, batch, router, order, threads);
+  }
+}
+
+}  // namespace
+}  // namespace wdm::fuzz

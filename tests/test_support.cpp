@@ -3,7 +3,9 @@
 #include <atomic>
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "support/parallel.hpp"
@@ -220,6 +222,49 @@ TEST(ParallelFor, ZeroIterationsIsNoop) {
   bool touched = false;
   parallel_for(0, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RethrowsBodyExceptionOnCallingThread) {
+  // Letting an exception escape an OpenMP region is std::terminate; the
+  // helper must capture it inside the region and rethrow it here.
+  EXPECT_THROW(
+      parallel_for(64,
+                   [&](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionSkipsRemainingWorkButKeepsDoneWork) {
+  // Iterations already completed when the exception lands stay completed;
+  // the loop must not rerun or lose them.
+  std::atomic<int> done{0};
+  try {
+    parallel_for(256, [&](std::size_t i) {
+      if (i == 0) throw std::logic_error("first");
+      ++done;
+    });
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_GE(done.load(), 0);
+  EXPECT_LE(done.load(), 255);
+}
+
+TEST(HardwareThreads, PositiveAndCappedByEnv) {
+  EXPECT_GE(hardware_threads(), 1);
+
+  const int uncapped = hardware_threads();
+  ::setenv("ROBUSTWDM_THREADS", "1", 1);
+  EXPECT_EQ(hardware_threads(), 1);
+  ::setenv("ROBUSTWDM_THREADS", "1000000", 1);
+  EXPECT_EQ(hardware_threads(), uncapped);  // cap above hardware is inert
+  ::setenv("ROBUSTWDM_THREADS", "garbage", 1);
+  EXPECT_EQ(hardware_threads(), uncapped);  // malformed values are ignored
+  ::setenv("ROBUSTWDM_THREADS", "-3", 1);
+  EXPECT_EQ(hardware_threads(), uncapped);  // non-positive values are ignored
+  ::unsetenv("ROBUSTWDM_THREADS");
+  EXPECT_EQ(hardware_threads(), uncapped);
 }
 
 TEST(Stopwatch, MonotoneAndResettable) {
