@@ -117,6 +117,7 @@ ArmResult run_arm(const char* scenario, const net::WdmNetwork& base,
 }  // namespace
 
 int main(int argc, char** argv) {
+  wdm::bench::TelemetryScope telemetry(argc, argv);
   const bool quick = wdm::bench::quick_mode(argc, argv);
   std::string out_path = "BENCH_auxgraph.json";
   for (int i = 1; i + 1 < argc; ++i) {

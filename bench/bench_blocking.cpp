@@ -36,6 +36,7 @@ double blocking_at(const rwa::Router& router, const topo::Topology& topology,
 }  // namespace
 
 int main(int argc, char** argv) {
+  wdm::bench::TelemetryScope telemetry(argc, argv);
   const bool quick = wdm::bench::quick_mode(argc, argv);
   const double duration = quick ? 20.0 : 80.0;
   wdm::bench::banner(

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::bench {
 
@@ -16,6 +17,35 @@ inline bool quick_mode(int argc, char** argv) {
   }
   return false;
 }
+
+/// Opt-in telemetry for benches: `--telemetry out.json` enables the runtime
+/// gate for the whole run and dumps the registry on scope exit (end of main).
+/// Without the flag — or when compiled out — this is inert.
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--telemetry") == 0) {
+        path_ = argv[i + 1];
+        support::telemetry::set_enabled(true);
+        break;
+      }
+    }
+  }
+  ~TelemetryScope() {
+    if (path_.empty()) return;
+    if (support::telemetry::write_file(path_)) {
+      std::printf("telemetry: wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "telemetry: failed to write %s\n", path_.c_str());
+    }
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::string path_;
+};
 
 inline void banner(const std::string& experiment, const std::string& claim) {
   std::printf("==== %s ====\n%s\n\n", experiment.c_str(), claim.c_str());

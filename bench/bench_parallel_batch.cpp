@@ -179,6 +179,7 @@ const ArmResult* find_arm(const ScenarioResult& sr, int threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  wdm::bench::TelemetryScope telemetry(argc, argv);
   const bool quick = wdm::bench::quick_mode(argc, argv);
   std::string out_path = "BENCH_parallel_batch.json";
   for (int i = 1; i + 1 < argc; ++i) {

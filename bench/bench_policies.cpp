@@ -26,6 +26,7 @@ using namespace wdm;
 }  // namespace
 
 int main(int argc, char** argv) {
+  wdm::bench::TelemetryScope telemetry(argc, argv);
   const bool quick = wdm::bench::quick_mode(argc, argv);
   wdm::bench::banner(
       "E13 (ext) — wavelength-assignment, batch-order, and replication",

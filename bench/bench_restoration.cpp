@@ -17,6 +17,7 @@ using namespace wdm;
 }  // namespace
 
 int main(int argc, char** argv) {
+  wdm::bench::TelemetryScope telemetry(argc, argv);
   const bool quick = wdm::bench::quick_mode(argc, argv);
   wdm::bench::banner(
       "E8 / §1 — active vs passive failure restoration",

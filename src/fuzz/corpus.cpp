@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "support/check.hpp"
 #include "wdm/io.hpp"
@@ -14,6 +17,22 @@ namespace wdm::fuzz {
 namespace {
 
 constexpr const char* kMagic = "#!fuzz";
+
+/// Full-token checked parse: rejects partial tokens ("7x"), sign/range
+/// violations ("-1" for a seed), and empty values — std::sto* accepts the
+/// first two silently.
+template <class T>
+T parse_value(const std::string& tok, int line, const char* what) {
+  T v{};
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || tok.empty()) {
+    throw io::ParseError(line, std::string("bad #!fuzz ") + what +
+                                   " value: '" + tok + "'");
+  }
+  return v;
+}
 
 /// File-name-safe slug of an invariant id.
 std::string slug(const std::string& s) {
@@ -62,17 +81,20 @@ ReproCase read_repro_text(const std::string& text) {
       return b == std::string::npos ? std::string() : v.substr(b);
     };
     rest = strip(rest);
-    try {
-      if (key == "seed") repro.instance.seed = std::stoull(rest);
-      else if (key == "family") repro.instance.family = rest;
-      else if (key == "s") repro.instance.s = std::stoi(rest);
-      else if (key == "t") repro.instance.t = std::stoi(rest);
-      else if (key == "invariant") repro.invariant = rest;
-      else if (key == "detail") repro.detail = rest;
-      // "v1" and unknown keys: ignored for forward compatibility.
-    } catch (const std::exception&) {
-      throw io::ParseError(line_no, "bad #!fuzz " + key + " value: " + rest);
+    if (key == "seed") {
+      repro.instance.seed = parse_value<std::uint64_t>(rest, line_no, "seed");
+    } else if (key == "family") {
+      repro.instance.family = rest;
+    } else if (key == "s") {
+      repro.instance.s = parse_value<int>(rest, line_no, "s");
+    } else if (key == "t") {
+      repro.instance.t = parse_value<int>(rest, line_no, "t");
+    } else if (key == "invariant") {
+      repro.invariant = rest;
+    } else if (key == "detail") {
+      repro.detail = rest;
     }
+    // "v1" and unknown keys: ignored for forward compatibility.
   }
   repro.instance.network = io::read_network(text);
   const auto& g = repro.instance.network.graph();
@@ -111,7 +133,13 @@ std::vector<ReproCase> load_corpus(const std::string& dir) {
     std::ifstream in(f);
     std::ostringstream text;
     text << in.rdbuf();
-    ReproCase repro = read_repro_text(text.str());
+    ReproCase repro;
+    try {
+      repro = read_repro_text(text.str());
+    } catch (const io::ParseError& err) {
+      // Corpus files are hand-editable; point at the broken one.
+      throw io::ParseError(f.string(), err.line(), err.message());
+    }
     repro.path = f.string();
     corpus.push_back(std::move(repro));
   }

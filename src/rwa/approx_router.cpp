@@ -5,20 +5,29 @@
 #include "rwa/baselines.hpp"
 #include "rwa/layered_graph.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::rwa {
 
 RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
                                         net::NodeId s, net::NodeId t) const {
+  WDM_TEL_COUNT("rwa.approx.attempts");
+  support::telemetry::SplitTimer tel;
   RouteResult result;
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
   auto builder = builders_.lease();
   const AuxGraph& aux = builder->build(net, s, t, opt);
+  tel.split(WDM_TEL_HIST("rwa.approx.aux_build_ns"));
 
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
-  if (!pair.found) return result;  // no two edge-disjoint routes exist in G'
+  tel.split(WDM_TEL_HIST("rwa.approx.suurballe_ns"));
+  if (!pair.found) {
+    WDM_TEL_COUNT("rwa.approx.blocked");
+    tel.total(WDM_TEL_HIST("rwa.approx.route_ns"));
+    return result;  // no two edge-disjoint routes exist in G'
+  }
   result.aux_cost = pair.total_cost();
 
   // Projection + realization. With refinement (Lemma 2): per-subgraph
@@ -34,13 +43,17 @@ RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
     p1 = first_fit_assign(net, aux.project(pair.first));
     p2 = first_fit_assign(net, aux.project(pair.second));
   }
+  tel.split(WDM_TEL_HIST("rwa.approx.liang_shen_ns"));
+  tel.total(WDM_TEL_HIST("rwa.approx.route_ns"));
   if (!p1.found || !p2.found) {
     // Outside assumption (i) a transit arc only certifies per-adjacent-pair
     // convertibility, not a consistent end-to-end wavelength assignment, so
     // the induced subgraph can be infeasible. Treat as blocked.
+    WDM_TEL_COUNT("rwa.approx.blocked");
     return result;
   }
   WDM_DCHECK(net::edge_disjoint(p1, p2));
+  WDM_TEL_COUNT("rwa.approx.found");
   result.found = true;
   if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
   result.route.primary = std::move(p1);

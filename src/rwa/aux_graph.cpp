@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::rwa {
 
@@ -127,6 +128,9 @@ const AuxGraph& AuxGraphBuilder::build(const net::WdmNetwork& net,
 
   bind(net);
   ++stats_.builds;
+  support::telemetry::SplitTimer tel_timer;
+  const CacheStats tel_before = tel_timer.on() ? stats_ : CacheStats{};
+  (void)tel_before;  // referenced only from macro expansions when compiled in
 
   AuxGraph& aux = aux_;
   aux.g.clear_keep_capacity();
@@ -305,6 +309,20 @@ const AuxGraph& AuxGraphBuilder::build(const net::WdmNetwork& net,
     if (a != graph::kInvalidNode) {
       add_arc(a, aux.t_second, 0.0, graph::kInvalidEdge);
     }
+  }
+  if (tel_timer.on()) {
+    tel_timer.total(WDM_TEL_HIST("rwa.aux_builder.build_ns"));
+    WDM_TEL_COUNT("rwa.aux_builder.builds");
+    WDM_TEL_COUNT_N("rwa.aux_builder.conv_hits",
+                    stats_.conv_hits - tel_before.conv_hits);
+    WDM_TEL_COUNT_N("rwa.aux_builder.conv_misses",
+                    stats_.conv_misses - tel_before.conv_misses);
+    WDM_TEL_COUNT_N("rwa.aux_builder.link_hits",
+                    stats_.link_hits - tel_before.link_hits);
+    WDM_TEL_COUNT_N("rwa.aux_builder.link_misses",
+                    stats_.link_misses - tel_before.link_misses);
+    WDM_TEL_COUNT_N("rwa.aux_builder.rebinds",
+                    stats_.rebinds - tel_before.rebinds);
   }
   return aux_;
 }

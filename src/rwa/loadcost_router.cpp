@@ -5,11 +5,14 @@
 #include "graph/suurballe.hpp"
 #include "rwa/layered_graph.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::rwa {
 
 RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                   net::NodeId t) const {
+  WDM_TEL_COUNT("rwa.loadcost.attempts");
+  support::telemetry::SplitTimer tel;
   RouteResult result;
   auto builder = builders_.lease();
 
@@ -17,7 +20,13 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   const MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
-  if (!mc.found) return result;
+  tel.split(WDM_TEL_HIST("rwa.loadcost.theta_search_ns"));
+  WDM_TEL_COUNT_N("rwa.loadcost.theta_probes", mc.iterations);
+  if (!mc.found) {
+    WDM_TEL_COUNT("rwa.loadcost.blocked");
+    tel.total(WDM_TEL_HIST("rwa.loadcost.route_ns"));
+    return result;
+  }
 
   // Phase 2: cost-weighted routing restricted to links below ϑ.
   AuxGraphOptions aopt;
@@ -25,19 +34,31 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   aopt.theta = mc.theta;
   aopt.grc_mean_over_available = grc_mean_over_available_;
   const AuxGraph& aux = builder->build(net, s, t, aopt);
+  tel.split(WDM_TEL_HIST("rwa.loadcost.aux_build_ns"));
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  tel.split(WDM_TEL_HIST("rwa.loadcost.suurballe_ns"));
   // G_rc(ϑ) has the same topology as the G_c(ϑ) phase 1 accepted, so a pair
   // must exist; guard anyway for robustness.
-  if (!pair.found) return result;
+  if (!pair.found) {
+    WDM_TEL_COUNT("rwa.loadcost.blocked");
+    tel.total(WDM_TEL_HIST("rwa.loadcost.route_ns"));
+    return result;
+  }
   result.aux_cost = pair.total_cost();
 
   const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
   const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
-  if (!p1.found || !p2.found) return result;
+  tel.split(WDM_TEL_HIST("rwa.loadcost.liang_shen_ns"));
+  tel.total(WDM_TEL_HIST("rwa.loadcost.route_ns"));
+  if (!p1.found || !p2.found) {
+    WDM_TEL_COUNT("rwa.loadcost.blocked");
+    return result;
+  }
   WDM_DCHECK(net::edge_disjoint(p1, p2));
+  WDM_TEL_COUNT("rwa.loadcost.found");
   if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
   result.found = true;
   result.route.found = true;

@@ -7,6 +7,7 @@
 
 #include "rwa/layered_graph.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::rwa {
 
@@ -18,14 +19,18 @@ namespace {
 bool probe(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
            double theta, double load_base, AuxGraphBuilder& builder,
            MinCogResult* into, bool inclusive = false) {
+  WDM_TEL_COUNT("rwa.mincog.probes");
+  support::telemetry::SplitTimer tel;
   AuxGraphOptions aopt;
   aopt.weighting = AuxWeighting::kLoadExponential;
   aopt.theta = theta;
   aopt.load_base = load_base;
   aopt.include_at_threshold = inclusive;
   const AuxGraph& aux = builder.build(net, s, t, aopt);
+  tel.split(WDM_TEL_HIST("rwa.mincog.aux_build_ns"));
   graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  tel.split(WDM_TEL_HIST("rwa.mincog.suurballe_ns"));
   if (!pair.found) return false;
   if (into != nullptr) {
     into->aux_pair = std::move(pair);
@@ -168,12 +173,20 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
 
 RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                  net::NodeId t) const {
+  WDM_TEL_COUNT("rwa.minload.attempts");
+  support::telemetry::SplitTimer tel;
   RouteResult result;
   auto builder = builders_.lease();
   MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
-  if (!mc.found) return result;
+  tel.split(WDM_TEL_HIST("rwa.minload.theta_search_ns"));
+  WDM_TEL_COUNT_N("rwa.minload.theta_probes", mc.iterations);
+  if (!mc.found) {
+    WDM_TEL_COUNT("rwa.minload.blocked");
+    tel.total(WDM_TEL_HIST("rwa.minload.route_ns"));
+    return result;
+  }
   result.aux_cost = mc.aux_pair.total_cost();
 
   const auto mask1 = mc.aux.induced_link_mask(mc.aux_pair.first, net.num_links());
@@ -181,8 +194,14 @@ RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
       mc.aux.induced_link_mask(mc.aux_pair.second, net.num_links());
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
-  if (!p1.found || !p2.found) return result;
+  tel.split(WDM_TEL_HIST("rwa.minload.liang_shen_ns"));
+  tel.total(WDM_TEL_HIST("rwa.minload.route_ns"));
+  if (!p1.found || !p2.found) {
+    WDM_TEL_COUNT("rwa.minload.blocked");
+    return result;
+  }
   WDM_DCHECK(net::edge_disjoint(p1, p2));
+  WDM_TEL_COUNT("rwa.minload.found");
   if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
   result.found = true;
   result.route.found = true;

@@ -6,29 +6,44 @@
 #include "rwa/aux_graph.hpp"
 #include "rwa/layered_graph.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::rwa {
 
 RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
                                       net::NodeId s, net::NodeId t) const {
+  WDM_TEL_COUNT("rwa.node_disjoint.attempts");
+  support::telemetry::SplitTimer tel;
   RouteResult result;
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
   opt.protect_nodes = true;
   auto builder = builders_.lease();
   const AuxGraph& aux = builder->build(net, s, t, opt);
+  tel.split(WDM_TEL_HIST("rwa.node_disjoint.aux_build_ns"));
 
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
-  if (!pair.found) return result;
+  tel.split(WDM_TEL_HIST("rwa.node_disjoint.suurballe_ns"));
+  if (!pair.found) {
+    WDM_TEL_COUNT("rwa.node_disjoint.blocked");
+    tel.total(WDM_TEL_HIST("rwa.node_disjoint.route_ns"));
+    return result;
+  }
   result.aux_cost = pair.total_cost();
 
   const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
   const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
-  if (!p1.found || !p2.found) return result;
+  tel.split(WDM_TEL_HIST("rwa.node_disjoint.liang_shen_ns"));
+  tel.total(WDM_TEL_HIST("rwa.node_disjoint.route_ns"));
+  if (!p1.found || !p2.found) {
+    WDM_TEL_COUNT("rwa.node_disjoint.blocked");
+    return result;
+  }
   WDM_DCHECK(net::edge_disjoint(p1, p2));
+  WDM_TEL_COUNT("rwa.node_disjoint.found");
   if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
   result.found = true;
   result.route.found = true;

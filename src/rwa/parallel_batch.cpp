@@ -9,6 +9,7 @@
 
 #include "support/check.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 #include "wdm/network.hpp"
 
 namespace wdm::rwa {
@@ -192,6 +193,7 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
   if (threads <= 1 || batch.size() <= 1) {
     // Serial path through the exact same commit helper — identical to
     // provision_batch by construction.
+    WDM_TEL_COUNT_N("rwa.parallel_batch.requests", batch.size());
     for (std::size_t i : perm) {
       const BatchRequest& req = batch[i];
       detail::commit_route(net, router.route(net, req.s, req.t), i, out);
@@ -217,6 +219,7 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
   {
     std::unique_lock<std::mutex> lk(sh.mu);
     for (std::size_t k = 0; k < sh.slots.size(); ++k) {
+      support::telemetry::SplitTimer tel_commit;
       sh.commit_idx = k;
       sh.work_cv.notify_all();  // the speculation window moved forward
       Slot& sl = sh.slots[k];
@@ -269,6 +272,9 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
         sh.cursor = k + 1;  // everything past k must re-speculate
         sh.work_cv.notify_all();
       }
+      // Finalize latency for this slot: wait-for-speculation + validation +
+      // commit (the batch-mode provisioning critical path).
+      tel_commit.total(WDM_TEL_HIST("rwa.parallel_batch.commit_slot_ns"));
     }
     sh.stop = true;
   }
@@ -285,6 +291,25 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
   stats_.epochs += sh.st.epochs;
   stats_.snapshot_syncs += sh.st.snapshot_syncs;
   stats_.snapshot_copies += sh.st.snapshot_copies;
+
+  // Speculation wins / invalidations / re-routes for this run. These depend
+  // on scheduling (thread count, timing) and are intentionally outside the
+  // deterministic `sim.*` counter namespace.
+  if (support::telemetry::enabled()) {
+    WDM_TEL_COUNT_N("rwa.parallel_batch.requests", batch.size());
+    WDM_TEL_COUNT_N("rwa.parallel_batch.speculations", sh.st.speculations);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.spec_commits", sh.st.spec_commits);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.conflicts", sh.st.conflicts);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.retries", sh.st.retries);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.commit_reroutes",
+                    sh.st.commit_reroutes);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.serial_fallbacks",
+                    sh.st.serial_fallbacks);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.epochs", sh.st.epochs);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.snapshot_syncs", sh.st.snapshot_syncs);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.snapshot_copies",
+                    sh.st.snapshot_copies);
+  }
 
   if (sh.first_exception) std::rethrow_exception(sh.first_exception);
 

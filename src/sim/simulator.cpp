@@ -6,6 +6,7 @@
 #include "rwa/layered_graph.hpp"
 #include "rwa/parallel_batch.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::sim {
 
@@ -152,6 +153,7 @@ void Simulator::sample_load(double now) {
 
 void Simulator::handle_arrival(double now) {
   ++metrics_.offered;
+  WDM_TEL_COUNT("sim.offered");
   schedule_arrival(now);
 
   const auto [s, t] = draw_pair();
@@ -175,6 +177,8 @@ void Simulator::handle_arrival(double now) {
   }
   if (!ok) {
     ++metrics_.blocked;
+    WDM_TEL_COUNT("sim.blocked");
+    WDM_TEL_EVENT("sim.drop", now);
   } else {
     Connection c;
     c.id = next_conn_id_++;
@@ -196,6 +200,8 @@ void Simulator::handle_arrival(double now) {
     const double hold = rng_.exponential(1.0 / opt_.traffic.mean_holding);
     queue_.push(Event{now + hold, EventType::kDeparture, c.id});
     ++metrics_.accepted;
+    WDM_TEL_COUNT("sim.accepted");
+    WDM_TEL_EVENT("sim.accept", now);
     live_.emplace(c.id, std::move(c));
   }
 
@@ -223,6 +229,8 @@ void Simulator::handle_batch_provision(double now) {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (!outcome.routes[i].has_value()) {
       ++metrics_.blocked;
+      WDM_TEL_COUNT("sim.blocked");
+      WDM_TEL_EVENT("sim.drop", now);
       continue;
     }
     const net::ProtectedRoute& r = *outcome.routes[i];
@@ -243,6 +251,8 @@ void Simulator::handle_batch_provision(double now) {
     }
     queue_.push(Event{now + pending_[i].holding, EventType::kDeparture, c.id});
     ++metrics_.accepted;
+    WDM_TEL_COUNT("sim.accepted");
+    WDM_TEL_EVENT("sim.accept", now);
     live_.emplace(c.id, std::move(c));
   }
   pending_.clear();
@@ -260,6 +270,8 @@ void Simulator::handle_departure(long conn_id) {
 
 void Simulator::handle_link_fail(double now, long duplex_index) {
   const auto [e1, e2] = duplex_[static_cast<std::size_t>(duplex_index)];
+  WDM_TEL_COUNT("sim.link_failures");
+  WDM_TEL_EVENT("sim.link_fail", now);
   net_.set_link_failed(e1, true);
   if (e2 != e1) net_.set_link_failed(e2, true);
 
@@ -308,10 +320,13 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
       release_connection(c);
       live_.erase(it);
       ++metrics_.dropped_on_failure;
+      WDM_TEL_COUNT("sim.dropped_on_failure");
+      WDM_TEL_EVENT("sim.connection_lost", now);
       continue;
     }
 
     ++metrics_.recoveries_attempted;
+    WDM_TEL_COUNT("sim.recovery.attempted");
     if (opt_.restoration == RestorationMode::kActive && c.has_backup &&
         !backup_hit) {
       // Activate approach: instant switchover to the pre-reserved backup.
@@ -321,6 +336,8 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
       c.has_backup = false;
       ++metrics_.recoveries_succeeded;
       ++metrics_.switchover_recoveries;
+      WDM_TEL_COUNT("sim.recovery.switchover");
+      WDM_TEL_EVENT("sim.recovery", now);
       metrics_.recovery_delay.add(opt_.failures.active_switchover_delay);
       if (opt_.record_recovery_delays) {
         metrics_.recovery_delays.push_back(
@@ -353,6 +370,8 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
       c.primary = std::move(np);
       ++metrics_.recoveries_succeeded;
       ++metrics_.recompute_recoveries;
+      WDM_TEL_COUNT("sim.recovery.recompute");
+      WDM_TEL_EVENT("sim.recovery", now);
       const double delay =
           opt_.failures.passive_base_delay +
           opt_.failures.passive_per_hop_delay *
@@ -364,6 +383,8 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
     } else {
       live_.erase(it);
       ++metrics_.dropped_on_failure;
+      WDM_TEL_COUNT("sim.dropped_on_failure");
+      WDM_TEL_EVENT("sim.connection_lost", now);
     }
   }
 }
@@ -388,6 +409,8 @@ void Simulator::maybe_reconfigure(double now) {
   if (live_.empty()) return;
   last_reconfig_ = now;
   ++metrics_.reconfigurations;
+  WDM_TEL_COUNT("sim.reconfigurations");
+  WDM_TEL_EVENT("sim.reconfigure", now);
 
   // Freeze-and-reroute: tear everything down, then re-route in id order.
   for (auto& [id, c] : live_) release_connection(c);

@@ -50,8 +50,9 @@ double RunningStats::min() const { return n_ ? min_ : 0.0; }
 double RunningStats::max() const { return n_ ? max_ : 0.0; }
 
 double percentile(std::span<const double> xs, double q) {
-  WDM_CHECK(!xs.empty());
   WDM_CHECK(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  if (xs.size() == 1) return xs[0];
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
   const double pos = q * static_cast<double>(v.size() - 1);
@@ -76,6 +77,13 @@ double stddev_of(std::span<const double> xs) {
 double ci95_halfwidth(const RunningStats& s) {
   if (s.count() < 2) return 0.0;
   return 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+double confidence_95(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return ci95_halfwidth(s);
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

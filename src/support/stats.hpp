@@ -18,6 +18,8 @@ class RunningStats {
   /// Unbiased sample variance; 0 when fewer than two samples.
   double variance() const;
   double stddev() const;
+  /// Smallest/largest sample; both are 0.0 at count() == 0 (check count()
+  /// before treating them as observed values).
   double min() const;
   double max() const;
   double sum() const { return mean() * static_cast<double>(n_); }
@@ -31,14 +33,21 @@ class RunningStats {
 };
 
 /// Percentile of a sample (linear interpolation); `q` in [0, 1].
-/// Copies and sorts; intended for end-of-run reporting, not hot paths.
+/// Degenerate inputs are well-defined: 0.0 for an empty sample, the sample
+/// itself for a single point. Copies and sorts; intended for end-of-run
+/// reporting, not hot paths.
 double percentile(std::span<const double> xs, double q);
 
 double mean_of(std::span<const double> xs);
 double stddev_of(std::span<const double> xs);
 
 /// Half-width of the 95% normal-approximation confidence interval.
+/// 0 when fewer than two samples (no spread estimate exists).
 double ci95_halfwidth(const RunningStats& s);
+
+/// Span convenience wrapper around ci95_halfwidth; 0 for fewer than two
+/// samples.
+double confidence_95(std::span<const double> xs);
 
 /// Simple fixed-width histogram for load distributions.
 class Histogram {

@@ -1,0 +1,342 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace wdm::support::telemetry {
+
+#if ROBUSTWDM_TELEMETRY
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+#endif
+
+namespace {
+
+/// Per-thread span/event buffer. Appends lock the buffer's own mutex
+/// (uncontended except against a concurrent flush); the registry keeps the
+/// buffer alive after the owning thread exits so nothing is lost.
+struct ThreadBuffer {
+  // Bounds keep a long enabled run from exhausting memory; overflow is
+  // counted and reported in the JSON "dropped" section.
+  static constexpr std::size_t kMaxSpans = 1u << 18;
+  static constexpr std::size_t kMaxEvents = 1u << 18;
+
+  struct Span {
+    std::uint32_t name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+  };
+  struct Event {
+    std::uint32_t name;
+    double t;
+  };
+
+  std::mutex mu;
+  std::uint32_t thread_id = 0;
+  std::vector<Span> spans;
+  std::vector<Event> events;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Stable addresses: handles cached at instrumentation sites must survive
+  // rehashing, so values live in deques behind name maps.
+  std::map<std::string, Counter*, std::less<>> counters;
+  std::deque<Counter> counter_pool;
+  std::map<std::string, LatencyHistogram*, std::less<>> histograms;
+  std::deque<LatencyHistogram> histogram_pool;
+  std::map<std::string, std::uint32_t, std::less<>> name_ids;
+  std::vector<std::string> names;  // id -> name
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_thread_id = 0;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  static Registry& instance() {
+    static Registry* r = new Registry;  // leaked: handles outlive main()
+    return *r;
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* tb = [] {
+    Registry& r = Registry::instance();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.buffers.push_back(std::make_unique<ThreadBuffer>());
+    r.buffers.back()->thread_id = r.next_thread_id++;
+    return r.buffers.back().get();
+  }();
+  return *tb;
+}
+
+void json_escape(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+#if ROBUSTWDM_TELEMETRY
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  const int b =
+      ns == 0 ? 0 : std::min(static_cast<int>(std::bit_width(ns)), kBuckets - 1);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[b].fetch_add(other.bucket_count(b), std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_ns(), std::memory_order_relaxed);
+  if (other.count() > 0) {
+    std::uint64_t v = other.min_.load(std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    v = other.max_.load(std::memory_order_relaxed);
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+std::uint64_t LatencyHistogram::min_ns() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::max_ns() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::bucket_lo(int b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_hi(int b) {
+  return b == 0 ? 1
+                : (b >= kBuckets - 1 ? ~std::uint64_t{0}
+                                     : std::uint64_t{1} << b);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.counters.find(name);
+  if (it != r.counters.end()) return *it->second;
+  r.counter_pool.emplace_back();
+  Counter* c = &r.counter_pool.back();
+  r.counters.emplace(std::string(name), c);
+  return *c;
+}
+
+LatencyHistogram& histogram(std::string_view name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.histograms.find(name);
+  if (it != r.histograms.end()) return *it->second;
+  r.histogram_pool.emplace_back();
+  LatencyHistogram* h = &r.histogram_pool.back();
+  r.histograms.emplace(std::string(name), h);
+  return *h;
+}
+
+std::uint32_t intern(std::string_view name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.name_ids.find(name);
+  if (it != r.name_ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(r.names.size());
+  r.names.emplace_back(name);
+  r.name_ids.emplace(r.names.back(), id);
+  return id;
+}
+
+std::map<std::string, std::uint64_t> counter_values() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : r.counters) out.emplace(name, c->value());
+  return out;
+}
+
+std::uint64_t now_ns() {
+  const auto d = std::chrono::steady_clock::now() - Registry::instance().epoch;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+void record_span(std::uint32_t name_id, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) {
+  ThreadBuffer& tb = thread_buffer();
+  std::lock_guard<std::mutex> lk(tb.mu);
+  if (tb.spans.size() >= ThreadBuffer::kMaxSpans) {
+    ++tb.spans_dropped;
+    return;
+  }
+  tb.spans.push_back({name_id, start_ns, dur_ns});
+}
+
+void record_event(std::uint32_t name_id, double t) {
+  ThreadBuffer& tb = thread_buffer();
+  std::lock_guard<std::mutex> lk(tb.mu);
+  if (tb.events.size() >= ThreadBuffer::kMaxEvents) {
+    ++tb.events_dropped;
+    return;
+  }
+  tb.events.push_back({name_id, t});
+}
+
+void reset() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (Counter& c : r.counter_pool) {
+    c.v_.store(0, std::memory_order_relaxed);
+  }
+  for (LatencyHistogram& h : r.histogram_pool) {
+    for (auto& b : h.buckets_) b.store(0, std::memory_order_relaxed);
+    h.count_.store(0, std::memory_order_relaxed);
+    h.sum_.store(0, std::memory_order_relaxed);
+    h.min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    h.max_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& tb : r.buffers) {
+    std::lock_guard<std::mutex> blk(tb->mu);
+    tb->spans.clear();
+    tb->events.clear();
+    tb->spans_dropped = 0;
+    tb->events_dropped = 0;
+  }
+}
+
+void write_json(std::ostream& out) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lk(r.mu);
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\n";
+  out << "  \"schema\": \"robustwdm-telemetry-v1\",\n";
+  out << "  \"compiled\": " << (compiled_in() ? "true" : "false") << ",\n";
+  out << "  \"enabled\": " << (enabled() ? "true" : "false") << ",\n";
+
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    json_escape(out, name);
+    out << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    json_escape(out, name);
+    out << "\": { \"unit\": \"ns\", \"count\": " << h->count()
+        << ", \"sum\": " << h->sum_ns() << ", \"min\": " << h->min_ns()
+        << ", \"max\": " << h->max_ns() << ", \"buckets\": [";
+    bool bf = true;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;
+      if (!bf) out << ", ";
+      out << "{ \"lo\": " << LatencyHistogram::bucket_lo(b)
+          << ", \"hi\": " << LatencyHistogram::bucket_hi(b)
+          << ", \"count\": " << n << " }";
+      bf = false;
+    }
+    out << "] }";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t events_dropped = 0;
+  out << "  \"spans\": [";
+  first = true;
+  for (const auto& tb : r.buffers) {
+    std::lock_guard<std::mutex> blk(tb->mu);
+    spans_dropped += tb->spans_dropped;
+    events_dropped += tb->events_dropped;
+    for (const auto& s : tb->spans) {
+      out << (first ? "\n" : ",\n") << "    { \"name\": \"";
+      json_escape(out, r.names[s.name]);
+      out << "\", \"thread\": " << tb->thread_id
+          << ", \"start_ns\": " << s.start_ns << ", \"dur_ns\": " << s.dur_ns
+          << " }";
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  out << "  \"events\": [";
+  first = true;
+  for (const auto& tb : r.buffers) {
+    std::lock_guard<std::mutex> blk(tb->mu);
+    for (const auto& e : tb->events) {
+      out << (first ? "\n" : ",\n") << "    { \"name\": \"";
+      json_escape(out, r.names[e.name]);
+      out << "\", \"thread\": " << tb->thread_id << ", \"t\": " << e.t << " }";
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  out << "  \"dropped\": { \"spans\": " << spans_dropped
+      << ", \"events\": " << events_dropped << " }\n";
+  out << "}\n";
+}
+
+bool write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+}  // namespace wdm::support::telemetry

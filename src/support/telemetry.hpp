@@ -1,0 +1,260 @@
+// Structured telemetry: named monotonic counters, log-spaced latency
+// histograms, and lightweight span/event tracing, flushed to a single JSON
+// file per run (schema "robustwdm-telemetry-v1", documented in DESIGN.md §8
+// and validated by tools/telemetry_check).
+//
+// Cost contract (enforced by E18 / CI):
+//   * compiled out (-DROBUSTWDM_TELEMETRY=OFF): every macro below expands to
+//     nothing and `enabled()` is a constant false, so guarded blocks are
+//     dead code — zero instructions on the hot paths;
+//   * compiled in but disabled (the default at runtime): one relaxed atomic
+//     load + branch per instrumentation site, <2% on bench_policies;
+//   * enabled: counters are relaxed atomic adds on interned handles (no
+//     lookups on the hot path — handles are cached in function-local
+//     statics), histograms one clock read + one atomic add, spans/events go
+//     to thread-local buffers and are only serialized at flush time.
+//
+// Determinism: counter values are a pure function of the work performed.
+// Counters under `sim.*` count committed simulator outcomes and are
+// identical for identical seeds *regardless of thread count* (the parallel
+// batch engine's serial-equivalence guarantee). Counters under
+// `rwa.parallel_batch.*` and all histogram/span timings depend on
+// scheduling and are not replay-stable; tests/test_telemetry.cpp pins down
+// the split.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#ifndef ROBUSTWDM_TELEMETRY
+#define ROBUSTWDM_TELEMETRY 1
+#endif
+
+namespace wdm::support::telemetry {
+
+#if ROBUSTWDM_TELEMETRY
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+/// Runtime gate, read on every instrumentation site. Relaxed: flipping it
+/// mid-run may lose a few in-flight samples, never corrupt state.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+constexpr bool compiled_in() { return true; }
+#else
+constexpr bool enabled() { return false; }
+constexpr bool compiled_in() { return false; }
+#endif
+
+/// Enables/disables collection. Counters and histograms registered while
+/// disabled still appear (as zeros) in the JSON output.
+void set_enabled(bool on);
+
+/// Zeroes every counter/histogram and drops all spans/events. Registered
+/// names (and cached handles) stay valid. For tests and multi-run tools.
+void reset();
+
+/// Named monotonic counter. Obtain through counter() once (cache the
+/// reference); add() is a relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void reset();
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Latency histogram with fixed log-spaced (powers-of-two nanosecond)
+/// buckets: bucket b counts samples in [2^(b-1), 2^b) ns, bucket 0 counts
+/// {0}. Buckets are independent relaxed atomics, so one instance is safely
+/// shared across threads and merging is an elementwise add.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record_ns(std::uint64_t ns);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum_ns() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min_ns() const;  // 0 when empty
+  std::uint64_t max_ns() const;  // 0 when empty
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Lower/upper bound of bucket b in ns ([lo, hi)).
+  static std::uint64_t bucket_lo(int b);
+  static std::uint64_t bucket_hi(int b);
+
+ private:
+  friend void reset();
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Registry lookup-or-create. Takes a mutex — call once per site and cache
+/// the reference (the macros below do this with function-local statics).
+/// Returned references stay valid for the process lifetime.
+Counter& counter(std::string_view name);
+LatencyHistogram& histogram(std::string_view name);
+
+/// Interns an event/span name; the id is what the hot-path record calls
+/// take. Same caching advice as counter().
+std::uint32_t intern(std::string_view name);
+
+/// Snapshot of every registered counter (name -> value). For tests and
+/// report generation, not hot paths.
+std::map<std::string, std::uint64_t> counter_values();
+
+/// Monotonic nanoseconds since the registry epoch (first telemetry call).
+std::uint64_t now_ns();
+
+/// Records a completed span [start_ns, start_ns + dur_ns) into this
+/// thread's buffer. Buffers are bounded; overflow increments a drop counter
+/// reported in the JSON.
+void record_span(std::uint32_t name_id, std::uint64_t start_ns,
+                 std::uint64_t dur_ns);
+
+/// Records a timestamped point event. `t` is caller-defined time (the
+/// simulator passes *simulation* time, which keeps event streams
+/// deterministic for a fixed seed).
+void record_event(std::uint32_t name_id, double t);
+
+/// Writes the full JSON document (schema "robustwdm-telemetry-v1"); flushes
+/// all thread buffers. Call after worker threads have joined.
+void write_json(std::ostream& out);
+/// write_json to `path`; returns false (and keeps the data) on I/O failure.
+bool write_file(const std::string& path);
+
+/// Stage stopwatch for split timings (aux build vs. Suurballe vs. Liang–
+/// Shen): one clock read per split, all of it skipped when disabled. The
+/// sink parameter is a template so call sites compile unchanged when
+/// telemetry is compiled out (WDM_TEL_HIST then yields a null sink).
+class SplitTimer {
+ public:
+  SplitTimer() : on_(enabled()) {
+    if (on_) first_ = last_ = now_ns();
+  }
+  bool on() const { return on_; }
+  /// Records time since construction or the previous split.
+  template <class Sink>
+  void split(Sink& h) {
+    if (on_) {
+      const std::uint64_t t = now_ns();
+      h.record_ns(t - last_);
+      last_ = t;
+    }
+  }
+  /// Records time since construction (independent of splits).
+  template <class Sink>
+  void total(Sink& h) const {
+    if (on_) h.record_ns(now_ns() - first_);
+  }
+
+ private:
+  bool on_;
+  std::uint64_t first_ = 0;
+  std::uint64_t last_ = 0;
+};
+
+/// RAII span: records [ctor, dtor) into the thread buffer when enabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::uint32_t name_id) : on_(enabled()), name_(name_id) {
+    if (on_) t0_ = now_ns();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (on_) record_span(name_, t0_, now_ns() - t0_);
+  }
+
+ private:
+  bool on_;
+  std::uint32_t name_;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace wdm::support::telemetry
+
+// Instrumentation macros. All of them cache registry handles in
+// function-local statics, so the steady-state cost is the enabled() branch.
+#if ROBUSTWDM_TELEMETRY
+
+/// Expression yielding the (static, interned) counter for `name`.
+#define WDM_TEL_COUNTER(name)                                       \
+  ([]() -> ::wdm::support::telemetry::Counter& {                    \
+    static auto& wdm_tel_c = ::wdm::support::telemetry::counter(name); \
+    return wdm_tel_c;                                               \
+  }())
+
+/// Expression yielding the (static, interned) histogram for `name`.
+#define WDM_TEL_HIST(name)                                          \
+  ([]() -> ::wdm::support::telemetry::LatencyHistogram& {           \
+    static auto& wdm_tel_h = ::wdm::support::telemetry::histogram(name); \
+    return wdm_tel_h;                                               \
+  }())
+
+#define WDM_TEL_COUNT_N(name, n)                                    \
+  do {                                                              \
+    if (::wdm::support::telemetry::enabled()) {                     \
+      WDM_TEL_COUNTER(name).add(                                    \
+          static_cast<std::uint64_t>(n));                           \
+    }                                                               \
+  } while (0)
+#define WDM_TEL_COUNT(name) WDM_TEL_COUNT_N(name, 1)
+
+/// Point event with caller-defined timestamp (e.g. simulation time).
+#define WDM_TEL_EVENT(name, t)                                      \
+  do {                                                              \
+    if (::wdm::support::telemetry::enabled()) {                     \
+      static const std::uint32_t wdm_tel_e =                        \
+          ::wdm::support::telemetry::intern(name);                  \
+      ::wdm::support::telemetry::record_event(wdm_tel_e, (t));      \
+    }                                                               \
+  } while (0)
+
+/// RAII wall-clock span named `name` for the rest of the scope.
+#define WDM_TEL_SPAN(var, name)                                     \
+  static const std::uint32_t wdm_tel_span_id_##var =                \
+      ::wdm::support::telemetry::intern(name);                      \
+  ::wdm::support::telemetry::ScopedSpan var(wdm_tel_span_id_##var)
+
+#else  // !ROBUSTWDM_TELEMETRY — everything compiles away.
+
+namespace wdm::support::telemetry::detail {
+struct NullSink {
+  void add(std::uint64_t = 1) {}
+  void record_ns(std::uint64_t) {}
+};
+inline NullSink g_null_sink;
+}  // namespace wdm::support::telemetry::detail
+
+#define WDM_TEL_COUNTER(name) (::wdm::support::telemetry::detail::g_null_sink)
+#define WDM_TEL_HIST(name) (::wdm::support::telemetry::detail::g_null_sink)
+#define WDM_TEL_COUNT_N(name, n) \
+  do {                           \
+  } while (0)
+#define WDM_TEL_COUNT(name) \
+  do {                      \
+  } while (0)
+#define WDM_TEL_EVENT(name, t) \
+  do {                         \
+  } while (0)
+#define WDM_TEL_SPAN(var, name) \
+  do {                          \
+  } while (0)
+
+#endif  // ROBUSTWDM_TELEMETRY

@@ -1,5 +1,7 @@
 #include "wdm/io.hpp"
 
+#include <cmath>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <sstream>
@@ -68,9 +70,12 @@ double parse_double(const std::string& tok, int line, const char* what) {
     std::size_t pos = 0;
     const double v = std::stod(tok, &pos);
     if (pos != tok.size()) throw std::invalid_argument(tok);
+    // nan/inf parse fine through stod but poison every cost comparison
+    // downstream — reject them at the boundary.
+    if (!std::isfinite(v)) throw std::invalid_argument(tok);
     return v;
   } catch (const std::exception&) {
-    throw ParseError(line, std::string("expected number for ") + what +
+    throw ParseError(line, std::string("expected finite number for ") + what +
                                ", got '" + tok + "'");
   }
 }
@@ -203,6 +208,13 @@ net::WdmNetwork read_network(std::istream& in) {
         if (network) throw ParseError(line_no, "duplicate 'network' header");
         const int n = parse_int(toks[1], line_no, "node count");
         W = parse_int(toks[2], line_no, "wavelength count");
+        // Bound the header before allocating: a corrupted count must fail
+        // with a diagnostic, not a multi-gigabyte allocation.
+        constexpr int kMaxNodes = 1 << 16;
+        if (n < 1 || n > kMaxNodes) {
+          throw ParseError(line_no, "node count out of range [1, " +
+                                        std::to_string(kMaxNodes) + "]");
+        }
         network.emplace(n, W);
       } else if (cmd == "conversion") {
         auto& net_ = require_network(line_no);
@@ -294,6 +306,16 @@ net::WdmNetwork read_network(std::istream& in) {
 net::WdmNetwork read_network(const std::string& text) {
   std::istringstream in(text);
   return read_network(in);
+}
+
+net::WdmNetwork read_network_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError(path, 0, "cannot open file");
+  try {
+    return read_network(in);
+  } catch (const ParseError& err) {
+    throw ParseError(path, err.line(), err.message());
+  }
 }
 
 }  // namespace wdm::io

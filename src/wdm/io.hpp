@@ -27,12 +27,24 @@ namespace wdm::io {
 class ParseError : public std::runtime_error {
  public:
   ParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      : ParseError("", line, message) {}
+
+  /// `file` may be empty (parsing from a string/stream with no name).
+  ParseError(const std::string& file, int line, const std::string& message)
+      : std::runtime_error((file.empty() ? "" : file + ":") + "line " +
+                           std::to_string(line) + ": " + message),
+        file_(file),
+        message_(message),
         line_(line) {}
 
+  const std::string& file() const { return file_; }
+  /// The diagnostic without the file:line prefix (what() includes it).
+  const std::string& message() const { return message_; }
   int line() const { return line_; }
 
  private:
+  std::string file_;
+  std::string message_;
   int line_;
 };
 
@@ -43,5 +55,10 @@ std::string write_network(const net::WdmNetwork& network);
 /// Parses the format above. Throws ParseError on malformed input.
 net::WdmNetwork read_network(std::istream& in);
 net::WdmNetwork read_network(const std::string& text);
+
+/// Opens and parses `path`. Every ParseError (including "cannot open",
+/// reported as line 0) carries the file name, so diagnostics read
+/// "file.wdm:line 12: ...".
+net::WdmNetwork read_network_file(const std::string& path);
 
 }  // namespace wdm::io

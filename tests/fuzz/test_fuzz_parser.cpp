@@ -1,0 +1,117 @@
+// Parser robustness fuzz: the .wdm reader (and the corpus repro reader
+// layered on top of it) must never escape with anything but io::ParseError,
+// no matter how the input is damaged. The harness takes valid serialized
+// networks from the instance generator and feeds the parsers truncated
+// prefixes, random single/multi-byte mutations, and pure garbage.
+//
+// Budget knob: WDM_FUZZ_ITERATIONS scales the mutation count (default 500).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <typeinfo>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/generator.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "wdm/io.hpp"
+
+namespace wdm::fuzz {
+namespace {
+
+int mutation_budget() {
+  const auto iters = support::env_int("WDM_FUZZ_ITERATIONS", 500);
+  return std::max<int>(40, static_cast<int>(iters));
+}
+
+/// The property under test: parsing any bytes either succeeds or throws
+/// io::ParseError — never std::out_of_range from a raw stoi, never a crash.
+template <class Parse>
+void expect_clean(const std::string& text, const char* label, Parse parse) {
+  try {
+    parse(text);
+  } catch (const io::ParseError&) {
+    // The one sanctioned failure mode.
+  } catch (const std::exception& e) {
+    FAIL() << label << " escaped with " << typeid(e).name() << ": "
+           << e.what() << "\ninput:\n"
+           << text.substr(0, 400);
+  }
+}
+
+void check_both_parsers(const std::string& text) {
+  expect_clean(text, "read_network",
+               [](const std::string& t) { (void)io::read_network(t); });
+  expect_clean(text, "read_repro_text",
+               [](const std::string& t) { (void)read_repro_text(t); });
+}
+
+TEST(ParserFuzz, TruncatedPrefixesNeverCrash) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const FuzzInstance inst = generate_instance(seed);
+    Violation v;
+    v.invariant = "parser-fuzz";
+    const std::string text = write_repro_text(inst, v);
+    // Every prefix, stepping a few bytes at a time to keep the budget sane.
+    const std::size_t step = std::max<std::size_t>(1, text.size() / 200);
+    for (std::size_t len = 0; len < text.size(); len += step) {
+      check_both_parsers(text.substr(0, len));
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomByteMutationsNeverCrash) {
+  support::Rng rng(0xFEEDu);
+  const int budget = mutation_budget();
+  for (int i = 0; i < budget; ++i) {
+    const FuzzInstance inst = generate_instance(rng() % 64);
+    Violation v;
+    v.invariant = "parser-fuzz";
+    std::string text = write_repro_text(inst, v);
+    // 1-8 random byte edits: overwrite, insert, or delete.
+    const int edits = 1 + static_cast<int>(rng() % 8);
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t pos = rng.index(text.size());
+      switch (rng() % 3) {
+        case 0:
+          text[pos] = static_cast<char>(rng() % 256);
+          break;
+        case 1:
+          text.insert(pos, 1, static_cast<char>(rng() % 256));
+          break;
+        default:
+          text.erase(pos, 1);
+          break;
+      }
+    }
+    check_both_parsers(text);
+  }
+}
+
+TEST(ParserFuzz, GarbageTokensNeverCrash) {
+  // Hand-picked adversarial lines: overflow, partial tokens, negative ids,
+  // non-finite numbers, binary junk, absurd sizes.
+  const char* cases[] = {
+      "network 99999999999999999999 8\n",
+      "network 3 2\nlink 0 1 cost 1e99999\n",
+      "network 3 2\nlink 0 1 cost 1x\n",
+      "network 3 2\nlink -1 1 cost 1\n",
+      "network 3 2\nlink 0 1 cost nan\nlink 0 1 cost inf\n",
+      "network 3 2\nconversion 0 full -inf\n",
+      "network 3 2\nreserve 0 99999999999999999999\n",
+      "#!fuzz seed 18446744073709551616\nnetwork 2 2\nlink 0 1 cost 1\n",
+      "#!fuzz seed -1\nnetwork 2 2\nlink 0 1 cost 1\n",
+      "#!fuzz s 2x\nnetwork 2 2\nlink 0 1 cost 1\n",
+      "#!fuzz t \nnetwork 2 2\nlink 0 1 cost 1\n",
+      "network\x00 3 2\n",
+      "network 3 2\nlink 0 1 costs ,,,\n",
+      "network 3 2\nlink 0 1 cost\n",
+      "network 1000000000 1000000000\n",
+  };
+  for (const char* c : cases) check_both_parsers(c);
+}
+
+}  // namespace
+}  // namespace wdm::fuzz

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "support/rng.hpp"
 #include "test_util.hpp"
 #include "topology/network_builder.hpp"
@@ -118,6 +122,44 @@ TEST(Io, RejectsMalformedInput) {
   EXPECT_THROW(read_network("network 2 2\nreserve 3 0\n"), ParseError);
   EXPECT_THROW(read_network("network 2 2\nlink 0 1 costs 1,2,3\n"),
                ParseError);  // wrong costs arity
+}
+
+TEST(Io, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(read_network("network 2 2\nlink 0 1 cost nan\n"), ParseError);
+  EXPECT_THROW(read_network("network 2 2\nlink 0 1 cost inf\n"), ParseError);
+  EXPECT_THROW(read_network("network 2 2\nlink 0 1 cost -inf\n"), ParseError);
+  EXPECT_THROW(read_network("network 2 2\nconversion 0 full nan\n"),
+               ParseError);
+}
+
+TEST(Io, FileErrorsCarryFileNameAndLine) {
+  const std::string path = testing::TempDir() + "io_bad_input.wdm";
+  {
+    std::ofstream out(path);
+    out << "network 2 2\nlink 0 1 cost oops\n";
+  }
+  try {
+    read_network_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find(path + ":line 2:"),
+              std::string::npos);
+    // message() is the bare diagnostic, not doubly prefixed.
+    EXPECT_EQ(std::string(e.message()).find("line 2"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileIsAParseErrorNotACrash) {
+  try {
+    read_network_file("/nonexistent/robustwdm.wdm");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "/nonexistent/robustwdm.wdm");
+    EXPECT_EQ(e.line(), 0);
+  }
 }
 
 TEST(Io, CommentsAndBlankLinesIgnored) {

@@ -173,9 +173,44 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
 }
 
-TEST(Percentile, RejectsEmpty) {
-  std::vector<double> xs;
-  EXPECT_THROW(percentile(xs, 0.5), std::logic_error);
+TEST(Percentile, DegenerateInputsAreWellDefined) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile(empty, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 1.0), 0.0);
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
+}
+
+TEST(Percentile, StillRejectsBadQuantile) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(percentile(xs, -0.1), std::logic_error);
+  EXPECT_THROW(percentile(xs, 1.1), std::logic_error);
+}
+
+TEST(RunningStats, MinMaxWellDefinedAtZeroCount) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  // A negative first sample must override the count-0 placeholder.
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
+TEST(Confidence95, GuardsSmallSamples) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(confidence_95(empty), 0.0);
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(confidence_95(one), 0.0);
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(confidence_95(xs), ci95_halfwidth(s));
+  EXPECT_GT(confidence_95(xs), 0.0);
 }
 
 TEST(Histogram, BinsAndClamping) {

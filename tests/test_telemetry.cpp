@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rwa/approx_router.hpp"
+#include "sim/simulator.hpp"
+#include "support/telemetry.hpp"
+#include "topology/network_builder.hpp"
+
+namespace wdm::support::telemetry {
+namespace {
+
+/// Every test starts from a clean slate and leaves telemetry disabled.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(TelemetryTest, CounterAddsAndMacroCaches) {
+  Counter& c = counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instance.
+  EXPECT_EQ(&counter("test.counter"), &c);
+  WDM_TEL_COUNT("test.counter");
+  WDM_TEL_COUNT_N("test.counter", 7);
+  // With telemetry compiled out the macros are no-ops by design.
+  EXPECT_EQ(c.value(), compiled_in() ? 50u : 42u);
+}
+
+TEST_F(TelemetryTest, MacrosAreInertWhenDisabled) {
+  set_enabled(false);
+  WDM_TEL_COUNT("test.disabled");
+  WDM_TEL_COUNT_N("test.disabled", 100);
+  if (compiled_in()) {
+    // The counter may not even be registered; if it is, it must be zero.
+    const auto values = counter_values();
+    const auto it = values.find("test.disabled");
+    if (it != values.end()) EXPECT_EQ(it->second, 0u);
+  }
+}
+
+TEST_F(TelemetryTest, HistogramBucketBoundaries) {
+  LatencyHistogram h;
+  h.record_ns(0);  // bucket 0: {0}
+  h.record_ns(1);  // bucket 1: [1, 2)
+  h.record_ns(2);  // bucket 2: [2, 4)
+  h.record_ns(3);  // bucket 2
+  h.record_ns(4);  // bucket 3: [4, 8)
+  h.record_ns(1023);  // bucket 10: [512, 1024)
+  h.record_ns(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum_ns(), 0u + 1 + 2 + 3 + 4 + 1023 + 1024);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 1024u);
+  // Bucket bounds are contiguous: hi(b) == lo(b + 1).
+  for (int b = 0; b + 1 < LatencyHistogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_hi(b), LatencyHistogram::bucket_lo(b + 1))
+        << "bucket " << b;
+  }
+  // The last bucket absorbs everything, including saturating values.
+  h.record_ns(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+}
+
+TEST_F(TelemetryTest, HistogramEmptyIsWellDefined) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+}
+
+TEST_F(TelemetryTest, HistogramMergeIsElementwise) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record_ns(3);
+  a.record_ns(100);
+  b.record_ns(5);
+  b.record_ns(2000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum_ns(), 3u + 100 + 5 + 2000);
+  EXPECT_EQ(a.min_ns(), 3u);
+  EXPECT_EQ(a.max_ns(), 2000u);
+}
+
+TEST_F(TelemetryTest, HistogramIsThreadSafe) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&h] {
+      for (int k = 0; k < kPerThread; ++k) {
+        h.record_ns(static_cast<std::uint64_t>(k));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), static_cast<std::uint64_t>(kPerThread - 1));
+}
+
+TEST_F(TelemetryTest, ResetZeroesEverythingButKeepsHandles) {
+  Counter& c = counter("test.reset");
+  LatencyHistogram& h = histogram("test.reset_hist");
+  c.add(5);
+  h.record_ns(10);
+  reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  // The handle survives the reset.
+  c.add(1);
+  EXPECT_EQ(&counter("test.reset"), &c);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(TelemetryTest, JsonOutputContainsRegisteredData) {
+  counter("test.json_counter").add(3);
+  histogram("test.json_hist").record_ns(1000);
+  WDM_TEL_EVENT("test.json_event", 1.5);
+  std::ostringstream out;
+  write_json(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"schema\": \"robustwdm-telemetry-v1\""),
+            std::string::npos);
+  EXPECT_NE(s.find("\"test.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(s.find("test.json_hist"), std::string::npos);
+  if (compiled_in()) {
+    EXPECT_NE(s.find("test.json_event"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract (DESIGN.md §8): sim.* counters are a pure function of
+// (topology, router, seed) — identical across runs and across engine thread
+// counts. rwa.parallel_batch.* and all timing data are scheduling-dependent
+// and carry no such guarantee.
+
+sim::SimOptions batch_options(int threads) {
+  sim::SimOptions opt;
+  opt.traffic.arrival_rate = 12.0;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = 30.0;
+  opt.seed = 11;
+  opt.batching.interval = 0.5;
+  opt.batching.threads = threads;
+  return opt;
+}
+
+std::map<std::string, std::uint64_t> run_and_snapshot(int threads) {
+  reset();
+  rwa::ApproxDisjointRouter router;
+  sim::Simulator sim(topo::nsfnet_network(8, 0.5), router,
+                     batch_options(threads));
+  (void)sim.run();
+  return counter_values();
+}
+
+std::map<std::string, std::uint64_t> sim_subset(
+    const std::map<std::string, std::uint64_t>& all) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [k, v] : all) {
+    if (k.rfind("sim.", 0) == 0) out.emplace(k, v);
+  }
+  return out;
+}
+
+TEST_F(TelemetryTest, CountersDeterministicAcrossRuns) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  const auto a = run_and_snapshot(/*threads=*/1);
+  const auto b = run_and_snapshot(/*threads=*/1);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.at("sim.offered"), 0u);
+}
+
+TEST_F(TelemetryTest, SimCountersDeterministicAcrossThreadCounts) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  const auto serial = run_and_snapshot(/*threads=*/1);
+  const auto parallel = run_and_snapshot(/*threads=*/4);
+  EXPECT_EQ(sim_subset(serial), sim_subset(parallel));
+}
+
+}  // namespace
+}  // namespace wdm::support::telemetry

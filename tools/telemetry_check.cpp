@@ -1,0 +1,394 @@
+// telemetry_check — validates a telemetry dump against the documented
+// "robustwdm-telemetry-v1" schema (DESIGN.md §8).
+//
+//   telemetry_check out.json        # exit 0 iff the file conforms
+//
+// Ships its own ~150-line recursive-descent JSON parser so the check has no
+// dependencies and is honest: it parses the actual bytes, not a mental model
+// of them. Validated beyond well-formedness:
+//   * top-level keys: schema/compiled/enabled/counters/histograms/spans/
+//     events/dropped, with the right types;
+//   * counters: object of non-negative integers;
+//   * histograms: unit == "ns", count == sum of bucket counts, min <= max
+//     when count > 0, buckets have lo < hi and non-negative counts;
+//   * spans: name (string) + thread/start_ns/dur_ns (non-negative numbers);
+//   * events: name (string) + thread (number) + t (number);
+//   * dropped: spans/events counts.
+#include <cctype>
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (objects, arrays, strings, numbers, bools,
+// null). Throws std::runtime_error with an offset on malformed input.
+
+struct Json;
+using JsonPtr = std::shared_ptr<Json>;
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonPtr> arr;
+  std::map<std::string, JsonPtr> obj;
+
+  bool is(Type t) const { return type == t; }
+  const JsonPtr* find(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonPtr parse() {
+    JsonPtr v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing bytes after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr value() {
+    skip_ws();
+    const char c = peek();
+    auto v = std::make_shared<Json>();
+    if (c == '{') {
+      v->type = Json::Type::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = string_token();
+        skip_ws();
+        expect(':');
+        v->obj.emplace(std::move(key), value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v->type = Json::Type::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v->arr.push_back(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v->type = Json::Type::kString;
+      v->str = string_token();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v->type = Json::Type::kBool;
+      v->b = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v->type = Json::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    // Number.
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    try {
+      std::size_t used = 0;
+      v->num = std::stod(s_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) fail("bad number");
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    v->type = Json::Type::kNumber;
+    return v;
+  }
+
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("short \\u escape");
+            // Decoded only far enough for validation; the schema emits
+            // ASCII control escapes exclusively.
+            out.push_back('?');
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema validation.
+
+int g_errors = 0;
+
+void problem(const std::string& what) {
+  std::fprintf(stderr, "telemetry_check: %s\n", what.c_str());
+  ++g_errors;
+}
+
+bool is_nonneg_int(const Json& v) {
+  return v.is(Json::Type::kNumber) && v.num >= 0.0 &&
+         v.num == static_cast<double>(static_cast<std::uint64_t>(v.num));
+}
+
+const Json* need(const Json& obj, const char* key, Json::Type type,
+                 const char* where) {
+  const JsonPtr* p = obj.find(key);
+  if (p == nullptr) {
+    problem(std::string(where) + ": missing key \"" + key + "\"");
+    return nullptr;
+  }
+  if (!(*p)->is(type)) {
+    problem(std::string(where) + ": key \"" + key + "\" has the wrong type");
+    return nullptr;
+  }
+  return p->get();
+}
+
+void check_histogram(const std::string& name, const Json& h) {
+  const std::string where = "histogram \"" + name + "\"";
+  const Json* unit = need(h, "unit", Json::Type::kString, where.c_str());
+  if (unit != nullptr && unit->str != "ns") problem(where + ": unit != ns");
+  const Json* count = need(h, "count", Json::Type::kNumber, where.c_str());
+  const Json* sum = need(h, "sum", Json::Type::kNumber, where.c_str());
+  const Json* min = need(h, "min", Json::Type::kNumber, where.c_str());
+  const Json* max = need(h, "max", Json::Type::kNumber, where.c_str());
+  const Json* buckets = need(h, "buckets", Json::Type::kArray, where.c_str());
+  for (const Json* v : {count, sum, min, max}) {
+    if (v != nullptr && !is_nonneg_int(*v)) {
+      problem(where + ": negative or non-integer stat");
+    }
+  }
+  if (count != nullptr && min != nullptr && max != nullptr && count->num > 0 &&
+      min->num > max->num) {
+    problem(where + ": min > max on a non-empty histogram");
+  }
+  if (buckets == nullptr) return;
+  double bucket_total = 0.0;
+  for (const JsonPtr& bp : buckets->arr) {
+    if (!bp->is(Json::Type::kObject)) {
+      problem(where + ": bucket is not an object");
+      continue;
+    }
+    const Json* lo = need(*bp, "lo", Json::Type::kNumber, where.c_str());
+    const Json* hi = need(*bp, "hi", Json::Type::kNumber, where.c_str());
+    const Json* n = need(*bp, "count", Json::Type::kNumber, where.c_str());
+    if (lo != nullptr && hi != nullptr && lo->num >= hi->num) {
+      problem(where + ": bucket with lo >= hi");
+    }
+    if (n != nullptr) {
+      if (!is_nonneg_int(*n)) problem(where + ": bad bucket count");
+      bucket_total += n->num;
+    }
+  }
+  if (count != nullptr && bucket_total != count->num) {
+    problem(where + ": bucket counts do not sum to count");
+  }
+}
+
+int check(const Json& root) {
+  if (!root.is(Json::Type::kObject)) {
+    problem("top level is not an object");
+    return g_errors;
+  }
+  const Json* schema = need(root, "schema", Json::Type::kString, "top level");
+  if (schema != nullptr && schema->str != "robustwdm-telemetry-v1") {
+    problem("schema is \"" + schema->str +
+            "\", expected \"robustwdm-telemetry-v1\"");
+  }
+  need(root, "compiled", Json::Type::kBool, "top level");
+  need(root, "enabled", Json::Type::kBool, "top level");
+
+  const Json* counters =
+      need(root, "counters", Json::Type::kObject, "top level");
+  if (counters != nullptr) {
+    for (const auto& [name, v] : counters->obj) {
+      if (!is_nonneg_int(*v)) {
+        problem("counter \"" + name + "\" is not a non-negative integer");
+      }
+    }
+  }
+
+  const Json* hists =
+      need(root, "histograms", Json::Type::kObject, "top level");
+  if (hists != nullptr) {
+    for (const auto& [name, v] : hists->obj) {
+      if (!v->is(Json::Type::kObject)) {
+        problem("histogram \"" + name + "\" is not an object");
+        continue;
+      }
+      check_histogram(name, *v);
+    }
+  }
+
+  const Json* spans = need(root, "spans", Json::Type::kArray, "top level");
+  if (spans != nullptr) {
+    for (const JsonPtr& sp : spans->arr) {
+      if (!sp->is(Json::Type::kObject)) {
+        problem("span is not an object");
+        continue;
+      }
+      need(*sp, "name", Json::Type::kString, "span");
+      for (const char* k : {"thread", "start_ns", "dur_ns"}) {
+        const Json* v = need(*sp, k, Json::Type::kNumber, "span");
+        if (v != nullptr && !is_nonneg_int(*v)) {
+          problem(std::string("span ") + k + " is negative or fractional");
+        }
+      }
+    }
+  }
+
+  const Json* events = need(root, "events", Json::Type::kArray, "top level");
+  if (events != nullptr) {
+    for (const JsonPtr& ep : events->arr) {
+      if (!ep->is(Json::Type::kObject)) {
+        problem("event is not an object");
+        continue;
+      }
+      need(*ep, "name", Json::Type::kString, "event");
+      need(*ep, "thread", Json::Type::kNumber, "event");
+      need(*ep, "t", Json::Type::kNumber, "event");
+    }
+  }
+
+  const Json* dropped =
+      need(root, "dropped", Json::Type::kObject, "top level");
+  if (dropped != nullptr) {
+    for (const char* k : {"spans", "events"}) {
+      const Json* v = need(*dropped, k, Json::Type::kNumber, "dropped");
+      if (v != nullptr && !is_nonneg_int(*v)) {
+        problem(std::string("dropped.") + k + " is not a count");
+      }
+    }
+  }
+  return g_errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: telemetry_check <telemetry.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "telemetry_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  JsonPtr root;
+  try {
+    root = Parser(text.str()).parse();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry_check: %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+  const int errors = check(*root);
+  if (errors != 0) {
+    std::fprintf(stderr, "telemetry_check: %s: %d schema violation(s)\n",
+                 argv[1], errors);
+    return 1;
+  }
+  std::printf("telemetry_check: %s conforms to robustwdm-telemetry-v1\n",
+              argv[1]);
+  return 0;
+}

@@ -9,6 +9,9 @@
 //
 // Routers: approx (§3.3, default), minload (§4.1), loadcost (§4.2),
 //          node-disjoint, two-step, physical, unprotected, exact.
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +27,7 @@
 #include "rwa/node_disjoint_router.hpp"
 #include "rwa/protectability.hpp"
 #include "sim/replicate.hpp"
+#include "support/telemetry.hpp"
 #include "topology/network_builder.hpp"
 #include "wdm/io.hpp"
 
@@ -32,6 +36,32 @@
 namespace {
 
 using namespace wdm;
+
+/// Full-token integer parse; rejects "", "7x", "1e3", overflow. std::atoi
+/// silently returns 0 for all of those, which turns garbage argv into node 0.
+bool parse_cli_int(const char* s, int* out) {
+  const char* last = s + std::strlen(s);
+  const auto [ptr, ec] = std::from_chars(s, last, *out);
+  return ec == std::errc{} && ptr == last && last != s;
+}
+
+/// Full-token finite double parse (rejects "", trailing junk, nan/inf).
+bool parse_cli_double(const char* s, double* out) {
+  if (*s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end != s + std::strlen(s) || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool flag_error(const char* flag, const char* value) {
+  std::fprintf(stderr, "bad value for %s: '%s'\n", flag, value);
+  return false;
+}
 
 int usage() {
   std::fprintf(
@@ -46,7 +76,8 @@ int usage() {
       "  wdmtool audit <topology>\n"
       "  wdmtool dot <topology>\n"
       "  wdmtool save <topology> [-W n] [--occupy p] > file.wdm\n"
-      "  (route/simulate accept --net file.wdm to load a saved state)\n"
+      "  (route/simulate accept --net file.wdm to load a saved state and\n"
+      "   --telemetry out.json to dump structured counters/timings)\n"
       "topologies: nsfnet | arpanet | eon | usnet | ring<n> | grid<r>x<c> | torus<r>x<c>\n"
       "routers: approx minload loadcost node-disjoint two-step physical "
       "unprotected exact\n");
@@ -63,19 +94,20 @@ bool parse_topology(const std::string& name, topo::Topology* out) {
   } else if (name == "usnet") {
     *out = topo::usnet24();
   } else if (name.rfind("torus", 0) == 0) {
-    int r = 0, c = 0;
-    if (std::sscanf(name.c_str() + 5, "%dx%d", &r, &c) != 2 || r < 3 ||
-        c < 3) {
+    int r = 0, c = 0, used = 0;
+    if (std::sscanf(name.c_str() + 5, "%dx%d%n", &r, &c, &used) != 2 ||
+        name[5 + static_cast<std::size_t>(used)] != '\0' || r < 3 || c < 3) {
       return false;
     }
     *out = topo::torus(r, c);
   } else if (name.rfind("ring", 0) == 0) {
-    const int n = std::atoi(name.c_str() + 4);
-    if (n < 3) return false;
+    int n = 0;
+    if (!parse_cli_int(name.c_str() + 4, &n) || n < 3) return false;
     *out = topo::ring(n);
   } else if (name.rfind("grid", 0) == 0) {
-    int r = 0, c = 0;
-    if (std::sscanf(name.c_str() + 4, "%dx%d", &r, &c) != 2 || r < 2 || c < 2) {
+    int r = 0, c = 0, used = 0;
+    if (std::sscanf(name.c_str() + 4, "%dx%d%n", &r, &c, &used) != 2 ||
+        name[4 + static_cast<std::size_t>(used)] != '\0' || r < 2 || c < 2) {
       return false;
     }
     *out = topo::grid(r, c);
@@ -105,6 +137,7 @@ struct Flags {
   int W = 8;
   std::string router = "approx";
   std::string net_file;  // --net: load the network state instead of building
+  std::string telemetry_file;  // --telemetry: JSON dump path
   double occupy = 0.0;
   double erlang = 20.0;
   double duration = 100.0;
@@ -116,51 +149,85 @@ struct Flags {
 bool parse_flags(int argc, char** argv, int first, Flags* f) {
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
-    auto next = [&](double* out) {
-      if (i + 1 >= argc) return false;
-      *out = std::atof(argv[++i]);
+    auto next_str = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        return false;
+      }
+      *out = argv[++i];
       return true;
     };
-    double v = 0.0;
+    auto next_double = [&](double* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        return false;
+      }
+      ++i;
+      return parse_cli_double(argv[i], out) || flag_error(a.c_str(), argv[i]);
+    };
+    auto next_int = [&](int* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        return false;
+      }
+      ++i;
+      return parse_cli_int(argv[i], out) || flag_error(a.c_str(), argv[i]);
+    };
+    int iv = 0;
     if (a == "-W") {
-      if (!next(&v)) return false;
-      f->W = static_cast<int>(v);
+      if (!next_int(&iv) || iv < 1) return flag_error("-W", argv[i]);
+      f->W = iv;
     } else if (a == "-r") {
-      if (i + 1 >= argc) return false;
-      f->router = argv[++i];
+      if (!next_str(&f->router)) return false;
     } else if (a == "--net") {
-      if (i + 1 >= argc) return false;
-      f->net_file = argv[++i];
+      if (!next_str(&f->net_file)) return false;
+    } else if (a == "--telemetry") {
+      if (!next_str(&f->telemetry_file)) return false;
     } else if (a == "--occupy") {
-      if (!next(&f->occupy)) return false;
+      if (!next_double(&f->occupy)) return false;
+      if (f->occupy < 0.0 || f->occupy > 1.0) {
+        return flag_error("--occupy", argv[i]);
+      }
     } else if (a == "--erlang") {
-      if (!next(&f->erlang)) return false;
+      if (!next_double(&f->erlang) || f->erlang < 0.0) return false;
     } else if (a == "--duration") {
-      if (!next(&f->duration)) return false;
+      if (!next_double(&f->duration) || f->duration < 0.0) return false;
     } else if (a == "--failures") {
-      if (!next(&f->failures)) return false;
+      if (!next_double(&f->failures) || f->failures < 0.0) return false;
     } else if (a == "--replicas") {
-      if (!next(&v)) return false;
-      f->replicas = static_cast<int>(v);
+      if (!next_int(&iv) || iv < 1) return flag_error("--replicas", argv[i]);
+      f->replicas = iv;
     } else if (a == "--seed") {
-      if (!next(&v)) return false;
-      f->seed = static_cast<std::uint64_t>(v);
+      if (!next_int(&iv) || iv < 0) return flag_error("--seed", argv[i]);
+      f->seed = static_cast<std::uint64_t>(iv);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
     }
   }
+  if (!f->telemetry_file.empty()) {
+    wdm::support::telemetry::set_enabled(true);
+  }
   return true;
+}
+
+/// Writes the telemetry JSON if --telemetry was given; pass-through of rc.
+int finish(const Flags& f, int rc) {
+  if (!f.telemetry_file.empty()) {
+    if (!support::telemetry::write_file(f.telemetry_file)) {
+      std::fprintf(stderr, "cannot write telemetry to %s\n",
+                   f.telemetry_file.c_str());
+      return rc == 0 ? 2 : rc;
+    }
+  }
+  return rc;
 }
 
 net::WdmNetwork make_network(const topo::Topology& t, const Flags& f) {
   if (!f.net_file.empty()) {
-    std::ifstream in(f.net_file);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", f.net_file.c_str());
-      std::exit(2);
-    }
-    return io::read_network(in);
+    // Throws io::ParseError with "file:line N: ..." context; main() turns
+    // that into a clean diagnostic + nonzero exit.
+    return io::read_network_file(f.net_file);
   }
   support::Rng rng(f.seed);
   topo::NetworkOptions opt;
@@ -194,30 +261,39 @@ int cmd_route(int argc, char** argv) {
   if (argc < 5) return usage();
   topo::Topology t;
   if (!parse_topology(argv[2], &t)) return usage();
-  const auto s = static_cast<net::NodeId>(std::atoi(argv[3]));
-  const auto dst = static_cast<net::NodeId>(std::atoi(argv[4]));
+  int s_raw = 0;
+  int dst_raw = 0;
+  if (!parse_cli_int(argv[3], &s_raw) || !parse_cli_int(argv[4], &dst_raw)) {
+    std::fprintf(stderr, "bad node id '%s' or '%s' (expected integers)\n",
+                 argv[3], argv[4]);
+    return usage();
+  }
+  const auto s = static_cast<net::NodeId>(s_raw);
+  const auto dst = static_cast<net::NodeId>(dst_raw);
   Flags f;
   if (!parse_flags(argc, argv, 5, &f)) return usage();
   const rwa::RouterPtr router = make_router(f.router);
   if (!router) return usage();
   const net::WdmNetwork n = make_network(t, f);
   if (!n.graph().valid_node(s) || !n.graph().valid_node(dst) || s == dst) {
-    std::fprintf(stderr, "bad endpoints for %s (n=%d)\n", t.name.c_str(),
-                 n.num_nodes());
+    std::fprintf(stderr,
+                 "bad endpoints (%d, %d) for %s: need distinct nodes in "
+                 "[0, %d)\n",
+                 s, dst, t.name.c_str(), n.num_nodes());
     return 2;
   }
   const rwa::RouteResult r = router->route(n, s, dst);
   std::printf("%s on %s (W=%d, occupancy %.0f%%): %s\n",
               router->name().c_str(), t.name.c_str(), f.W, 100 * f.occupy,
               r.found ? "FOUND" : "BLOCKED");
-  if (!r.found) return 1;
+  if (!r.found) return finish(f, 1);
   print_path(n, "  primary", r.route.primary);
   print_path(n, "  backup ", r.route.backup);
   if (r.route.backup.found) {
     std::printf("  total cost %.3f, current network load ρ=%.3f\n",
                 r.total_cost(n), n.network_load());
   }
-  return 0;
+  return finish(f, 0);
 }
 
 int cmd_simulate(int argc, char** argv) {
@@ -255,7 +331,7 @@ int cmd_simulate(int argc, char** argv) {
     std::printf("  recovery      %.4f ± %.4f\n", s.recovery_success.mean,
                 s.recovery_success.ci95);
   }
-  return 0;
+  return finish(f, 0);
 }
 
 int cmd_audit(int argc, char** argv) {
@@ -282,9 +358,7 @@ int cmd_dot(int argc, char** argv) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "topologies") {
@@ -307,7 +381,21 @@ int main(int argc, char** argv) {
     Flags f;
     if (!parse_flags(argc, argv, 3, &f)) return usage();
     std::fputs(io::write_network(make_network(t, f)).c_str(), stdout);
-    return 0;
+    return finish(f, 0);
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const io::ParseError& err) {
+    std::fprintf(stderr, "wdmtool: %s\n", err.what());
+    return 2;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "wdmtool: %s\n", err.what());
+    return 2;
+  }
 }
