@@ -19,25 +19,42 @@ inline bool quick_mode(int argc, char** argv) {
 }
 
 /// Opt-in telemetry for benches: `--telemetry out.json` enables the runtime
-/// gate for the whole run and dumps the registry on scope exit (end of main).
-/// Without the flag — or when compiled out — this is inert.
+/// gate for the whole run and dumps the registry on scope exit (end of
+/// main); `--trace out.trace.json` additionally writes a Chrome trace-event
+/// (Perfetto-loadable) export. Without the flags — or when compiled out —
+/// this is inert.
 class TelemetryScope {
  public:
   TelemetryScope(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; ++i) {
-      if (std::strcmp(argv[i], "--telemetry") == 0) {
-        path_ = argv[i + 1];
-        support::telemetry::set_enabled(true);
-        break;
+      if (std::strcmp(argv[i], "--telemetry") == 0) path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
+    }
+    if (!path_.empty() || !trace_path_.empty()) {
+      support::telemetry::set_enabled(true);
+      std::string cmd;
+      for (int i = 0; i < argc; ++i) {
+        if (i > 0) cmd += ' ';
+        cmd += argv[i];
       }
+      support::telemetry::set_meta("command", cmd);
     }
   }
   ~TelemetryScope() {
-    if (path_.empty()) return;
-    if (support::telemetry::write_file(path_)) {
-      std::printf("telemetry: wrote %s\n", path_.c_str());
-    } else {
-      std::fprintf(stderr, "telemetry: failed to write %s\n", path_.c_str());
+    if (!path_.empty()) {
+      if (support::telemetry::write_file(path_)) {
+        std::printf("telemetry: wrote %s\n", path_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry: failed to write %s\n", path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      if (support::telemetry::write_chrome_trace_file(trace_path_)) {
+        std::printf("telemetry: wrote %s\n", trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry: failed to write %s\n",
+                     trace_path_.c_str());
+      }
     }
   }
   TelemetryScope(const TelemetryScope&) = delete;
@@ -45,6 +62,7 @@ class TelemetryScope {
 
  private:
   std::string path_;
+  std::string trace_path_;
 };
 
 inline void banner(const std::string& experiment, const std::string& claim) {

@@ -12,17 +12,20 @@ namespace wdm::rwa {
 RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
                                         net::NodeId s, net::NodeId t) const {
   WDM_TEL_COUNT("rwa.approx.attempts");
+  WDM_TEL_SPAN(tel_span, "rwa.approx.route");
   support::telemetry::SplitTimer tel;
   RouteResult result;
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
   auto builder = builders_.lease();
   const AuxGraph& aux = builder->build(net, s, t, opt);
-  tel.split(WDM_TEL_HIST("rwa.approx.aux_build_ns"));
+  tel.split(WDM_TEL_HIST("rwa.approx.aux_build_ns"),
+            WDM_TEL_NAME("rwa.approx.aux_build"));
 
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
-  tel.split(WDM_TEL_HIST("rwa.approx.suurballe_ns"));
+  tel.split(WDM_TEL_HIST("rwa.approx.suurballe_ns"),
+            WDM_TEL_NAME("rwa.approx.suurballe"));
   if (!pair.found) {
     WDM_TEL_COUNT("rwa.approx.blocked");
     tel.total(WDM_TEL_HIST("rwa.approx.route_ns"));
@@ -43,7 +46,8 @@ RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
     p1 = first_fit_assign(net, aux.project(pair.first));
     p2 = first_fit_assign(net, aux.project(pair.second));
   }
-  tel.split(WDM_TEL_HIST("rwa.approx.liang_shen_ns"));
+  tel.split(WDM_TEL_HIST("rwa.approx.liang_shen_ns"),
+            WDM_TEL_NAME("rwa.approx.liang_shen"));
   tel.total(WDM_TEL_HIST("rwa.approx.route_ns"));
   if (!p1.found || !p2.found) {
     // Outside assumption (i) a transit arc only certifies per-adjacent-pair

@@ -311,7 +311,8 @@ const AuxGraph& AuxGraphBuilder::build(const net::WdmNetwork& net,
     }
   }
   if (tel_timer.on()) {
-    tel_timer.total(WDM_TEL_HIST("rwa.aux_builder.build_ns"));
+    tel_timer.total(WDM_TEL_HIST("rwa.aux_builder.build_ns"),
+                    WDM_TEL_NAME("rwa.aux_builder.build"));
     WDM_TEL_COUNT("rwa.aux_builder.builds");
     WDM_TEL_COUNT_N("rwa.aux_builder.conv_hits",
                     stats_.conv_hits - tel_before.conv_hits);

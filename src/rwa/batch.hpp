@@ -10,6 +10,7 @@
 // here are the standard candidates, compared in bench_policies.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -23,6 +24,9 @@ struct BatchRequest {
   net::NodeId s = 0;
   net::NodeId t = 0;
   long id = 0;
+  /// Telemetry trace id (0 = untraced). The simulator assigns the
+  /// offered-request ordinal so batch spans join the request's trace tree.
+  std::uint64_t trace = 0;
 };
 
 /// Hop value assigned to requests whose destination is unreachable from the

@@ -12,6 +12,7 @@ namespace wdm::rwa {
 RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                   net::NodeId t) const {
   WDM_TEL_COUNT("rwa.loadcost.attempts");
+  WDM_TEL_SPAN(tel_span, "rwa.loadcost.route");
   support::telemetry::SplitTimer tel;
   RouteResult result;
   auto builder = builders_.lease();
@@ -20,7 +21,8 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   const MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
-  tel.split(WDM_TEL_HIST("rwa.loadcost.theta_search_ns"));
+  tel.split(WDM_TEL_HIST("rwa.loadcost.theta_search_ns"),
+            WDM_TEL_NAME("rwa.loadcost.theta_search"));
   WDM_TEL_COUNT_N("rwa.loadcost.theta_probes", mc.iterations);
   if (!mc.found) {
     WDM_TEL_COUNT("rwa.loadcost.blocked");
@@ -34,10 +36,12 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   aopt.theta = mc.theta;
   aopt.grc_mean_over_available = grc_mean_over_available_;
   const AuxGraph& aux = builder->build(net, s, t, aopt);
-  tel.split(WDM_TEL_HIST("rwa.loadcost.aux_build_ns"));
+  tel.split(WDM_TEL_HIST("rwa.loadcost.aux_build_ns"),
+            WDM_TEL_NAME("rwa.loadcost.aux_build"));
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
-  tel.split(WDM_TEL_HIST("rwa.loadcost.suurballe_ns"));
+  tel.split(WDM_TEL_HIST("rwa.loadcost.suurballe_ns"),
+            WDM_TEL_NAME("rwa.loadcost.suurballe"));
   // G_rc(ϑ) has the same topology as the G_c(ϑ) phase 1 accepted, so a pair
   // must exist; guard anyway for robustness.
   if (!pair.found) {
@@ -51,7 +55,8 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
-  tel.split(WDM_TEL_HIST("rwa.loadcost.liang_shen_ns"));
+  tel.split(WDM_TEL_HIST("rwa.loadcost.liang_shen_ns"),
+            WDM_TEL_NAME("rwa.loadcost.liang_shen"));
   tel.total(WDM_TEL_HIST("rwa.loadcost.route_ns"));
   if (!p1.found || !p2.found) {
     WDM_TEL_COUNT("rwa.loadcost.blocked");

@@ -27,10 +27,12 @@ bool probe(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
   aopt.load_base = load_base;
   aopt.include_at_threshold = inclusive;
   const AuxGraph& aux = builder.build(net, s, t, aopt);
-  tel.split(WDM_TEL_HIST("rwa.mincog.aux_build_ns"));
+  tel.split(WDM_TEL_HIST("rwa.mincog.aux_build_ns"),
+            WDM_TEL_NAME("rwa.mincog.aux_build"));
   graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
-  tel.split(WDM_TEL_HIST("rwa.mincog.suurballe_ns"));
+  tel.split(WDM_TEL_HIST("rwa.mincog.suurballe_ns"),
+            WDM_TEL_NAME("rwa.mincog.suurballe"));
   if (!pair.found) return false;
   if (into != nullptr) {
     into->aux_pair = std::move(pair);
@@ -174,13 +176,15 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
 RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                  net::NodeId t) const {
   WDM_TEL_COUNT("rwa.minload.attempts");
+  WDM_TEL_SPAN(tel_span, "rwa.minload.route");
   support::telemetry::SplitTimer tel;
   RouteResult result;
   auto builder = builders_.lease();
   MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
-  tel.split(WDM_TEL_HIST("rwa.minload.theta_search_ns"));
+  tel.split(WDM_TEL_HIST("rwa.minload.theta_search_ns"),
+            WDM_TEL_NAME("rwa.minload.theta_search"));
   WDM_TEL_COUNT_N("rwa.minload.theta_probes", mc.iterations);
   if (!mc.found) {
     WDM_TEL_COUNT("rwa.minload.blocked");
@@ -194,7 +198,8 @@ RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
       mc.aux.induced_link_mask(mc.aux_pair.second, net.num_links());
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
-  tel.split(WDM_TEL_HIST("rwa.minload.liang_shen_ns"));
+  tel.split(WDM_TEL_HIST("rwa.minload.liang_shen_ns"),
+            WDM_TEL_NAME("rwa.minload.liang_shen"));
   tel.total(WDM_TEL_HIST("rwa.minload.route_ns"));
   if (!p1.found || !p2.found) {
     WDM_TEL_COUNT("rwa.minload.blocked");

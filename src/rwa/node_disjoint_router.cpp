@@ -13,6 +13,7 @@ namespace wdm::rwa {
 RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
                                       net::NodeId s, net::NodeId t) const {
   WDM_TEL_COUNT("rwa.node_disjoint.attempts");
+  WDM_TEL_SPAN(tel_span, "rwa.node_disjoint.route");
   support::telemetry::SplitTimer tel;
   RouteResult result;
   AuxGraphOptions opt;
@@ -20,11 +21,13 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
   opt.protect_nodes = true;
   auto builder = builders_.lease();
   const AuxGraph& aux = builder->build(net, s, t, opt);
-  tel.split(WDM_TEL_HIST("rwa.node_disjoint.aux_build_ns"));
+  tel.split(WDM_TEL_HIST("rwa.node_disjoint.aux_build_ns"),
+            WDM_TEL_NAME("rwa.node_disjoint.aux_build"));
 
   const graph::DisjointPair pair =
       graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
-  tel.split(WDM_TEL_HIST("rwa.node_disjoint.suurballe_ns"));
+  tel.split(WDM_TEL_HIST("rwa.node_disjoint.suurballe_ns"),
+            WDM_TEL_NAME("rwa.node_disjoint.suurballe"));
   if (!pair.found) {
     WDM_TEL_COUNT("rwa.node_disjoint.blocked");
     tel.total(WDM_TEL_HIST("rwa.node_disjoint.route_ns"));
@@ -36,7 +39,8 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
   const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
-  tel.split(WDM_TEL_HIST("rwa.node_disjoint.liang_shen_ns"));
+  tel.split(WDM_TEL_HIST("rwa.node_disjoint.liang_shen_ns"),
+            WDM_TEL_NAME("rwa.node_disjoint.liang_shen"));
   tel.total(WDM_TEL_HIST("rwa.node_disjoint.route_ns"));
   if (!p1.found || !p2.found) {
     WDM_TEL_COUNT("rwa.node_disjoint.blocked");

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -22,6 +23,7 @@ struct Slot {
   RouteResult res;
   std::uint64_t epoch = ~std::uint64_t{0};  // epoch `res` was computed in
   std::uint64_t claim_epoch = ~std::uint64_t{0};  // epoch of the latest claim
+  std::uint64_t spec_span = 0;  // telemetry span id that produced `res`
   int attempts = 0;     // speculation claims (retries = attempts - 1)
   int in_flight = 0;    // outstanding route() calls for this slot
   bool has = false;     // res holds a published (possibly stale) result
@@ -75,9 +77,13 @@ class WorkerPool {
   std::vector<std::thread> threads_;
 };
 
-void worker_loop(Shared& sh, const Router& router,
+void worker_loop(Shared& sh, int widx, const Router& router,
                  const std::vector<BatchRequest>& batch,
                  const std::vector<std::size_t>& perm) {
+  if (support::telemetry::enabled()) {
+    support::telemetry::set_thread_name("batch-worker-" +
+                                        std::to_string(widx));
+  }
   std::unique_lock<std::mutex> lk(sh.mu);
   for (;;) {
     sh.work_cv.wait(lk, [&] { return sh.stop || sh.claimable(); });
@@ -97,7 +103,14 @@ void worker_loop(Shared& sh, const Router& router,
       std::shared_ptr<const net::WdmNetwork> snap = sh.snap;
       lk.unlock();
       RouteResult r;
+      std::uint64_t spec_span_id = 0;
       try {
+        // Speculation span: a root of the request's trace on this worker's
+        // track; its own id doubles as the flow id the commit span consumes.
+        support::telemetry::TraceScope trace_scope({req.trace, 0});
+        WDM_TEL_SPAN(spec_span, "rwa.batch.speculate");
+        spec_span_id = spec_span.span_id();
+        spec_span.flow_out(spec_span_id);
         r = router.route(*snap, req.s, req.t);
       } catch (...) {
         lk.lock();
@@ -114,6 +127,7 @@ void worker_loop(Shared& sh, const Router& router,
       if (epoch == sh.cur_epoch) {
         sl.res = std::move(r);
         sl.epoch = epoch;
+        sl.spec_span = spec_span_id;
         sl.has = true;
       } else {
         ++sh.st.conflicts;  // a commit invalidated this speculation mid-route
@@ -196,6 +210,8 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
     WDM_TEL_COUNT_N("rwa.parallel_batch.requests", batch.size());
     for (std::size_t i : perm) {
       const BatchRequest& req = batch[i];
+      support::telemetry::TraceScope trace_scope({req.trace, 0});
+      WDM_TEL_SPAN(commit_span, "rwa.batch.commit_slot");
       detail::commit_route(net, router.route(net, req.s, req.t), i, out);
     }
     out.final_network_load = net.network_load();
@@ -212,7 +228,7 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
 
   WorkerPool workers(sh);
   for (int w = 0; w < threads; ++w) {
-    workers.add(std::thread(worker_loop, std::ref(sh), std::cref(router),
+    workers.add(std::thread(worker_loop, std::ref(sh), w, std::cref(router),
                             std::cref(batch), std::cref(perm)));
   }
 
@@ -223,6 +239,11 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
       sh.commit_idx = k;
       sh.work_cv.notify_all();  // the speculation window moved forward
       Slot& sl = sh.slots[k];
+      // Commit span: root of the request's trace on the commit thread's
+      // track; validation waits and re-route calls below nest under it, and
+      // a consumed speculation draws a flow arrow into it.
+      support::telemetry::TraceScope trace_scope({batch[perm[k]].trace, 0});
+      WDM_TEL_SPAN(commit_span, "rwa.batch.commit_slot");
       RouteResult r;
       bool from_spec = false;
       for (;;) {
@@ -263,7 +284,10 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
       }
       if (sh.first_exception) break;
 
-      if (from_spec) ++sh.st.spec_commits;
+      if (from_spec) {
+        ++sh.st.spec_commits;
+        commit_span.flow_in(sl.spec_span);
+      }
       // The serial accept/drop decision, evaluated against the live network.
       if (detail::commit_route(net, r, perm[k], out)) {
         ++sh.cur_epoch;

@@ -151,22 +151,78 @@ void Simulator::sample_load(double now) {
   if (opt_.record_load_series) metrics_.load_series.emplace_back(now, rho);
 }
 
+void Simulator::advance_series(double t) {
+  if (series_dt_ <= 0.0) return;
+  // Departures can pop after the horizon; the series covers (0, duration]
+  // only — exactly duration/series_dt_ samples, the last at end-of-run.
+  t = std::min(t, opt_.duration);
+  while (next_sample_ <= t) {
+    sample_series(next_sample_);
+    next_sample_ += series_dt_;
+  }
+}
+
+void Simulator::sample_series(double t) {
+  namespace tel = support::telemetry;
+  if (!tel::enabled()) return;
+  // `sim.series.*` gauges read only committed simulator state at a sim-time
+  // boundary, so for a fixed seed they are identical for every batch-engine
+  // thread count (tested in test_telemetry.cpp). Direct series() calls (not
+  // macros) — the handles are cached in statics below.
+  static tel::Series& rho = tel::series("sim.series.load_rho");
+  static tel::Series& offered = tel::series("sim.series.offered");
+  static tel::Series& accepted = tel::series("sim.series.accepted");
+  static tel::Series& blocked = tel::series("sim.series.blocked");
+  static tel::Series& blocking = tel::series("sim.series.blocking_probability");
+  static tel::Series& live = tel::series("sim.series.live_connections");
+  rho.add(t, net_.network_load());
+  offered.add(t, static_cast<double>(metrics_.offered));
+  accepted.add(t, static_cast<double>(metrics_.accepted));
+  blocked.add(t, static_cast<double>(metrics_.blocked));
+  blocking.add(t, metrics_.blocking_probability());
+  live.add(t, static_cast<double>(live_.size()));
+  // `rwa.series.*` gauges read cross-cutting RWA-layer state (warm-cache
+  // effectiveness, commit-path latency). Under the parallel batch engine the
+  // underlying counters include speculative work, so these depend on thread
+  // count and scheduling — diagnostics, not replay-stable measurements.
+  static tel::Counter& conv_hits = tel::counter("rwa.aux_builder.conv_hits");
+  static tel::Counter& conv_misses =
+      tel::counter("rwa.aux_builder.conv_misses");
+  static tel::Series& hit_rate = tel::series("rwa.series.conv_cache_hit_rate");
+  const double hits = static_cast<double>(conv_hits.value());
+  const double lookups = hits + static_cast<double>(conv_misses.value());
+  if (lookups > 0.0) hit_rate.add(t, hits / lookups);
+  static tel::LatencyHistogram& commit_h =
+      tel::histogram("rwa.parallel_batch.commit_slot_ns");
+  static tel::Series& commit_p90 = tel::series("rwa.series.commit_p90_ns");
+  if (commit_h.count() > 0) {
+    commit_p90.add(t, static_cast<double>(commit_h.percentile_ns(0.90)));
+  }
+}
+
 void Simulator::handle_arrival(double now) {
   ++metrics_.offered;
   WDM_TEL_COUNT("sim.offered");
   schedule_arrival(now);
 
   const auto [s, t] = draw_pair();
+  // Trace id = offered-request ordinal: deterministic for a fixed seed, so
+  // traces are addressable across runs ("show me request 1234").
+  const auto trace = static_cast<std::uint64_t>(metrics_.offered);
 
   if (batch_engine_) {
     // Batch mode: park the request until the next provisioning tick. The
     // holding time is drawn now so the RNG stream is independent of the
     // commit outcome (and of the engine's thread count).
     pending_.push_back(
-        {s, t, rng_.exponential(1.0 / opt_.traffic.mean_holding)});
+        {s, t, rng_.exponential(1.0 / opt_.traffic.mean_holding), trace});
     return;
   }
 
+  // Route-on-arrival: the request's root span; the router's pipeline spans
+  // (aux build -> Suurballe -> Liang-Shen) nest under it.
+  support::telemetry::TraceScope trace_scope({trace, 0});
+  WDM_TEL_SPAN(req_span, "sim.request");
   const rwa::RouteResult rr = router_.route(net_, s, t);
   bool ok = rr.found && rr.route.primary.fits_residual(net_);
   const bool protect = opt_.restoration == RestorationMode::kActive;
@@ -220,7 +276,7 @@ void Simulator::handle_batch_provision(double now) {
   std::vector<rwa::BatchRequest> batch;
   batch.reserve(pending_.size());
   for (const PendingRequest& p : pending_) {
-    batch.push_back({p.s, p.t, static_cast<long>(batch.size())});
+    batch.push_back({p.s, p.t, static_cast<long>(batch.size()), p.trace});
   }
   const rwa::BatchOutcome outcome = batch_engine_->run(
       net_, router_, batch, opt_.batching.order, &rng_);
@@ -454,6 +510,16 @@ void Simulator::maybe_reconfigure(double now) {
 }
 
 SimMetrics Simulator::run() {
+  // Resolve series sampling here (not the constructor): "auto" depends on
+  // whether telemetry is enabled at run time. The first sample lands at
+  // series_dt_ (not 0): t=0 is all zeros for every configuration.
+  if (opt_.series_interval > 0.0) {
+    series_dt_ = opt_.series_interval;
+  } else if (opt_.series_interval == 0.0 && support::telemetry::enabled()) {
+    series_dt_ = opt_.duration / 128.0;
+  }
+  next_sample_ = series_dt_;
+
   schedule_arrival(0.0);
   if (batch_engine_) {
     queue_.push(Event{std::min(opt_.batching.interval, opt_.duration),
@@ -471,6 +537,9 @@ SimMetrics Simulator::run() {
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
+    // Sample boundaries strictly between events: the state a sample reads is
+    // the committed state before any event at `ev.time` executes.
+    advance_series(ev.time);
     switch (ev.type) {
       case EventType::kArrival: handle_arrival(ev.time); break;
       case EventType::kDeparture: handle_departure(ev.id); break;
@@ -487,6 +556,10 @@ SimMetrics Simulator::run() {
   if (batch_engine_ && !pending_.empty()) {
     handle_batch_provision(opt_.duration);
   }
+
+  // Emit any remaining series points (including the t = duration boundary)
+  // before the final drain, so the last sample reflects end-of-run state.
+  advance_series(opt_.duration);
 
   // Drain remaining connections and verify the reservation ledger balances.
   metrics_.live_connections_at_end = static_cast<long>(live_.size());

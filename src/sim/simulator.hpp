@@ -18,6 +18,7 @@
 //     these events is bench E6's headline metric.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -116,6 +117,14 @@ struct SimOptions {
   /// SimMetrics::recovery_delay stats are always maintained and keep memory
   /// O(1) over arbitrarily long failure-heavy runs.
   bool record_recovery_delays = false;
+  /// Telemetry time-series sampling stride, in *simulation* time: every
+  /// `series_interval` units the simulator snapshots blocking/load/cache
+  /// gauges into telemetry series (dump `series` section). 0 = auto
+  /// (duration / 128 when telemetry is enabled), negative = off. Samples are
+  /// taken at sim-time boundaries between events, so the `sim.series.*`
+  /// values are a pure function of the seed regardless of the batch engine's
+  /// thread count; `rwa.series.*` gauges are scheduling-dependent.
+  double series_interval = 0.0;
 };
 
 struct SimMetrics {
@@ -202,6 +211,7 @@ class Simulator {
   struct PendingRequest {
     net::NodeId s = 0, t = 0;
     double holding = 0.0;
+    std::uint64_t trace = 0;  // telemetry trace id (offered ordinal)
   };
 
   void schedule_arrival(double now);
@@ -209,6 +219,9 @@ class Simulator {
   void handle_arrival(double now);
   void handle_batch_provision(double now);
   void sample_load(double now);
+  /// Emits telemetry series points for every sampling boundary <= t.
+  void advance_series(double t);
+  void sample_series(double t);
   void handle_departure(long conn_id);
   void handle_link_fail(double now, long duplex_index);
   void handle_link_repair(double now, long duplex_index);
@@ -229,6 +242,9 @@ class Simulator {
   std::map<long, Connection> live_;
   long next_conn_id_ = 0;
   double last_reconfig_ = -1e18;
+  /// Telemetry series sampling state (resolved in run()).
+  double series_dt_ = 0.0;
+  double next_sample_ = 0.0;
   SimMetrics metrics_;
   /// Duplex index -> the two directed edges.
   std::vector<std::pair<graph::EdgeId, graph::EdgeId>> duplex_;

@@ -1,9 +1,13 @@
 // Structured telemetry: named monotonic counters, log-spaced latency
-// histograms, and lightweight span/event tracing, flushed to a single JSON
-// file per run (schema "robustwdm-telemetry-v1", documented in DESIGN.md §8
-// and validated by tools/telemetry_check).
+// histograms, request-lifecycle span tracing, point events, and sampled time
+// series, flushed to a single JSON file per run (schema
+// "robustwdm-telemetry-v2", documented in DESIGN.md §8 and validated by
+// tools/telemetry_check; v1 dumps remain readable by the checker). Span data
+// can additionally be exported in Chrome trace-event format
+// (write_chrome_trace), loadable by Perfetto / chrome://tracing, with
+// per-thread tracks and flow arrows across cross-thread handoffs.
 //
-// Cost contract (enforced by E18 / CI):
+// Cost contract (enforced by E18/E19 / CI):
 //   * compiled out (-DROBUSTWDM_TELEMETRY=OFF): every macro below expands to
 //     nothing and `enabled()` is a constant false, so guarded blocks are
 //     dead code — zero instructions on the hot paths;
@@ -12,13 +16,15 @@
 //   * enabled: counters are relaxed atomic adds on interned handles (no
 //     lookups on the hot path — handles are cached in function-local
 //     statics), histograms one clock read + one atomic add, spans/events go
-//     to thread-local buffers and are only serialized at flush time.
+//     to bounded thread-local ring buffers and are only serialized at flush
+//     time.
 //
 // Determinism: counter values are a pure function of the work performed.
-// Counters under `sim.*` count committed simulator outcomes and are
-// identical for identical seeds *regardless of thread count* (the parallel
-// batch engine's serial-equivalence guarantee). Counters under
-// `rwa.parallel_batch.*` and all histogram/span timings depend on
+// Counters under `sim.*` (and time series under `sim.series.*`) count
+// committed simulator outcomes and are identical for identical seeds
+// *regardless of thread count* (the parallel batch engine's
+// serial-equivalence guarantee). Counters under `rwa.parallel_batch.*`,
+// series under `rwa.series.*`, and all histogram/span timings depend on
 // scheduling and are not replay-stable; tests/test_telemetry.cpp pins down
 // the split.
 #pragma once
@@ -27,8 +33,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #ifndef ROBUSTWDM_TELEMETRY
 #define ROBUSTWDM_TELEMETRY 1
@@ -55,8 +64,9 @@ constexpr bool compiled_in() { return false; }
 /// disabled still appear (as zeros) in the JSON output.
 void set_enabled(bool on);
 
-/// Zeroes every counter/histogram and drops all spans/events. Registered
-/// names (and cached handles) stay valid. For tests and multi-run tools.
+/// Zeroes every counter/histogram/series and drops all spans/events.
+/// Registered names (and cached handles) stay valid. For tests and
+/// multi-run tools.
 void reset();
 
 /// Named monotonic counter. Obtain through counter() once (cache the
@@ -95,6 +105,16 @@ class LatencyHistogram {
   static std::uint64_t bucket_lo(int b);
   static std::uint64_t bucket_hi(int b);
 
+  /// Quantile estimate with *upper-bound* semantics: returns the smallest
+  /// bucket upper bound `u` such that at least ceil(q * count) samples are
+  /// < u, clamped to max_ns(). Because bucket b spans [2^(b-1), 2^b), the
+  /// estimate over-reports the true quantile by at most a factor of 2
+  /// (equality only when the quantile is exactly a power of two; exact for
+  /// 0, and the clamp keeps p99 <= max with the saturating last bucket
+  /// reporting the exact observed maximum). 0 when empty; `q` is clamped
+  /// to [0, 1]. Documented + tested in tests/test_support.cpp.
+  std::uint64_t percentile_ns(double q) const;
+
  private:
   friend void reset();
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
@@ -104,11 +124,31 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Sampled time series: (t, value) points, where `t` is caller time (the
+/// simulator samples at *simulation*-time boundaries, which keeps `sim.*`
+/// series deterministic across thread counts). Bounded: past kMaxPoints new
+/// points are dropped and counted (tel.dropped_points + the dump header).
+class Series {
+ public:
+  static constexpr std::size_t kMaxPoints = std::size_t{1} << 16;
+
+  void add(double t, double v);
+  std::vector<std::pair<double, double>> points() const;
+  std::uint64_t dropped() const;
+
+ private:
+  friend void reset();
+  mutable std::mutex mu_;
+  std::vector<std::pair<double, double>> pts_;
+  std::uint64_t dropped_ = 0;
+};
+
 /// Registry lookup-or-create. Takes a mutex — call once per site and cache
 /// the reference (the macros below do this with function-local statics).
 /// Returned references stay valid for the process lifetime.
 Counter& counter(std::string_view name);
 LatencyHistogram& histogram(std::string_view name);
+Series& series(std::string_view name);
 
 /// Interns an event/span name; the id is what the hot-path record calls
 /// take. Same caching advice as counter().
@@ -118,12 +158,78 @@ std::uint32_t intern(std::string_view name);
 /// report generation, not hot paths.
 std::map<std::string, std::uint64_t> counter_values();
 
+/// Snapshot of every registered series (name -> points). Tests/reports only.
+std::map<std::string, std::vector<std::pair<double, double>>> series_values();
+
+/// Run metadata attached to every dump (schema v2 `meta` section): build
+/// info (git describe, compiler, flags) is populated automatically; apps add
+/// run-scoped keys ("seed", "command", ...). tools/teldiff refuses
+/// apples-to-oranges comparisons based on these keys.
+void set_meta(std::string_view key, std::string_view value);
+std::map<std::string, std::string> meta_values();
+
+/// Names the calling thread for the Chrome trace export's per-thread tracks
+/// ("batch-worker-3", "commit"). Unnamed threads show as "thread-<id>".
+void set_thread_name(std::string_view name);
+
 /// Monotonic nanoseconds since the registry epoch (first telemetry call).
 std::uint64_t now_ns();
 
-/// Records a completed span [start_ns, start_ns + dur_ns) into this
-/// thread's buffer. Buffers are bounded; overflow increments a drop counter
-/// reported in the JSON.
+// ---------------------------------------------------------------------------
+// Request-lifecycle tracing.
+
+/// Identifies one request's causally-linked span tree across threads and
+/// pipeline stages. 0 = untraced. The simulator assigns ids deterministically
+/// (the offered-request ordinal), so a given seed always yields the same
+/// trace ids.
+using TraceId = std::uint64_t;
+
+/// The ambient trace context: which request the current thread is working
+/// for, and the span that any new span should attach to as a child.
+struct RequestCtx {
+  TraceId trace = 0;
+  std::uint64_t parent_span = 0;
+};
+
+namespace detail {
+/// This thread's active context (mutated by TraceScope / ScopedSpan).
+RequestCtx& tls_ctx();
+/// Process-unique span id (relaxed atomic increment; never 0).
+std::uint64_t new_span_id();
+}  // namespace detail
+
+/// Reads the calling thread's active request context.
+RequestCtx current_ctx();
+
+/// A completed span. `span_id` is process-unique; `parent_id` is 0 for trace
+/// roots; `flow_in`/`flow_out` carry Chrome trace flow-arrow bindings across
+/// threads (0 = none) — the parallel batch engine uses the speculation
+/// span's own id as the flow id for the speculate -> commit handoff.
+struct SpanRecord {
+  std::uint32_t name = 0;
+  TraceId trace = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t flow_in = 0;
+  std::uint64_t flow_out = 0;
+};
+
+/// Per-thread ring-buffer capacity for spans and for events. Past this,
+/// recording overwrites the oldest entry (flight-recorder semantics) and the
+/// overflow is counted per thread and in the tel.dropped_* counters.
+inline constexpr std::size_t kMaxSpansPerThread = std::size_t{1} << 18;
+inline constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 18;
+
+/// Records a completed span into this thread's ring buffer. Overflow
+/// overwrites the oldest span (flight-recorder semantics) and increments
+/// both the per-thread drop count and the `tel.dropped_spans` counter
+/// surfaced in the dump header.
+void record_span(const SpanRecord& s);
+
+/// Convenience: span [start_ns, start_ns + dur_ns) attached under the
+/// calling thread's current context (fresh span id, no flows).
 void record_span(std::uint32_t name_id, std::uint64_t start_ns,
                  std::uint64_t dur_ns);
 
@@ -132,16 +238,130 @@ void record_span(std::uint32_t name_id, std::uint64_t start_ns,
 /// deterministic for a fixed seed).
 void record_event(std::uint32_t name_id, double t);
 
-/// Writes the full JSON document (schema "robustwdm-telemetry-v1"); flushes
+/// Flight-recorder trace retention: when either bound is nonzero, JSON and
+/// Chrome exports keep only spans belonging to the last `last_k` started
+/// traces, the `worst_k` highest-root-latency traces, and untraced spans.
+/// Record-time buffers are rings regardless, so long runs stay bounded.
+void set_trace_retention(std::size_t last_k, std::size_t worst_k);
+
+/// All buffered spans (flushed across threads, retention-filtered), with the
+/// owning thread id. For tests and exporters, not hot paths.
+struct SpanSnapshot {
+  SpanRecord span;
+  std::uint32_t thread = 0;
+};
+std::vector<SpanSnapshot> span_snapshot();
+
+/// Writes the full JSON document (schema "robustwdm-telemetry-v2"); flushes
 /// all thread buffers. Call after worker threads have joined.
 void write_json(std::ostream& out);
 /// write_json to `path`; returns false (and keeps the data) on I/O failure.
 bool write_file(const std::string& path);
 
+/// Writes the span/event data as a Chrome trace-event JSON document
+/// (Perfetto-loadable): spans as "X" slices on per-thread tracks (pid 1),
+/// flow arrows ("s"/"f") across the speculate -> commit handoff, and
+/// sim-time point events as instants under a separate clock (pid 2).
+void write_chrome_trace(std::ostream& out);
+bool write_chrome_trace_file(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// RAII helpers (compiled-in versions; no-op twins live in the #else branch).
+
+#if ROBUSTWDM_TELEMETRY
+
+/// RAII: makes `ctx` the calling thread's request context (restores the
+/// previous one on destruction). The batch engine activates the request's
+/// ctx around speculative route() calls on worker threads so the resulting
+/// spans join the request's tree even across threads.
+class TraceScope {
+ public:
+  explicit TraceScope(RequestCtx ctx) {
+    if (enabled()) {
+      RequestCtx& cur = detail::tls_ctx();
+      saved_ = cur;
+      cur = ctx;
+      active_ = true;
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() {
+    if (active_) detail::tls_ctx() = saved_;
+  }
+
+ private:
+  bool active_ = false;
+  RequestCtx saved_;
+};
+
+/// RAII span: records [ctor, dtor) into the thread buffer when enabled, as a
+/// child of the ambient context; nested spans chain automatically.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::uint32_t name_id) : on_(enabled()), name_(name_id) {
+    if (on_) {
+      t0_ = now_ns();
+      id_ = detail::new_span_id();
+      RequestCtx& ctx = detail::tls_ctx();
+      trace_ = ctx.trace;
+      parent_ = ctx.parent_span;
+      ctx.parent_span = id_;
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (on_) {
+      detail::tls_ctx().parent_span = parent_;
+      record_span({name_, trace_, id_, parent_, t0_, now_ns() - t0_, flow_in_,
+                   flow_out_});
+    }
+  }
+
+  /// 0 when telemetry is disabled — flow_*(0) means "no arrow".
+  std::uint64_t span_id() const { return id_; }
+  void flow_in(std::uint64_t id) { flow_in_ = id; }
+  void flow_out(std::uint64_t id) { flow_out_ = id; }
+
+ private:
+  bool on_;
+  std::uint32_t name_;
+  TraceId trace_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t t0_ = 0;
+  std::uint64_t flow_in_ = 0;
+  std::uint64_t flow_out_ = 0;
+};
+
+#else  // !ROBUSTWDM_TELEMETRY — inert twins so call sites compile unchanged.
+
+class TraceScope {
+ public:
+  explicit TraceScope(RequestCtx) {}
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::uint32_t) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  std::uint64_t span_id() const { return 0; }
+  void flow_in(std::uint64_t) {}
+  void flow_out(std::uint64_t) {}
+};
+
+#endif  // ROBUSTWDM_TELEMETRY
+
 /// Stage stopwatch for split timings (aux build vs. Suurballe vs. Liang–
 /// Shen): one clock read per split, all of it skipped when disabled. The
 /// sink parameter is a template so call sites compile unchanged when
-/// telemetry is compiled out (WDM_TEL_HIST then yields a null sink).
+/// telemetry is compiled out (WDM_TEL_HIST then yields a null sink). Passing
+/// an interned `span_name` (WDM_TEL_NAME) additionally records the stage as
+/// a span under the ambient request context.
 class SplitTimer {
  public:
   SplitTimer() : on_(enabled()) {
@@ -150,41 +370,28 @@ class SplitTimer {
   bool on() const { return on_; }
   /// Records time since construction or the previous split.
   template <class Sink>
-  void split(Sink& h) {
+  void split(Sink& h, std::uint32_t span_name = 0) {
     if (on_) {
       const std::uint64_t t = now_ns();
       h.record_ns(t - last_);
+      if (span_name != 0) record_span(span_name, last_, t - last_);
       last_ = t;
     }
   }
   /// Records time since construction (independent of splits).
   template <class Sink>
-  void total(Sink& h) const {
-    if (on_) h.record_ns(now_ns() - first_);
+  void total(Sink& h, std::uint32_t span_name = 0) const {
+    if (on_) {
+      const std::uint64_t t = now_ns();
+      h.record_ns(t - first_);
+      if (span_name != 0) record_span(span_name, first_, t - first_);
+    }
   }
 
  private:
   bool on_;
   std::uint64_t first_ = 0;
   std::uint64_t last_ = 0;
-};
-
-/// RAII span: records [ctor, dtor) into the thread buffer when enabled.
-class ScopedSpan {
- public:
-  explicit ScopedSpan(std::uint32_t name_id) : on_(enabled()), name_(name_id) {
-    if (on_) t0_ = now_ns();
-  }
-  ScopedSpan(const ScopedSpan&) = delete;
-  ScopedSpan& operator=(const ScopedSpan&) = delete;
-  ~ScopedSpan() {
-    if (on_) record_span(name_, t0_, now_ns() - t0_);
-  }
-
- private:
-  bool on_;
-  std::uint32_t name_;
-  std::uint64_t t0_ = 0;
 };
 
 }  // namespace wdm::support::telemetry
@@ -207,6 +414,14 @@ class ScopedSpan {
     return wdm_tel_h;                                               \
   }())
 
+/// Expression yielding the (static) interned id for a span/event `name`.
+#define WDM_TEL_NAME(name)                                          \
+  ([]() -> std::uint32_t {                                          \
+    static const std::uint32_t wdm_tel_n =                          \
+        ::wdm::support::telemetry::intern(name);                    \
+    return wdm_tel_n;                                               \
+  }())
+
 #define WDM_TEL_COUNT_N(name, n)                                    \
   do {                                                              \
     if (::wdm::support::telemetry::enabled()) {                     \
@@ -226,7 +441,8 @@ class ScopedSpan {
     }                                                               \
   } while (0)
 
-/// RAII wall-clock span named `name` for the rest of the scope.
+/// RAII wall-clock span named `name` for the rest of the scope. `var` is a
+/// ScopedSpan: call var.flow_in/flow_out/span_id for flow arrows.
 #define WDM_TEL_SPAN(var, name)                                     \
   static const std::uint32_t wdm_tel_span_id_##var =                \
       ::wdm::support::telemetry::intern(name);                      \
@@ -244,6 +460,7 @@ inline NullSink g_null_sink;
 
 #define WDM_TEL_COUNTER(name) (::wdm::support::telemetry::detail::g_null_sink)
 #define WDM_TEL_HIST(name) (::wdm::support::telemetry::detail::g_null_sink)
+#define WDM_TEL_NAME(name) (std::uint32_t{0})
 #define WDM_TEL_COUNT_N(name, n) \
   do {                           \
   } while (0)
@@ -254,7 +471,6 @@ inline NullSink g_null_sink;
   do {                         \
   } while (0)
 #define WDM_TEL_SPAN(var, name) \
-  do {                          \
-  } while (0)
+  [[maybe_unused]] ::wdm::support::telemetry::ScopedSpan var(0u)
 
 #endif  // ROBUSTWDM_TELEMETRY

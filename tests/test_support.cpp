@@ -3,6 +3,7 @@
 #include <atomic>
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
@@ -12,6 +13,7 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace wdm::support {
@@ -323,6 +325,62 @@ TEST(Ci95, ShrinksWithSamples) {
   for (int i = 0; i < 10; ++i) small.add(r.uniform());
   for (int i = 0; i < 1000; ++i) big.add(r.uniform());
   EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(big));
+}
+
+// ---------------------------------------------------------------------------
+// telemetry::LatencyHistogram::percentile_ns — the documented estimation
+// error contract for power-of-two-ns buckets. The estimator has upper-bound
+// semantics: it returns the smallest bucket upper bound covering
+// ceil(q * count) samples, clamped to the observed maximum, so
+//   true quantile <= percentile_ns(q) <= 2 * true quantile (quantile > 0,
+//   equality on the right only when the true quantile is a power of two)
+// and percentile_ns(q) <= max_ns() always.
+
+TEST(TelemetryHistogram, PercentileExactOnBucketBoundaries) {
+  telemetry::LatencyHistogram h;
+  // 100 samples of exactly 1024 ns: every quantile is 1024, and 1024 is a
+  // bucket lower bound, so the upper-bound estimate lands on the next power
+  // of two... except the max clamp pins it back to the exact value.
+  for (int i = 0; i < 100; ++i) h.record_ns(1024);
+  EXPECT_EQ(h.percentile_ns(0.5), 1024u);
+  EXPECT_EQ(h.percentile_ns(0.99), 1024u);
+  EXPECT_EQ(h.percentile_ns(1.0), 1024u);
+}
+
+TEST(TelemetryHistogram, PercentileUpperBoundWithinFactorTwo) {
+  telemetry::LatencyHistogram h;
+  Rng r(13);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<std::uint64_t>(r.uniform_int(1, 1000000));
+    samples.push_back(v);
+    h.record_ns(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const std::uint64_t exact = samples[rank - 1];
+    const std::uint64_t est = h.percentile_ns(q);
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE(est, 2 * exact) << "q=" << q;
+    EXPECT_LE(est, h.max_ns()) << "q=" << q;
+  }
+}
+
+TEST(TelemetryHistogram, PercentileEdgeCases) {
+  telemetry::LatencyHistogram h;
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);  // empty
+  h.record_ns(0);
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);  // all-zero samples are exact
+  h.record_ns(7);
+  // q is clamped to [0, 1]; q = 0 still covers >= 1 sample.
+  EXPECT_EQ(h.percentile_ns(-1.0), h.percentile_ns(0.0));
+  EXPECT_EQ(h.percentile_ns(2.0), h.percentile_ns(1.0));
+  // The saturating last bucket reports the exact observed maximum rather
+  // than its 2^63 upper bound.
+  h.record_ns(~std::uint64_t{0});
+  EXPECT_EQ(h.percentile_ns(1.0), ~std::uint64_t{0});
 }
 
 }  // namespace

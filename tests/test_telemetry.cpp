@@ -50,7 +50,9 @@ TEST_F(TelemetryTest, MacrosAreInertWhenDisabled) {
     // The counter may not even be registered; if it is, it must be zero.
     const auto values = counter_values();
     const auto it = values.find("test.disabled");
-    if (it != values.end()) EXPECT_EQ(it->second, 0u);
+    if (it != values.end()) {
+      EXPECT_EQ(it->second, 0u);
+    }
   }
 }
 
@@ -141,17 +143,103 @@ TEST_F(TelemetryTest, ResetZeroesEverythingButKeepsHandles) {
 TEST_F(TelemetryTest, JsonOutputContainsRegisteredData) {
   counter("test.json_counter").add(3);
   histogram("test.json_hist").record_ns(1000);
+  series("test.json_series").add(1.0, 0.5);
   WDM_TEL_EVENT("test.json_event", 1.5);
   std::ostringstream out;
   write_json(out);
   const std::string s = out.str();
-  EXPECT_NE(s.find("\"schema\": \"robustwdm-telemetry-v1\""),
+  EXPECT_NE(s.find("\"schema\": \"robustwdm-telemetry-v2\""),
             std::string::npos);
   EXPECT_NE(s.find("\"test.json_counter\": 3"), std::string::npos);
   EXPECT_NE(s.find("test.json_hist"), std::string::npos);
+  EXPECT_NE(s.find("test.json_series"), std::string::npos);
+  // v2 sections: run metadata and drop accounting are always present.
+  EXPECT_NE(s.find("\"meta\""), std::string::npos);
+  EXPECT_NE(s.find("\"dropped\""), std::string::npos);
   if (compiled_in()) {
     EXPECT_NE(s.find("test.json_event"), std::string::npos);
   }
+}
+
+TEST_F(TelemetryTest, SeriesCollectsPointsInOrder) {
+  Series& s = series("test.series");
+  s.add(0.5, 1.0);
+  s.add(1.5, 2.0);
+  s.add(2.5, 4.0);
+  const auto pts = s.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[1], (std::pair<double, double>{1.5, 2.0}));
+  EXPECT_EQ(s.dropped(), 0u);
+  EXPECT_EQ(&series("test.series"), &s);
+  const auto all = series_values();
+  ASSERT_TRUE(all.count("test.series"));
+  EXPECT_EQ(all.at("test.series").size(), 3u);
+}
+
+TEST_F(TelemetryTest, MetaCarriesBuildInfoAndRunKeys) {
+  const auto meta = meta_values();
+  // Build identity is auto-populated (values may be "unknown" outside a git
+  // checkout, but the keys must exist so teldiff can gate on them).
+  for (const char* key : {"git", "compiler", "build_type", "cxx_flags",
+                          "telemetry_compiled", "hardware_threads"}) {
+    EXPECT_TRUE(meta.count(key)) << "missing meta key " << key;
+  }
+  EXPECT_EQ(meta.at("telemetry_compiled"), compiled_in() ? "1" : "0");
+  set_meta("seed", "42");
+  EXPECT_EQ(meta_values().at("seed"), "42");
+  std::ostringstream out;
+  write_json(out);
+  EXPECT_NE(out.str().find("\"seed\": \"42\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SpanOverflowDropsOldestAndCounts) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  const std::uint32_t name = intern("test.overflow_span");
+  constexpr std::size_t kOver = 16;
+  for (std::size_t i = 0; i < kMaxSpansPerThread + kOver; ++i) {
+    SpanRecord s;
+    s.name = name;
+    s.span_id = detail::new_span_id();
+    s.start_ns = i;
+    s.dur_ns = 1;
+    record_span(s);
+  }
+  // The ring retains the newest kMaxSpans records; the overflow is counted
+  // both per-thread (dump header) and in the tel.dropped_spans counter.
+  EXPECT_EQ(span_snapshot().size(), kMaxSpansPerThread);
+  EXPECT_EQ(counter_values().at("tel.dropped_spans"), kOver);
+  std::ostringstream out;
+  write_json(out);
+  EXPECT_NE(out.str().find("\"spans\": 16"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, FlightRecorderRetainsOnlyRequestedTraces) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  const std::uint32_t name = intern("test.retained_span");
+  // Retention must be armed before roots are recorded: trace roots are noted
+  // at record time, not retroactively.
+  set_trace_retention(/*last_k=*/2, /*worst_k=*/0);
+  // Ten single-span traces with increasing durations, plus one untraced span.
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    SpanRecord s;
+    s.name = name;
+    s.trace = t;
+    s.span_id = detail::new_span_id();
+    s.start_ns = t * 100;
+    s.dur_ns = t * 10;
+    record_span(s);
+  }
+  record_span(name, 5, 7);  // untraced: always kept
+  const auto spans = span_snapshot();
+  std::size_t traced = 0;
+  for (const auto& s : spans) {
+    if (s.span.trace != 0) {
+      ++traced;
+      EXPECT_GE(s.span.trace, 9u) << "older trace leaked past retention";
+    }
+  }
+  EXPECT_EQ(traced, 2u);
+  EXPECT_EQ(spans.size(), 3u);
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +256,7 @@ sim::SimOptions batch_options(int threads) {
   opt.seed = 11;
   opt.batching.interval = 0.5;
   opt.batching.threads = threads;
+  opt.series_interval = 2.0;
   return opt;
 }
 
@@ -202,6 +291,84 @@ TEST_F(TelemetryTest, SimCountersDeterministicAcrossThreadCounts) {
   const auto serial = run_and_snapshot(/*threads=*/1);
   const auto parallel = run_and_snapshot(/*threads=*/4);
   EXPECT_EQ(sim_subset(serial), sim_subset(parallel));
+}
+
+std::map<std::string, std::vector<std::pair<double, double>>> sim_series(
+    int threads) {
+  reset();
+  rwa::ApproxDisjointRouter router;
+  sim::Simulator sim(topo::nsfnet_network(8, 0.5), router,
+                     batch_options(threads));
+  (void)sim.run();
+  std::map<std::string, std::vector<std::pair<double, double>>> out;
+  for (auto& [k, v] : series_values()) {
+    // sim.series.* samples state at simulation-time boundaries, so it shares
+    // the determinism contract of sim.* counters. rwa.series.* (cache hit
+    // rate, commit latency) depends on scheduling and is excluded.
+    if (k.rfind("sim.series.", 0) == 0) out.emplace(k, std::move(v));
+  }
+  return out;
+}
+
+TEST_F(TelemetryTest, SimSeriesInvariantAcrossThreadCounts) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  const auto serial = sim_series(/*threads=*/1);
+  const auto parallel = sim_series(/*threads=*/4);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_TRUE(serial.count("sim.series.load_rho"));
+  EXPECT_GT(serial.at("sim.series.load_rho").size(), 5u);
+  EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Request-lifecycle tracing: every offered request yields a causally linked
+// span tree (sim.request -> router route span -> pipeline stage spans).
+
+TEST_F(TelemetryTest, RequestSpanTreeIsCausallyLinked) {
+  if (!compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  rwa::ApproxDisjointRouter router;
+  sim::SimOptions opt;
+  opt.traffic.arrival_rate = 5.0;
+  opt.traffic.mean_holding = 1.0;
+  opt.duration = 10.0;
+  opt.seed = 7;
+  sim::Simulator sim(topo::nsfnet_network(8, 0.5), router, opt);
+  (void)sim.run();
+
+  const std::uint32_t n_request = intern("sim.request");
+  const std::uint32_t n_route = intern("rwa.approx.route");
+  const std::uint32_t n_aux = intern("rwa.approx.aux_build");
+  const std::uint32_t n_suurballe = intern("rwa.approx.suurballe");
+  const std::uint32_t n_liang_shen = intern("rwa.approx.liang_shen");
+
+  const auto spans = span_snapshot();
+  std::map<TraceId, std::uint64_t> root_of;    // trace -> sim.request span id
+  std::map<TraceId, std::uint64_t> route_of;   // trace -> route span id
+  for (const auto& s : spans) {
+    if (s.span.name == n_request) {
+      EXPECT_EQ(s.span.parent_id, 0u) << "sim.request must be a trace root";
+      EXPECT_NE(s.span.trace, 0u);
+      root_of[s.span.trace] = s.span.span_id;
+    } else if (s.span.name == n_route) {
+      route_of[s.span.trace] = s.span.span_id;
+    }
+  }
+  ASSERT_GT(root_of.size(), 10u) << "expected one trace per offered request";
+  // Trace ids are the offered-request ordinals: 1..offered, no gaps.
+  EXPECT_TRUE(root_of.count(1));
+  EXPECT_TRUE(root_of.count(root_of.size()));
+  for (const auto& s : spans) {
+    if (s.span.name == n_route) {
+      ASSERT_TRUE(root_of.count(s.span.trace));
+      EXPECT_EQ(s.span.parent_id, root_of.at(s.span.trace))
+          << "route span must attach under its request's root";
+    } else if (s.span.name == n_aux || s.span.name == n_suurballe ||
+               s.span.name == n_liang_shen) {
+      ASSERT_TRUE(route_of.count(s.span.trace));
+      EXPECT_EQ(s.span.parent_id, route_of.at(s.span.trace))
+          << "stage span must attach under its request's route span";
+    }
+  }
 }
 
 }  // namespace

@@ -1,220 +1,40 @@
 // telemetry_check — validates a telemetry dump against the documented
-// "robustwdm-telemetry-v1" schema (DESIGN.md §8).
+// schemas (DESIGN.md §8): "robustwdm-telemetry-v1" (PR 4) and
+// "robustwdm-telemetry-v2" (tracing + series + metadata).
 //
 //   telemetry_check out.json        # exit 0 iff the file conforms
 //
-// Ships its own ~150-line recursive-descent JSON parser so the check has no
-// dependencies and is honest: it parses the actual bytes, not a mental model
-// of them. Validated beyond well-formedness:
+// Uses the shared ~150-line recursive-descent parser (json_mini.hpp) so the
+// check has no dependencies and is honest: it parses the actual bytes, not a
+// mental model of them. Validated beyond well-formedness:
 //   * top-level keys: schema/compiled/enabled/counters/histograms/spans/
-//     events/dropped, with the right types;
+//     events/dropped (+ meta/series in v2), with the right types;
 //   * counters: object of non-negative integers;
 //   * histograms: unit == "ns", count == sum of bucket counts, min <= max
-//     when count > 0, buckets have lo < hi and non-negative counts;
+//     when count > 0, buckets have lo < hi and non-negative counts; v2 adds
+//     p50 <= p90 <= p99 <= max;
 //   * spans: name (string) + thread/start_ns/dur_ns (non-negative numbers);
+//     v2 adds trace/span/parent/flow ids, span != 0, and parent links that
+//     resolve within the dump (or 0 for roots);
 //   * events: name (string) + thread (number) + t (number);
-//   * dropped: spans/events counts.
-#include <cctype>
+//   * series (v2): objects of {dropped, points: [[t, v], ...]} with
+//     non-decreasing t per series;
+//   * meta (v2): object of strings, required build-provenance keys present;
+//   * dropped: spans/events counts (v2 adds points).
 #include <cstdio>
 #include <cstdint>
 #include <fstream>
-#include <map>
-#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
-#include <vector>
+
+#include "json_mini.hpp"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser (objects, arrays, strings, numbers, bools,
-// null). Throws std::runtime_error with an offset on malformed input.
-
-struct Json;
-using JsonPtr = std::shared_ptr<Json>;
-
-struct Json {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonPtr> arr;
-  std::map<std::string, JsonPtr> obj;
-
-  bool is(Type t) const { return type == t; }
-  const JsonPtr* find(const std::string& key) const {
-    const auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  JsonPtr parse() {
-    JsonPtr v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing bytes after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) {
-    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
-                             ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) == 0) {
-      pos_ += n;
-      return true;
-    }
-    return false;
-  }
-
-  JsonPtr value() {
-    skip_ws();
-    const char c = peek();
-    auto v = std::make_shared<Json>();
-    if (c == '{') {
-      v->type = Json::Type::kObject;
-      ++pos_;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        return v;
-      }
-      for (;;) {
-        skip_ws();
-        std::string key = string_token();
-        skip_ws();
-        expect(':');
-        v->obj.emplace(std::move(key), value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        return v;
-      }
-    }
-    if (c == '[') {
-      v->type = Json::Type::kArray;
-      ++pos_;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-        return v;
-      }
-      for (;;) {
-        v->arr.push_back(value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        return v;
-      }
-    }
-    if (c == '"') {
-      v->type = Json::Type::kString;
-      v->str = string_token();
-      return v;
-    }
-    if (consume_literal("true")) {
-      v->type = Json::Type::kBool;
-      v->b = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      v->type = Json::Type::kBool;
-      return v;
-    }
-    if (consume_literal("null")) return v;
-    // Number.
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    try {
-      std::size_t used = 0;
-      v->num = std::stod(s_.substr(start, pos_ - start), &used);
-      if (used != pos_ - start) fail("bad number");
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    v->type = Json::Type::kNumber;
-    return v;
-  }
-
-  std::string string_token() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) fail("unterminated escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) fail("short \\u escape");
-            // Decoded only far enough for validation; the schema emits
-            // ASCII control escapes exclusively.
-            out.push_back('?');
-            pos_ += 4;
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Schema validation.
+using wdm::tools::json::Json;
+using wdm::tools::json::JsonPtr;
+using wdm::tools::json::Parser;
 
 int g_errors = 0;
 
@@ -242,7 +62,7 @@ const Json* need(const Json& obj, const char* key, Json::Type type,
   return p->get();
 }
 
-void check_histogram(const std::string& name, const Json& h) {
+void check_histogram(const std::string& name, const Json& h, bool v2) {
   const std::string where = "histogram \"" + name + "\"";
   const Json* unit = need(h, "unit", Json::Type::kString, where.c_str());
   if (unit != nullptr && unit->str != "ns") problem(where + ": unit != ns");
@@ -259,6 +79,20 @@ void check_histogram(const std::string& name, const Json& h) {
   if (count != nullptr && min != nullptr && max != nullptr && count->num > 0 &&
       min->num > max->num) {
     problem(where + ": min > max on a non-empty histogram");
+  }
+  if (v2) {
+    // Quantiles are upper-bound estimates (power-of-two buckets), clamped to
+    // the observed max; they must be monotone in q and bounded by max.
+    const Json* p50 = need(h, "p50", Json::Type::kNumber, where.c_str());
+    const Json* p90 = need(h, "p90", Json::Type::kNumber, where.c_str());
+    const Json* p99 = need(h, "p99", Json::Type::kNumber, where.c_str());
+    if (p50 != nullptr && p90 != nullptr && p99 != nullptr && max != nullptr &&
+        count != nullptr && count->num > 0) {
+      if (!(p50->num <= p90->num && p90->num <= p99->num)) {
+        problem(where + ": quantiles are not monotone");
+      }
+      if (p99->num > max->num) problem(where + ": p99 > max");
+    }
   }
   if (buckets == nullptr) return;
   double bucket_total = 0.0;
@@ -283,15 +117,42 @@ void check_histogram(const std::string& name, const Json& h) {
   }
 }
 
+void check_series(const std::string& name, const Json& s) {
+  const std::string where = "series \"" + name + "\"";
+  const Json* dropped = need(s, "dropped", Json::Type::kNumber, where.c_str());
+  if (dropped != nullptr && !is_nonneg_int(*dropped)) {
+    problem(where + ": dropped is not a count");
+  }
+  const Json* points = need(s, "points", Json::Type::kArray, where.c_str());
+  if (points == nullptr) return;
+  double prev_t = -1e300;
+  for (const JsonPtr& pp : points->arr) {
+    if (!pp->is(Json::Type::kArray) || pp->arr.size() != 2 ||
+        !pp->arr[0]->is(Json::Type::kNumber) ||
+        !pp->arr[1]->is(Json::Type::kNumber)) {
+      problem(where + ": point is not a [t, v] number pair");
+      continue;
+    }
+    const double t = pp->arr[0]->num;
+    if (t < prev_t) problem(where + ": sample times go backwards");
+    prev_t = t;
+  }
+}
+
 int check(const Json& root) {
   if (!root.is(Json::Type::kObject)) {
     problem("top level is not an object");
     return g_errors;
   }
   const Json* schema = need(root, "schema", Json::Type::kString, "top level");
-  if (schema != nullptr && schema->str != "robustwdm-telemetry-v1") {
-    problem("schema is \"" + schema->str +
-            "\", expected \"robustwdm-telemetry-v1\"");
+  bool v2 = false;
+  if (schema != nullptr) {
+    if (schema->str == "robustwdm-telemetry-v2") {
+      v2 = true;
+    } else if (schema->str != "robustwdm-telemetry-v1") {
+      problem("schema is \"" + schema->str +
+              "\", expected robustwdm-telemetry-v1 or -v2");
+    }
   }
   need(root, "compiled", Json::Type::kBool, "top level");
   need(root, "enabled", Json::Type::kBool, "top level");
@@ -314,12 +175,23 @@ int check(const Json& root) {
         problem("histogram \"" + name + "\" is not an object");
         continue;
       }
-      check_histogram(name, *v);
+      check_histogram(name, *v, v2);
     }
   }
 
   const Json* spans = need(root, "spans", Json::Type::kArray, "top level");
   if (spans != nullptr) {
+    // v2: collect span ids first so parent links can be resolved.
+    std::set<std::uint64_t> ids;
+    if (v2) {
+      for (const JsonPtr& sp : spans->arr) {
+        if (!sp->is(Json::Type::kObject)) continue;
+        const JsonPtr* id = sp->find("span");
+        if (id != nullptr && is_nonneg_int(**id)) {
+          ids.insert(static_cast<std::uint64_t>((*id)->num));
+        }
+      }
+    }
     for (const JsonPtr& sp : spans->arr) {
       if (!sp->is(Json::Type::kObject)) {
         problem("span is not an object");
@@ -331,6 +203,30 @@ int check(const Json& root) {
         if (v != nullptr && !is_nonneg_int(*v)) {
           problem(std::string("span ") + k + " is negative or fractional");
         }
+      }
+      if (!v2) continue;
+      for (const char* k : {"trace", "span", "parent", "flow_in", "flow_out"}) {
+        const Json* v = need(*sp, k, Json::Type::kNumber, "span");
+        if (v != nullptr && !is_nonneg_int(*v)) {
+          problem(std::string("span ") + k + " is negative or fractional");
+        }
+      }
+      const JsonPtr* id = sp->find("span");
+      if (id != nullptr && (*id)->num == 0.0) problem("span id is 0");
+      const JsonPtr* parent = sp->find("parent");
+      if (parent != nullptr && (*parent)->is(Json::Type::kNumber) &&
+          (*parent)->num != 0.0 &&
+          ids.count(static_cast<std::uint64_t>((*parent)->num)) == 0) {
+        // A parent may legitimately be missing when the ring buffer wrapped
+        // or retention filtered; only flag when nothing at all was dropped.
+        const JsonPtr* dr = root.find("dropped");
+        const bool lossy =
+            dr != nullptr && (*dr)->is(Json::Type::kObject) &&
+            [&] {
+              const JsonPtr* ds = (*dr)->find("spans");
+              return ds != nullptr && (*ds)->num > 0.0;
+            }();
+        if (!lossy) problem("span parent id does not resolve in the dump");
       }
     }
   }
@@ -348,6 +244,33 @@ int check(const Json& root) {
     }
   }
 
+  if (v2) {
+    const Json* meta = need(root, "meta", Json::Type::kObject, "top level");
+    if (meta != nullptr) {
+      for (const auto& [key, v] : meta->obj) {
+        if (!v->is(Json::Type::kString)) {
+          problem("meta \"" + key + "\" is not a string");
+        }
+      }
+      for (const char* k :
+           {"git", "compiler", "build_type", "telemetry_compiled",
+            "hardware_threads"}) {
+        need(*meta, k, Json::Type::kString, "meta");
+      }
+    }
+    const Json* series =
+        need(root, "series", Json::Type::kObject, "top level");
+    if (series != nullptr) {
+      for (const auto& [name, v] : series->obj) {
+        if (!v->is(Json::Type::kObject)) {
+          problem("series \"" + name + "\" is not an object");
+          continue;
+        }
+        check_series(name, *v);
+      }
+    }
+  }
+
   const Json* dropped =
       need(root, "dropped", Json::Type::kObject, "top level");
   if (dropped != nullptr) {
@@ -355,6 +278,12 @@ int check(const Json& root) {
       const Json* v = need(*dropped, k, Json::Type::kNumber, "dropped");
       if (v != nullptr && !is_nonneg_int(*v)) {
         problem(std::string("dropped.") + k + " is not a count");
+      }
+    }
+    if (v2) {
+      const Json* v = need(*dropped, "points", Json::Type::kNumber, "dropped");
+      if (v != nullptr && !is_nonneg_int(*v)) {
+        problem("dropped.points is not a count");
       }
     }
   }
@@ -375,9 +304,10 @@ int main(int argc, char** argv) {
   }
   std::ostringstream text;
   text << in.rdbuf();
+  const std::string doc = text.str();
   JsonPtr root;
   try {
-    root = Parser(text.str()).parse();
+    root = Parser(doc).parse();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "telemetry_check: %s: %s\n", argv[1], e.what());
     return 1;
@@ -388,7 +318,8 @@ int main(int argc, char** argv) {
                  argv[1], errors);
     return 1;
   }
-  std::printf("telemetry_check: %s conforms to robustwdm-telemetry-v1\n",
-              argv[1]);
+  const JsonPtr* schema = root->find("schema");
+  std::printf("telemetry_check: %s conforms to %s\n", argv[1],
+              schema != nullptr ? (*schema)->str.c_str() : "?");
   return 0;
 }

@@ -76,8 +76,12 @@ int usage() {
       "  wdmtool audit <topology>\n"
       "  wdmtool dot <topology>\n"
       "  wdmtool save <topology> [-W n] [--occupy p] > file.wdm\n"
-      "  (route/simulate accept --net file.wdm to load a saved state and\n"
-      "   --telemetry out.json to dump structured counters/timings)\n"
+      "  (route/simulate accept --net file.wdm to load a saved state,\n"
+      "   --telemetry out.json to dump structured counters/timings,\n"
+      "   --trace out.trace.json for a Chrome/Perfetto trace,\n"
+      "   --series-interval dt to set the sim-time sampling stride\n"
+      "   (0 = auto, negative = off), and --flight-recorder k to retain\n"
+      "   only the last k + worst-k-latency request traces)\n"
       "topologies: nsfnet | arpanet | eon | usnet | ring<n> | grid<r>x<c> | torus<r>x<c>\n"
       "routers: approx minload loadcost node-disjoint two-step physical "
       "unprotected exact\n");
@@ -138,6 +142,9 @@ struct Flags {
   std::string router = "approx";
   std::string net_file;  // --net: load the network state instead of building
   std::string telemetry_file;  // --telemetry: JSON dump path
+  std::string trace_file;      // --trace: Chrome trace-event export path
+  double series_interval = 0.0;  // --series-interval (0 auto, <0 off)
+  int flight_recorder = 0;       // --flight-recorder: last/worst-k retention
   double occupy = 0.0;
   double erlang = 20.0;
   double duration = 100.0;
@@ -183,6 +190,15 @@ bool parse_flags(int argc, char** argv, int first, Flags* f) {
       if (!next_str(&f->net_file)) return false;
     } else if (a == "--telemetry") {
       if (!next_str(&f->telemetry_file)) return false;
+    } else if (a == "--trace") {
+      if (!next_str(&f->trace_file)) return false;
+    } else if (a == "--series-interval") {
+      if (!next_double(&f->series_interval)) return false;
+    } else if (a == "--flight-recorder") {
+      if (!next_int(&iv) || iv < 1) {
+        return flag_error("--flight-recorder", argv[i]);
+      }
+      f->flight_recorder = iv;
     } else if (a == "--occupy") {
       if (!next_double(&f->occupy)) return false;
       if (f->occupy < 0.0 || f->occupy > 1.0) {
@@ -205,18 +221,38 @@ bool parse_flags(int argc, char** argv, int first, Flags* f) {
       return false;
     }
   }
-  if (!f->telemetry_file.empty()) {
+  if (!f->telemetry_file.empty() || !f->trace_file.empty()) {
     wdm::support::telemetry::set_enabled(true);
+    // Run metadata for the dump: teldiff gates on "seed"; "command" makes a
+    // dump self-describing when it is a CI artifact.
+    wdm::support::telemetry::set_meta("seed", std::to_string(f->seed));
+    std::string cmd;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) cmd += ' ';
+      cmd += argv[i];
+    }
+    wdm::support::telemetry::set_meta("command", cmd);
+  }
+  if (f->flight_recorder > 0) {
+    wdm::support::telemetry::set_trace_retention(
+        static_cast<std::size_t>(f->flight_recorder),
+        static_cast<std::size_t>(f->flight_recorder));
   }
   return true;
 }
 
-/// Writes the telemetry JSON if --telemetry was given; pass-through of rc.
+/// Writes the telemetry / trace outputs if requested; pass-through of rc.
 int finish(const Flags& f, int rc) {
   if (!f.telemetry_file.empty()) {
     if (!support::telemetry::write_file(f.telemetry_file)) {
       std::fprintf(stderr, "cannot write telemetry to %s\n",
                    f.telemetry_file.c_str());
+      return rc == 0 ? 2 : rc;
+    }
+  }
+  if (!f.trace_file.empty()) {
+    if (!support::telemetry::write_chrome_trace_file(f.trace_file)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", f.trace_file.c_str());
       return rc == 0 ? 2 : rc;
     }
   }
@@ -311,6 +347,7 @@ int cmd_simulate(int argc, char** argv) {
   opt.traffic.mean_holding = 1.0;
   opt.duration = f.duration;
   opt.seed = f.seed;
+  opt.series_interval = f.series_interval;
   if (f.failures > 0.0) {
     opt.failures.duplex_failure_rate = f.failures;
     opt.reverse_of = t.reverse_of;
