@@ -144,6 +144,48 @@ net::WdmNetwork bridge_network(int W, support::Rng& rng, bool uniform_costs) {
   return n;
 }
 
+/// SRLG trap: the min-cost edge-disjoint pair {s->a->t, s->b->t} rides a
+/// shared conduit (a->t and b->t are one SRLG), so the SRLG-aware search
+/// must refuse Suurballe's answer and fall through to the conflict-set stage
+/// to find the dearer detour via c. Nodes: s=0, a=1, b=2, c=3, t=4.
+net::WdmNetwork srlg_trap_network(int W, support::Rng& rng,
+                                  bool uniform_costs) {
+  net::WdmNetwork n(5, W);
+  const double cheap = rng.uniform(1.0, 2.0);
+  const double dear = rng.uniform(4.0, 8.0);
+  auto link = [&](net::NodeId u, net::NodeId v, double c) {
+    add_random_link(n, u, v, W, rng, uniform_costs, c, c);
+  };
+  link(0, 1, cheap);  // edge 0: s->a
+  link(1, 4, cheap);  // edge 1: a->t   } one conduit
+  link(0, 2, cheap);  // edge 2: s->b
+  link(2, 4, cheap);  // edge 3: b->t   } one conduit
+  link(0, 3, dear);   // edge 4: s->c
+  link(3, 4, dear);   // edge 5: c->t
+  n.add_srlg({1, 3}, rng.uniform(0.1, 0.9));
+  return n;
+}
+
+/// Random shared-risk groups over the finished instance. Member sets may
+/// overlap and may straddle the request's natural paths — the point is to
+/// exercise the conflict-set search, not to guarantee routability.
+void annotate_srlgs(net::WdmNetwork& n, support::Rng& rng,
+                    const GenOptions& opt) {
+  if (n.num_links() < 2) return;
+  const int groups = static_cast<int>(
+      rng.uniform_int(1, std::max(1, opt.max_srlg_groups)));
+  for (int g = 0; g < groups; ++g) {
+    const int want =
+        static_cast<int>(rng.uniform_int(2, std::max(2, opt.max_srlg_size)));
+    std::vector<graph::EdgeId> members;
+    for (int k = 0; k < want; ++k) {
+      members.push_back(
+          static_cast<graph::EdgeId>(rng.uniform_int(0, n.num_links() - 1)));
+    }
+    n.add_srlg(std::move(members), rng.uniform(0.05, 0.6));
+  }
+}
+
 }  // namespace
 
 const char* topo_family_name(TopoFamily f) {
@@ -155,6 +197,7 @@ const char* topo_family_name(TopoFamily f) {
     case TopoFamily::kBackbone: return "backbone";
     case TopoFamily::kTrap: return "trap";
     case TopoFamily::kBridge: return "bridge";
+    case TopoFamily::kSrlgTrap: return "srlg-trap";
   }
   return "unknown";
 }
@@ -172,10 +215,13 @@ FuzzInstance generate_instance(std::uint64_t seed, const GenOptions& opt) {
   const double max_conv = opt.theorem2_regime_only ? 1.0 : 2.0;
 
   // Family mix: half structured/duplex, the rest directed-random and
-  // adversarial shapes.
+  // adversarial shapes. Every SRLG-related draw is gated on srlg_mode so a
+  // pre-SRLG seed consumes the identical RNG stream.
+  const bool srlg_mode = opt.srlg_probability > 0.0;
   const int roll = static_cast<int>(rng.uniform_int(0, 99));
   TopoFamily family;
-  if (roll < 25) family = TopoFamily::kRandomDigraph;
+  if (srlg_mode && rng.bernoulli(0.15)) family = TopoFamily::kSrlgTrap;
+  else if (roll < 25) family = TopoFamily::kRandomDigraph;
   else if (roll < 50) family = TopoFamily::kRandomConnected;
   else if (roll < 60) family = TopoFamily::kRing;
   else if (roll < 70) family = TopoFamily::kGrid;
@@ -235,12 +281,16 @@ FuzzInstance generate_instance(std::uint64_t seed, const GenOptions& opt) {
     case TopoFamily::kBridge:
       inst.network = bridge_network(W, rng, uniform_costs);
       break;
+    case TopoFamily::kSrlgTrap:
+      inst.network = srlg_trap_network(W, rng, uniform_costs);
+      break;
   }
 
   // build_network already set full-uniform conversion for the duplex
   // families; re-draw per-node tables for variety unless Theorem 2 pins them.
   if (family == TopoFamily::kRandomDigraph || family == TopoFamily::kTrap ||
-      family == TopoFamily::kBridge || !opt.theorem2_regime_only) {
+      family == TopoFamily::kBridge || family == TopoFamily::kSrlgTrap ||
+      !opt.theorem2_regime_only) {
     assign_conversions(inst.network, rng, opt.theorem2_regime_only, max_conv);
   }
 
@@ -250,6 +300,9 @@ FuzzInstance generate_instance(std::uint64_t seed, const GenOptions& opt) {
   if (inst.family == std::string("trap")) {
     inst.s = 0;
     inst.t = 3;
+  } else if (inst.family == std::string("srlg-trap")) {
+    inst.s = 0;
+    inst.t = 4;
   } else if (inst.family == std::string("bridge")) {
     inst.s = static_cast<net::NodeId>(rng.uniform_int(0, 2));
     inst.t = static_cast<net::NodeId>(rng.uniform_int(3, 5));
@@ -260,6 +313,14 @@ FuzzInstance generate_instance(std::uint64_t seed, const GenOptions& opt) {
       inst.t = static_cast<net::NodeId>(rng.uniform_int(0, n - 1));
     }
   }
+  // Random SRLG annotations last: the physical instance for a seed is
+  // identical with or without them, so SRLG-mode failures can be compared
+  // against the annotation-free run of the same seed.
+  if (srlg_mode && family != TopoFamily::kSrlgTrap &&
+      rng.bernoulli(opt.srlg_probability)) {
+    annotate_srlgs(inst.network, rng, opt);
+  }
+
   WDM_CHECK(inst.s != inst.t);
   return inst;
 }

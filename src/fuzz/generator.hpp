@@ -31,6 +31,16 @@ struct GenOptions {
   /// full per-node uniform conversion with cost ≤ every incident link cost,
   /// wavelength-independent link costs.
   bool theorem2_regime_only = false;
+
+  /// SRLG annotation knobs. The default 0 disables SRLG generation entirely
+  /// and draws nothing from the RNG, so every pre-SRLG seed reproduces its
+  /// instance byte-for-byte. When > 0 it is the probability an instance
+  /// carries shared-risk groups (drawn after everything else so the physical
+  /// instance for a seed is the same with or without annotations), and the
+  /// adversarial srlg-trap family joins the topology mix.
+  double srlg_probability = 0.0;
+  int max_srlg_groups = 3;
+  int max_srlg_size = 3;
 };
 
 /// Generates the instance for `seed`. Deterministic; never returns a network

@@ -23,6 +23,7 @@ enum class TopoFamily {
   kBackbone,         // NSFNET-14 (the canonical research topology)
   kTrap,             // greedy two-step trap gadget + random decoys
   kBridge,           // barbell joined by a single bridge fiber
+  kSrlgTrap,         // min-cost disjoint pair shares a conduit (SRLG mode only)
 };
 
 const char* topo_family_name(TopoFamily f);

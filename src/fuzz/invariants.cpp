@@ -1,5 +1,6 @@
 #include "fuzz/invariants.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -94,6 +95,48 @@ std::set<graph::NodeId> internal_nodes(const net::WdmNetwork& net,
     ns.insert(net.graph().head(p.hops[i].edge));
   }
   return ns;
+}
+
+bool same_semilightpath(const net::Semilightpath& a,
+                        const net::Semilightpath& b) {
+  if (a.found != b.found || a.hops.size() != b.hops.size()) return false;
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    if (a.hops[i].edge != b.hops[i].edge ||
+        a.hops[i].lambda != b.hops[i].lambda) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_route(const rwa::RouteResult& a, const rwa::RouteResult& b) {
+  return a.found == b.found &&
+         same_semilightpath(a.route.primary, b.route.primary) &&
+         same_semilightpath(a.route.backup, b.route.backup);
+}
+
+bool path_touches_group(const net::Semilightpath& p,
+                        const std::vector<graph::EdgeId>& members) {
+  for (const net::Hop& h : p.hops) {
+    if (std::find(members.begin(), members.end(), h.edge) != members.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// 1 - Π(1 - p_g) over raw group membership: deliberately never calls
+/// WdmNetwork::link_failure_probability / srlgs_of_link.
+double independent_failure_probability(const net::WdmNetwork& net,
+                                       graph::EdgeId e) {
+  double survive = 1.0;
+  for (int g = 0; g < net.num_srlgs(); ++g) {
+    const net::Srlg& grp = net.srlg(g);
+    if (std::find(grp.links.begin(), grp.links.end(), e) != grp.links.end()) {
+      survive *= 1.0 - grp.failure_probability;
+    }
+  }
+  return 1.0 - survive;
 }
 
 }  // namespace
@@ -246,6 +289,158 @@ void check_route_result(const FuzzInstance& inst, const rwa::RouteResult& r,
   }
 }
 
+void check_srlg_disjoint(const FuzzInstance& inst, const rwa::RouteResult& r,
+                         const std::string& router,
+                         std::vector<Violation>& out) {
+  if (!r.found) return;
+  const net::WdmNetwork& net = inst.network;
+  for (int g = 0; g < net.num_srlgs(); ++g) {
+    const net::Srlg& grp = net.srlg(g);
+    if (path_touches_group(r.route.primary, grp.links) &&
+        path_touches_group(r.route.backup, grp.links)) {
+      add(out, "srlg-disjoint", router,
+          "primary and backup both traverse SRLG " + std::to_string(g));
+    }
+  }
+}
+
+void check_partial_coverage(const FuzzInstance& inst, const rwa::RouteResult& r,
+                            double threshold, const std::string& router,
+                            std::vector<Violation>& out) {
+  if (!r.found) return;
+  const net::WdmNetwork& net = inst.network;
+
+  std::vector<graph::EdgeId> risky;
+  for (const net::Hop& h : r.route.primary.hops) {
+    if (independent_failure_probability(net, h.edge) > threshold) {
+      risky.push_back(h.edge);
+    }
+  }
+
+  if (!r.route.backup.found) {
+    if (!risky.empty()) {
+      add(out, "partial-coverage", router,
+          "primary carries " + std::to_string(risky.size()) +
+              " risky link(s) above threshold " + std::to_string(threshold) +
+              " but no backup was provisioned");
+    }
+    return;
+  }
+
+  // Conflict closure of the risky set, re-derived from raw group storage:
+  // the risky links plus everything sharing a group with one of them.
+  std::vector<std::uint8_t> forbidden(
+      static_cast<std::size_t>(net.num_links()), 0);
+  for (graph::EdgeId e : risky) forbidden[static_cast<std::size_t>(e)] = 1;
+  for (int g = 0; g < net.num_srlgs(); ++g) {
+    const net::Srlg& grp = net.srlg(g);
+    const bool hit = std::find_first_of(grp.links.begin(), grp.links.end(),
+                                        risky.begin(), risky.end()) !=
+                     grp.links.end();
+    if (!hit) continue;
+    for (graph::EdgeId e : grp.links) {
+      forbidden[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+
+  for (const net::Hop& h : r.route.backup.hops) {
+    if (forbidden[static_cast<std::size_t>(h.edge)]) {
+      add(out, "partial-coverage", router,
+          "backup traverses link " + std::to_string(h.edge) +
+              " which is risky (or shares a group with a risky primary link)");
+    }
+    for (const net::Hop& ph : r.route.primary.hops) {
+      if (ph.edge == h.edge && ph.lambda == h.lambda) {
+        add(out, "partial-coverage", router,
+            "backup shares channel (link " + std::to_string(h.edge) + ", λ" +
+                std::to_string(h.lambda) + ") with the primary");
+      }
+    }
+  }
+
+  if (!r.route.feasible(net)) {
+    add(out, "feasible-predicate", router,
+        "partial route fails ProtectedRoute::feasible");
+  }
+}
+
+std::optional<bool> srlg_pair_exists_bruteforce(const net::WdmNetwork& net,
+                                                net::NodeId s, net::NodeId t,
+                                                int max_nodes, int max_links,
+                                                long max_paths) {
+  if (net.num_nodes() > max_nodes || net.num_links() > max_links) {
+    return std::nullopt;
+  }
+  if (!all_nodes_full_conversion(net)) return std::nullopt;
+
+  // Usable = carries at least one free wavelength (empty when failed). Under
+  // full conversion any simple path over usable links is realizable, and an
+  // edge-disjoint pair never competes for the same link's wavelengths.
+  std::vector<std::vector<std::pair<graph::EdgeId, net::NodeId>>> adj(
+      static_cast<std::size_t>(net.num_nodes()));
+  for (graph::EdgeId e = 0; e < net.num_links(); ++e) {
+    if (net.available(e).count() > 0) {
+      adj[static_cast<std::size_t>(net.graph().tail(e))].emplace_back(
+          e, net.graph().head(e));
+    }
+  }
+
+  std::vector<std::vector<graph::EdgeId>> paths;
+  std::vector<graph::EdgeId> stack;
+  std::vector<char> visited(static_cast<std::size_t>(net.num_nodes()), 0);
+  bool overflow = false;
+  auto dfs = [&](auto&& self, net::NodeId v) -> void {
+    if (overflow) return;
+    if (v == t) {
+      if (static_cast<long>(paths.size()) >= max_paths) {
+        overflow = true;
+      } else {
+        paths.push_back(stack);
+      }
+      return;
+    }
+    visited[static_cast<std::size_t>(v)] = 1;
+    for (const auto& [e, w] : adj[static_cast<std::size_t>(v)]) {
+      if (visited[static_cast<std::size_t>(w)]) continue;
+      stack.push_back(e);
+      self(self, w);
+      stack.pop_back();
+    }
+    visited[static_cast<std::size_t>(v)] = 0;
+  };
+  dfs(dfs, s);
+  if (overflow) return std::nullopt;
+
+  // Group signature per path, from raw member lists.
+  std::vector<std::vector<int>> groups(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (int g = 0; g < net.num_srlgs(); ++g) {
+      const net::Srlg& grp = net.srlg(g);
+      if (std::find_first_of(grp.links.begin(), grp.links.end(),
+                             paths[i].begin(),
+                             paths[i].end()) != grp.links.end()) {
+        groups[i].push_back(g);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      const bool edge_overlap =
+          std::find_first_of(paths[i].begin(), paths[i].end(),
+                             paths[j].begin(),
+                             paths[j].end()) != paths[i].end();
+      if (edge_overlap) continue;
+      const bool group_overlap =
+          std::find_first_of(groups[i].begin(), groups[i].end(),
+                             groups[j].begin(),
+                             groups[j].end()) != groups[i].end();
+      if (!group_overlap) return true;
+    }
+  }
+  return false;
+}
+
 std::vector<Violation> check_instance(const FuzzInstance& inst,
                                       const CheckOptions& opt) {
   std::vector<Violation> out;
@@ -283,6 +478,67 @@ std::vector<Violation> check_instance(const FuzzInstance& inst,
   for (const rwa::Router* extra : opt.extra_routers) {
     check_route_result(inst, extra->route(net, inst.s, inst.t), extra->name(),
                        true, false, /*check_aux_bound=*/thm2, opt.eps, out);
+  }
+
+  // --- SRLG-aware protection policies. ---
+  {
+    const rwa::ApproxDisjointRouter approx_srlg(true,
+                                                net::ProtectPolicy::srlg());
+    const rwa::RouteResult srlg_r = approx_srlg.route(net, inst.s, inst.t);
+    check_route_result(inst, srlg_r, "approx[srlg]", true, false, false,
+                       opt.eps, out);
+    check_srlg_disjoint(inst, srlg_r, "approx[srlg]", out);
+
+    // Differential: on an SRLG-free network the kSrlg policy must be
+    // bit-for-bit the default (kFull) router's output.
+    if (net.num_srlgs() == 0 && !same_route(approx_r, srlg_r)) {
+      add(out, "srlg-free-identity", "approx[srlg]",
+          "kSrlg output differs from kFull on a network with no SRLGs");
+    }
+
+    const rwa::NodeDisjointRouter nd_srlg(net::ProtectPolicy::srlg());
+    const rwa::RouteResult nd_r = nd_srlg.route(net, inst.s, inst.t);
+    check_route_result(inst, nd_r, "node-disjoint[srlg]", true, true, false,
+                       opt.eps, out);
+    check_srlg_disjoint(inst, nd_r, "node-disjoint[srlg]", out);
+
+    const rwa::MinLoadRouter ml_srlg({}, net::ProtectPolicy::srlg());
+    const rwa::RouteResult ml_r = ml_srlg.route(net, inst.s, inst.t);
+    check_route_result(inst, ml_r, "minload[srlg]", true, false, false,
+                       opt.eps, out);
+    check_srlg_disjoint(inst, ml_r, "minload[srlg]", out);
+
+    const rwa::LoadCostRouter lc_srlg({}, false, net::ProtectPolicy::srlg());
+    const rwa::RouteResult lc_r = lc_srlg.route(net, inst.s, inst.t);
+    check_route_result(inst, lc_r, "load+cost[srlg]", true, false, false,
+                       opt.eps, out);
+    check_srlg_disjoint(inst, lc_r, "load+cost[srlg]", out);
+
+    // Completeness: a blocked result claiming an exhausted search must agree
+    // with the brute-force pair enumeration. Only the cost-optimal approx
+    // router makes that claim soundly (the load-aware routers restrict
+    // themselves to G_rc(ϑ) and may block routable requests by design).
+    if (net.num_srlgs() > 0 && !srlg_r.found && srlg_r.srlg_exhaustive &&
+        full_conv && opt.run_exact) {
+      const std::optional<bool> exists = srlg_pair_exists_bruteforce(
+          net, inst.s, inst.t, opt.srlg_exact_max_nodes,
+          opt.srlg_exact_max_links, opt.srlg_exact_max_paths);
+      if (exists && *exists) {
+        add(out, "srlg-completeness", "approx[srlg]",
+            "router reported an exhaustive block but an SRLG-disjoint "
+            "realizable pair exists");
+      }
+    }
+
+    // Partial protection at a strict and a permissive threshold.
+    for (const double th : {0.0, 0.25}) {
+      const rwa::ApproxDisjointRouter part(true,
+                                           net::ProtectPolicy::partial(th));
+      const rwa::RouteResult pr = part.route(net, inst.s, inst.t);
+      check_route_result(inst, pr, "approx[partial]", /*requires_backup=*/false,
+                         false, false, opt.eps, out);
+      check_partial_coverage(inst, pr, th, "approx[partial]", out);
+    }
   }
 
   // --- Exact oracles (gated by instance size). ---

@@ -20,6 +20,7 @@
 //     the auxiliary graph.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,12 @@ struct CheckOptions {
   int ilp_max_nodes = 5;
   int ilp_max_wavelengths = 3;
 
+  /// Gates for the brute-force SRLG-disjoint-pair oracle (simple-path pair
+  /// enumeration on the physical graph; sound under full conversion only).
+  int srlg_exact_max_nodes = 8;
+  int srlg_exact_max_links = 24;
+  long srlg_exact_max_paths = 4000;
+
   /// Additional routers checked against the route-level invariants — the
   /// mutation-testing entry point (inject a deliberately broken router and
   /// assert the harness flags it).
@@ -74,6 +81,34 @@ void check_route_result(const FuzzInstance& inst, const rwa::RouteResult& r,
                         const std::string& router, bool requires_backup,
                         bool requires_node_disjoint, bool check_aux_bound,
                         double eps, std::vector<Violation>& out);
+
+/// SRLG-disjointness oracle, independent of the library predicate: scans
+/// every group's raw member list (never srlgs_of_link / links_share_srlg /
+/// srlg_disjoint) and flags any group touched by both primary and backup.
+void check_srlg_disjoint(const FuzzInstance& inst, const rwa::RouteResult& r,
+                         const std::string& router,
+                         std::vector<Violation>& out);
+
+/// Partial-protection coverage oracle for ProtectPolicy::partial(threshold)
+/// output. Recomputes per-link failure probability 1 - Π(1 - p_g) from raw
+/// group storage, re-derives the risky set on the primary, and asserts:
+/// no backup only when nothing is risky; otherwise the backup dodges every
+/// risky link, everything sharing a group with one, and every primary
+/// (link, λ) channel.
+void check_partial_coverage(const FuzzInstance& inst, const rwa::RouteResult& r,
+                            double threshold, const std::string& router,
+                            std::vector<Violation>& out);
+
+/// Brute-force SRLG-disjoint-pair existence: enumerate simple physical
+/// paths over links with free capacity and test all pairs for edge- and
+/// group-disjointness. Exact on *existence* when every node has full
+/// conversion (each link on a path then picks its wavelength freely).
+/// Returns nullopt when the instance is outside the size/conversion gate or
+/// the path count overflows `max_paths`.
+std::optional<bool> srlg_pair_exists_bruteforce(const net::WdmNetwork& net,
+                                                net::NodeId s, net::NodeId t,
+                                                int max_nodes, int max_links,
+                                                long max_paths);
 
 /// Runs the full router suite + oracles on the instance and returns every
 /// violation found (empty = instance passes).

@@ -26,8 +26,14 @@ class ApproxDisjointRouter final : public Router {
   /// `refine` toggles the Lemma 2 step: when false, each auxiliary path is
   /// realized by first-fit wavelength assignment instead of the per-subgraph
   /// optimal semilightpath — the ablation bench_ablations measures what the
-  /// refinement buys.
-  explicit ApproxDisjointRouter(bool refine = true) : refine_(refine) {}
+  /// refinement buys. `policy` selects the protection predicate: kFull is
+  /// the paper's edge-disjoint stage (bit-for-bit the historical behavior),
+  /// kSrlg swaps in the conflict-set Suurballe variant (identical again when
+  /// the network declares no SRLGs), kPartial routes via route_partial.
+  explicit ApproxDisjointRouter(bool refine = true,
+                                net::ProtectPolicy policy =
+                                    net::ProtectPolicy::full())
+      : refine_(refine), policy_(policy) {}
 
   RouteResult route(const net::WdmNetwork& net, net::NodeId s,
                     net::NodeId t) const override;
@@ -38,6 +44,7 @@ class ApproxDisjointRouter final : public Router {
 
  private:
   bool refine_;
+  net::ProtectPolicy policy_;
   /// Warm auxiliary-graph builders reused across route() calls; a pool
   /// (rather than one builder) keeps concurrent route() calls safe.
   mutable AuxGraphBuilderPool builders_;

@@ -4,6 +4,7 @@
 
 #include "graph/suurballe.hpp"
 #include "rwa/layered_graph.hpp"
+#include "rwa/srlg.hpp"
 #include "support/check.hpp"
 #include "support/telemetry.hpp"
 
@@ -11,10 +12,14 @@ namespace wdm::rwa {
 
 RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                   net::NodeId t) const {
+  if (policy_.kind == net::ProtectKind::kPartial) {
+    return route_partial(net, s, t, policy_.threshold);
+  }
   WDM_TEL_COUNT("rwa.loadcost.attempts");
   WDM_TEL_SPAN(tel_span, "rwa.loadcost.route");
   support::telemetry::SplitTimer tel;
   RouteResult result;
+  result.route.policy = policy_;
   auto builder = builders_.lease();
 
   // Phase 1: minimum feasible network-load threshold.
@@ -38,8 +43,14 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   const AuxGraph& aux = builder->build(net, s, t, aopt);
   tel.split(WDM_TEL_HIST("rwa.loadcost.aux_build_ns"),
             WDM_TEL_NAME("rwa.loadcost.aux_build"));
-  const graph::DisjointPair pair =
-      graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  graph::DisjointPair pair;
+  if (policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0) {
+    SrlgPairResult sp = srlg_disjoint_pair(net, aux);
+    pair = std::move(sp.pair);
+    result.srlg_exhaustive = sp.exhaustive;
+  } else {
+    pair = graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  }
   tel.split(WDM_TEL_HIST("rwa.loadcost.suurballe_ns"),
             WDM_TEL_NAME("rwa.loadcost.suurballe"));
   // G_rc(ϑ) has the same topology as the G_c(ϑ) phase 1 accepted, so a pair

@@ -18,9 +18,14 @@ class LoadCostRouter final : public Router {
  public:
   /// `grc_mean_over_available` switches the G_rc link weight from the
   /// paper's Σw/N(e) to the true mean Σw/|Λ_avail(e)| (ablation).
+  /// `policy`: kSrlg keeps the phase-1 ϑ search (edge-disjoint feasibility)
+  /// and applies the SRLG conflict-set stage to the final G_rc(ϑ); a request
+  /// SRLG-routable only above that ϑ is blocked (documented limitation).
   explicit LoadCostRouter(MinCogOptions opt = {},
-                          bool grc_mean_over_available = false)
-      : opt_(opt), grc_mean_over_available_(grc_mean_over_available) {}
+                          bool grc_mean_over_available = false,
+                          net::ProtectPolicy policy = net::ProtectPolicy::full())
+      : opt_(opt), grc_mean_over_available_(grc_mean_over_available),
+        policy_(policy) {}
 
   RouteResult route(const net::WdmNetwork& net, net::NodeId s,
                     net::NodeId t) const override;
@@ -33,6 +38,7 @@ class LoadCostRouter final : public Router {
  private:
   MinCogOptions opt_;
   bool grc_mean_over_available_;
+  net::ProtectPolicy policy_;
   /// One leased builder serves both phases of a route() call: the G_c(ϑ)
   /// probes and the final G_rc(ϑ) share their conversion-mean cache.
   mutable AuxGraphBuilderPool builders_;

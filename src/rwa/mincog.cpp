@@ -6,6 +6,7 @@
 #include <set>
 
 #include "rwa/layered_graph.hpp"
+#include "rwa/srlg.hpp"
 #include "support/check.hpp"
 #include "support/telemetry.hpp"
 
@@ -175,10 +176,14 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
 
 RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
                                  net::NodeId t) const {
+  if (policy_.kind == net::ProtectKind::kPartial) {
+    return route_partial(net, s, t, policy_.threshold);
+  }
   WDM_TEL_COUNT("rwa.minload.attempts");
   WDM_TEL_SPAN(tel_span, "rwa.minload.route");
   support::telemetry::SplitTimer tel;
   RouteResult result;
+  result.route.policy = policy_;
   auto builder = builders_.lease();
   MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
@@ -190,6 +195,17 @@ RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
     WDM_TEL_COUNT("rwa.minload.blocked");
     tel.total(WDM_TEL_HIST("rwa.minload.route_ns"));
     return result;
+  }
+  if (policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0) {
+    // Rerun the pair search on the accepted G_c(ϑ) with conflict sets.
+    SrlgPairResult sp = srlg_disjoint_pair(net, mc.aux);
+    result.srlg_exhaustive = sp.exhaustive;
+    if (!sp.pair.found) {
+      WDM_TEL_COUNT("rwa.minload.blocked");
+      tel.total(WDM_TEL_HIST("rwa.minload.route_ns"));
+      return result;
+    }
+    mc.aux_pair = std::move(sp.pair);
   }
   result.aux_cost = mc.aux_pair.total_cost();
 

@@ -75,7 +75,12 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
 /// subgraph.
 class MinLoadRouter final : public Router {
  public:
-  explicit MinLoadRouter(MinCogOptions opt = {}) : opt_(opt) {}
+  /// `policy`: kSrlg reruns the pair search on the accepted G_c(ϑ) with
+  /// SRLG conflict sets (requests SRLG-routable only above the accepted ϑ
+  /// are blocked); kPartial delegates to route_partial.
+  explicit MinLoadRouter(MinCogOptions opt = {},
+                         net::ProtectPolicy policy = net::ProtectPolicy::full())
+      : opt_(opt), policy_(policy) {}
 
   RouteResult route(const net::WdmNetwork& net, net::NodeId s,
                     net::NodeId t) const override;
@@ -84,6 +89,7 @@ class MinLoadRouter final : public Router {
 
  private:
   MinCogOptions opt_;
+  net::ProtectPolicy policy_;
   mutable AuxGraphBuilderPool builders_;
 };
 

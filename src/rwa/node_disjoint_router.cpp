@@ -5,6 +5,7 @@
 #include "graph/suurballe.hpp"
 #include "rwa/aux_graph.hpp"
 #include "rwa/layered_graph.hpp"
+#include "rwa/srlg.hpp"
 #include "support/check.hpp"
 #include "support/telemetry.hpp"
 
@@ -12,10 +13,14 @@ namespace wdm::rwa {
 
 RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
                                       net::NodeId s, net::NodeId t) const {
+  if (policy_.kind == net::ProtectKind::kPartial) {
+    return route_partial(net, s, t, policy_.threshold);
+  }
   WDM_TEL_COUNT("rwa.node_disjoint.attempts");
   WDM_TEL_SPAN(tel_span, "rwa.node_disjoint.route");
   support::telemetry::SplitTimer tel;
   RouteResult result;
+  result.route.policy = policy_;
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
   opt.protect_nodes = true;
@@ -24,8 +29,14 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
   tel.split(WDM_TEL_HIST("rwa.node_disjoint.aux_build_ns"),
             WDM_TEL_NAME("rwa.node_disjoint.aux_build"));
 
-  const graph::DisjointPair pair =
-      graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  graph::DisjointPair pair;
+  if (policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0) {
+    SrlgPairResult sp = srlg_disjoint_pair(net, aux);
+    pair = std::move(sp.pair);
+    result.srlg_exhaustive = sp.exhaustive;
+  } else {
+    pair = graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+  }
   tel.split(WDM_TEL_HIST("rwa.node_disjoint.suurballe_ns"),
             WDM_TEL_NAME("rwa.node_disjoint.suurballe"));
   if (!pair.found) {

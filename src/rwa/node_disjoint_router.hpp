@@ -15,12 +15,20 @@ namespace wdm::rwa {
 
 class NodeDisjointRouter final : public Router {
  public:
+  /// kSrlg composes with node protection: the conflict-set search masks the
+  /// candidate primary's gadget arcs too, so the pair stays internally
+  /// node-disjoint while also avoiding shared-risk groups.
+  explicit NodeDisjointRouter(net::ProtectPolicy policy =
+                                  net::ProtectPolicy::full())
+      : policy_(policy) {}
+
   RouteResult route(const net::WdmNetwork& net, net::NodeId s,
                     net::NodeId t) const override;
 
   std::string name() const override { return "node-disjoint(ext)"; }
 
  private:
+  net::ProtectPolicy policy_;
   mutable AuxGraphBuilderPool builders_;
 };
 

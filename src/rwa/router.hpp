@@ -24,6 +24,11 @@ struct RouteResult {
   /// Suurballe minimized) — an upper bound on the delivered cost (Lemma 2).
   double aux_cost = std::numeric_limits<double>::quiet_NaN();
 
+  /// SRLG policy only: the conflict-set search proved its answer (candidate
+  /// enumeration closed) rather than hitting its candidate budget. The fuzz
+  /// completeness oracle only judges blocked results carrying this flag.
+  bool srlg_exhaustive = false;
+
   double total_cost(const net::WdmNetwork& net) const {
     return route.total_cost(net);
   }

@@ -31,9 +31,10 @@ ReplicationSummary replicate(const net::WdmNetwork& base_network,
     results[i] = sim.run();
   });
 
-  support::RunningStats blocking, load, peak, reconf, cost, recovery;
+  support::RunningStats blocking, load, peak, reconf, cost, recovery, avail;
   for (const SimMetrics& m : results) {
     blocking.add(m.blocking_probability());
+    avail.add(m.reliability());
     load.add(m.network_load.mean());
     peak.add(m.peak_load);
     reconf.add(static_cast<double>(m.reconfigurations));
@@ -51,6 +52,7 @@ ReplicationSummary replicate(const net::WdmNetwork& base_network,
   out.reconfigurations = summarize(reconf);
   out.route_cost = summarize(cost);
   out.recovery_success = summarize(recovery);
+  out.availability = summarize(avail);
   return out;
 }
 

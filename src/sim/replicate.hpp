@@ -26,6 +26,7 @@ struct ReplicationSummary {
   MetricSummary reconfigurations;
   MetricSummary route_cost;
   MetricSummary recovery_success;  // 0 when no failures were injected
+  MetricSummary availability;      // per-run reliability() aggregate
 };
 
 /// Runs `replicas` independent simulations (seeds opts.seed, opts.seed+1,

@@ -97,6 +97,7 @@ Simulator::Simulator(net::WdmNetwork network, const rwa::Router& router,
       if (e < r) duplex_.emplace_back(e, r);
     }
   }
+  fail_depth_.assign(static_cast<std::size_t>(net_.num_links()), 0);
 }
 
 Simulator::~Simulator() = default;
@@ -108,12 +109,38 @@ void Simulator::schedule_arrival(double now) {
   }
 }
 
-bool Simulator::path_uses(const net::Semilightpath& p, graph::EdgeId e1,
-                          graph::EdgeId e2) const {
+bool Simulator::path_uses(const net::Semilightpath& p,
+                          std::span<const graph::EdgeId> cut) const {
   return p.found &&
          std::any_of(p.hops.begin(), p.hops.end(), [&](const net::Hop& h) {
-           return h.edge == e1 || h.edge == e2;
+           return std::find(cut.begin(), cut.end(), h.edge) != cut.end();
          });
+}
+
+void Simulator::fail_link(graph::EdgeId e) {
+  if (++fail_depth_[static_cast<std::size_t>(e)] == 1) {
+    net_.set_link_failed(e, true);
+  }
+}
+
+void Simulator::repair_link(graph::EdgeId e) {
+  WDM_CHECK_MSG(fail_depth_[static_cast<std::size_t>(e)] > 0,
+                "repair of a link that is not failed");
+  if (--fail_depth_[static_cast<std::size_t>(e)] == 0) {
+    net_.set_link_failed(e, false);
+  }
+}
+
+void Simulator::finish_connection(const Connection& c, double now,
+                                  bool completed) {
+  const double requested = c.holding;
+  if (requested <= 0.0) return;  // no service was requested (defensive)
+  double delivered =
+      completed ? requested - c.downtime : (now - c.arrival) - c.downtime;
+  delivered = std::clamp(delivered, 0.0, requested);
+  metrics_.availability.add(delivered / requested);
+  metrics_.service_requested += requested;
+  metrics_.service_delivered += delivered;
 }
 
 void Simulator::release_connection(Connection& c) {
@@ -175,7 +202,11 @@ void Simulator::sample_series(double t) {
   static tel::Series& blocked = tel::series("sim.series.blocked");
   static tel::Series& blocking = tel::series("sim.series.blocking_probability");
   static tel::Series& live = tel::series("sim.series.live_connections");
+  static tel::Series& avail = tel::series("sim.series.availability");
+  static tel::Series& srlg_fails = tel::series("sim.series.srlg_failures");
   rho.add(t, net_.network_load());
+  avail.add(t, metrics_.reliability());
+  srlg_fails.add(t, static_cast<double>(metrics_.srlg_failures));
   offered.add(t, static_cast<double>(metrics_.offered));
   accepted.add(t, static_cast<double>(metrics_.accepted));
   blocked.add(t, static_cast<double>(metrics_.blocked));
@@ -254,6 +285,8 @@ void Simulator::handle_arrival(double now) {
       metrics_.theta_iterations.add(rr.theta_iterations);
     }
     const double hold = rng_.exponential(1.0 / opt_.traffic.mean_holding);
+    c.arrival = now;
+    c.holding = hold;
     queue_.push(Event{now + hold, EventType::kDeparture, c.id});
     ++metrics_.accepted;
     WDM_TEL_COUNT("sim.accepted");
@@ -305,6 +338,8 @@ void Simulator::handle_batch_provision(double now) {
       r.backup.release_in(net_);
       metrics_.route_cost.add(c.primary.cost(net_));
     }
+    c.arrival = now;
+    c.holding = pending_[i].holding;
     queue_.push(Event{now + pending_[i].holding, EventType::kDeparture, c.id});
     ++metrics_.accepted;
     WDM_TEL_COUNT("sim.accepted");
@@ -317,9 +352,10 @@ void Simulator::handle_batch_provision(double now) {
   maybe_reconfigure(now);
 }
 
-void Simulator::handle_departure(long conn_id) {
+void Simulator::handle_departure(double now, long conn_id) {
   const auto it = live_.find(conn_id);
   if (it == live_.end()) return;  // dropped earlier (failure / reconfig)
+  finish_connection(it->second, now, /*completed=*/true);
   release_connection(it->second);
   live_.erase(it);
 }
@@ -328,13 +364,49 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
   const auto [e1, e2] = duplex_[static_cast<std::size_t>(duplex_index)];
   WDM_TEL_COUNT("sim.link_failures");
   WDM_TEL_EVENT("sim.link_fail", now);
-  net_.set_link_failed(e1, true);
-  if (e2 != e1) net_.set_link_failed(e2, true);
+  fail_link(e1);
+  if (e2 != e1) fail_link(e2);
 
   // Schedule the repair.
   queue_.push(Event{now + rng_.exponential(1.0 / opt_.failures.mean_repair),
                     EventType::kLinkRepair, duplex_index});
 
+  const graph::EdgeId cut[] = {e1, e2};
+  sweep_after_failure(
+      now, std::span<const graph::EdgeId>(cut, e2 != e1 ? 2u : 1u));
+}
+
+void Simulator::handle_srlg_fail(double now, long group) {
+  const net::Srlg& grp = net_.srlg(static_cast<int>(group));
+  ++metrics_.srlg_failures;
+  WDM_TEL_COUNT("sim.srlg_failures");
+  WDM_TEL_EVENT("sim.srlg_fail", now);
+  // Atomic correlated failure: every member link is down *before* any
+  // connection is inspected, so a backup sharing the group with its primary
+  // is already dead by sweep time and can never absorb the switchover.
+  for (graph::EdgeId e : grp.links) fail_link(e);
+
+  queue_.push(Event{now + rng_.exponential(1.0 / opt_.failures.mean_repair),
+                    EventType::kSrlgRepair, group});
+
+  sweep_after_failure(now, grp.links);
+}
+
+void Simulator::handle_srlg_repair(double now, long group) {
+  const net::Srlg& grp = net_.srlg(static_cast<int>(group));
+  for (graph::EdgeId e : grp.links) repair_link(e);
+  const double rate =
+      opt_.failures.srlg_failure_rate * grp.failure_probability;
+  if (rate > 0.0) {
+    const double t = now + rng_.exponential(rate);
+    if (t <= opt_.duration) {
+      queue_.push(Event{t, EventType::kSrlgFail, group});
+    }
+  }
+}
+
+void Simulator::sweep_after_failure(double now,
+                                    std::span<const graph::EdgeId> cut) {
   // Sweep live connections. Collect ids first: recovery mutates live_.
   std::vector<long> ids;
   ids.reserve(live_.size());
@@ -345,8 +417,8 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
     if (it == live_.end()) continue;
     Connection& c = it->second;
 
-    const bool primary_hit = path_uses(c.primary, e1, e2);
-    const bool backup_hit = c.has_backup && path_uses(c.backup, e1, e2);
+    const bool primary_hit = path_uses(c.primary, cut);
+    const bool backup_hit = c.has_backup && path_uses(c.backup, cut);
 
     if (!primary_hit && backup_hit) {
       // Protection lost but service unaffected.
@@ -373,6 +445,7 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
 
     ++metrics_.primary_failures;
     if (opt_.restoration == RestorationMode::kNone) {
+      finish_connection(c, now, /*completed=*/false);
       release_connection(c);
       live_.erase(it);
       ++metrics_.dropped_on_failure;
@@ -395,6 +468,7 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
       WDM_TEL_COUNT("sim.recovery.switchover");
       WDM_TEL_EVENT("sim.recovery", now);
       metrics_.recovery_delay.add(opt_.failures.active_switchover_delay);
+      c.downtime += opt_.failures.active_switchover_delay;
       if (opt_.record_recovery_delays) {
         metrics_.recovery_delays.push_back(
             opt_.failures.active_switchover_delay);
@@ -433,10 +507,12 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
           opt_.failures.passive_per_hop_delay *
               static_cast<double>(c.primary.length());
       metrics_.recovery_delay.add(delay);
+      c.downtime += delay;
       if (opt_.record_recovery_delays) {
         metrics_.recovery_delays.push_back(delay);
       }
     } else {
+      finish_connection(c, now, /*completed=*/false);
       live_.erase(it);
       ++metrics_.dropped_on_failure;
       WDM_TEL_COUNT("sim.dropped_on_failure");
@@ -447,8 +523,8 @@ void Simulator::handle_link_fail(double now, long duplex_index) {
 
 void Simulator::handle_link_repair(double now, long duplex_index) {
   const auto [e1, e2] = duplex_[static_cast<std::size_t>(duplex_index)];
-  net_.set_link_failed(e1, false);
-  if (e2 != e1) net_.set_link_failed(e2, false);
+  repair_link(e1);
+  if (e2 != e1) repair_link(e2);
   // Next cut on this fiber.
   if (opt_.failures.duplex_failure_rate > 0.0) {
     const double t =
@@ -504,6 +580,7 @@ void Simulator::maybe_reconfigure(double now) {
     }
   }
   for (long id : drops) {
+    finish_connection(live_.at(id), now, /*completed=*/false);
     live_.erase(id);
     ++metrics_.reconfig_drops;
   }
@@ -533,6 +610,20 @@ SimMetrics Simulator::run() {
       }
     }
   }
+  // Correlated SRLG failures: one Poisson process per declared group,
+  // rate-scaled by the group's failure probability. Disabled (or a network
+  // without SRLGs) draws nothing, keeping pre-SRLG runs replayable.
+  if (opt_.failures.srlg_failure_rate > 0.0) {
+    for (int g = 0; g < net_.num_srlgs(); ++g) {
+      const double rate =
+          opt_.failures.srlg_failure_rate * net_.srlg(g).failure_probability;
+      if (rate <= 0.0) continue;
+      const double t = rng_.exponential(rate);
+      if (t <= opt_.duration) {
+        queue_.push(Event{t, EventType::kSrlgFail, static_cast<long>(g)});
+      }
+    }
+  }
 
   while (!queue_.empty()) {
     const Event ev = queue_.top();
@@ -542,9 +633,11 @@ SimMetrics Simulator::run() {
     advance_series(ev.time);
     switch (ev.type) {
       case EventType::kArrival: handle_arrival(ev.time); break;
-      case EventType::kDeparture: handle_departure(ev.id); break;
+      case EventType::kDeparture: handle_departure(ev.time, ev.id); break;
       case EventType::kLinkFail: handle_link_fail(ev.time, ev.id); break;
       case EventType::kLinkRepair: handle_link_repair(ev.time, ev.id); break;
+      case EventType::kSrlgFail: handle_srlg_fail(ev.time, ev.id); break;
+      case EventType::kSrlgRepair: handle_srlg_repair(ev.time, ev.id); break;
       case EventType::kBatchProvision:
         handle_batch_provision(ev.time);
         break;

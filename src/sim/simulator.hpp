@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "rwa/batch.hpp"
@@ -73,6 +74,14 @@ struct FailureOptions {
   /// Active mode: when the backup itself is lost to a failure, try to
   /// provision a fresh backup immediately.
   bool reprovision_backup = false;
+  /// Correlated multi-failure events: SRLG g fires as a Poisson process with
+  /// rate srlg_failure_rate × failure_probability(g), taking every member
+  /// link down *atomically* (all members are failed before any connection is
+  /// swept, so no partial-failure interleaving is observable; in particular
+  /// a backup sharing a group with its primary can never absorb the
+  /// switchover). Repairs draw from the same mean_repair as fiber cuts.
+  /// 0 disables and leaves the RNG stream untouched.
+  double srlg_failure_rate = 0.0;
 };
 
 struct ReconfigOptions {
@@ -150,6 +159,22 @@ struct SimMetrics {
   /// SimOptions::record_recovery_delays is set.
   std::vector<double> recovery_delays;
 
+  long srlg_failures = 0;          // correlated SRLG failure events
+
+  /// Reliability: per-connection availability = delivered service time /
+  /// requested service time, recorded when the connection ends (normal
+  /// departure, drop on failure, or reconfiguration drop). Recovery delays
+  /// count as downtime; a dropped connection forfeits its remaining holding
+  /// time. The aggregates are thread-count-invariant under batching.
+  support::RunningStats availability;
+  double service_requested = 0.0;
+  double service_delivered = 0.0;
+  /// Aggregate delivered/requested ratio (1.0 before any connection ends).
+  double reliability() const {
+    return service_requested > 0.0 ? service_delivered / service_requested
+                                   : 1.0;
+  }
+
   long reconfigurations = 0;
   long reconfig_reroutes = 0;  // connections moved by reconfiguration
   long reconfig_drops = 0;     // connections lost during reconfiguration
@@ -189,6 +214,9 @@ class Simulator {
     net::Semilightpath primary;
     net::Semilightpath backup;  // reserved iff has_backup
     bool has_backup = false;
+    double arrival = 0.0;   // service start (provisioning time)
+    double holding = 0.0;   // requested service time
+    double downtime = 0.0;  // accrued recovery delays
   };
 
   enum class EventType {
@@ -196,12 +224,14 @@ class Simulator {
     kDeparture,
     kLinkFail,
     kLinkRepair,
+    kSrlgFail,
+    kSrlgRepair,
     kBatchProvision,
   };
   struct Event {
     double time;
     EventType type;
-    long id;  // connection id or duplex link index
+    long id;  // connection id, duplex link index, or SRLG id
     bool operator<(const Event& o) const { return time > o.time; }
   };
 
@@ -222,13 +252,25 @@ class Simulator {
   /// Emits telemetry series points for every sampling boundary <= t.
   void advance_series(double t);
   void sample_series(double t);
-  void handle_departure(long conn_id);
+  void handle_departure(double now, long conn_id);
   void handle_link_fail(double now, long duplex_index);
   void handle_link_repair(double now, long duplex_index);
+  void handle_srlg_fail(double now, long group);
+  void handle_srlg_repair(double now, long group);
   void maybe_reconfigure(double now);
   void release_connection(Connection& c);
-  bool path_uses(const net::Semilightpath& p, graph::EdgeId e1,
-                 graph::EdgeId e2) const;
+  /// Reference-counted failure state: a link stays failed until *every*
+  /// overlapping failure event (duplex cut, SRLG firings of every group it
+  /// belongs to) has been repaired.
+  void fail_link(graph::EdgeId e);
+  void repair_link(graph::EdgeId e);
+  /// Sweeps live connections after `cut` went down atomically (switchover /
+  /// recompute / drop per the restoration mode).
+  void sweep_after_failure(double now, std::span<const graph::EdgeId> cut);
+  /// Records the ended connection's availability sample.
+  void finish_connection(const Connection& c, double now, bool completed);
+  bool path_uses(const net::Semilightpath& p,
+                 std::span<const graph::EdgeId> cut) const;
 
   net::WdmNetwork net_;
   const rwa::Router& router_;
@@ -248,6 +290,8 @@ class Simulator {
   SimMetrics metrics_;
   /// Duplex index -> the two directed edges.
   std::vector<std::pair<graph::EdgeId, graph::EdgeId>> duplex_;
+  /// Per-link failure depth (see fail_link/repair_link).
+  std::vector<int> fail_depth_;
   /// Cumulative distribution over ordered pairs (empty = uniform).
   std::vector<double> pair_cdf_;
 };

@@ -167,6 +167,16 @@ std::string write_network(const net::WdmNetwork& network) {
     out << '\n';
   }
 
+  for (int g = 0; g < network.num_srlgs(); ++g) {
+    const net::Srlg& grp = network.srlg(g);
+    out << "srlg " << g << ' ' << grp.failure_probability << ' ';
+    for (std::size_t i = 0; i < grp.links.size(); ++i) {
+      if (i) out << ',';
+      out << grp.links[i];
+    }
+    out << '\n';
+  }
+
   for (graph::EdgeId e = 0; e < network.num_links(); ++e) {
     network.installed(e).for_each([&](net::Wavelength l) {
       if (network.is_used(e, l)) {
@@ -272,6 +282,30 @@ net::WdmNetwork read_network(std::istream& in) {
         } else {
           throw ParseError(line_no, "link wants 'cost <c>' or 'costs <list>'");
         }
+      } else if (cmd == "srlg") {
+        want(4);
+        auto& net_ = require_network(line_no);
+        const int id = parse_int(toks[1], line_no, "srlg id");
+        if (id < net_.num_srlgs()) {
+          throw ParseError(line_no, "duplicate srlg id " + std::to_string(id));
+        }
+        if (id != net_.num_srlgs()) {
+          throw ParseError(line_no,
+                           "srlg ids must be dense and in order; expected " +
+                               std::to_string(net_.num_srlgs()));
+        }
+        const double p = parse_double(toks[2], line_no, "failure probability");
+        if (p < 0.0 || p > 1.0) {
+          throw ParseError(line_no, "srlg failure probability outside [0, 1]");
+        }
+        std::vector<graph::EdgeId> members;
+        for (int e : parse_int_list(toks[3], line_no, "srlg link")) {
+          if (e < 0 || e >= net_.num_links()) {
+            throw ParseError(line_no, "srlg link index out of range");
+          }
+          members.push_back(e);
+        }
+        net_.add_srlg(std::move(members), p);
       } else if (cmd == "reserve") {
         want(3);
         auto& net_ = require_network(line_no);

@@ -8,8 +8,13 @@
 //   link <u> <v> cost <c>                    # all wavelengths, uniform cost
 //   link <u> <v> cost <c> lambdas <a,b,...>  # partial installation
 //   link <u> <v> costs <c0,c1,...>           # per-wavelength costs
+//   srlg <id> <p> <e0,e1,...>                # shared-risk group over links
 //   reserve <link_index> <lambda>            # residual state
 //   failed <link_index>
+//
+// srlg ids must be dense and in order (0, 1, 2, ...); <p> is the group
+// failure probability in [0, 1]; member links are file-order indices and
+// must already be declared.
 //
 // Nodes default to identity-only (no) conversion. Link indices follow file
 // order. '#' starts a comment; blank lines are ignored. The reader reports

@@ -31,6 +31,7 @@ WdmNetwork::WdmNetwork(const WdmNetwork& other)
     : g_(other.g_), w_(other.w_), conv_(other.conv_),
       installed_(other.installed_), used_(other.used_),
       failed_(other.failed_), weight_(other.weight_),
+      srlgs_(other.srlgs_), srlg_of_link_(other.srlg_of_link_),
       revision_(other.revision_), link_rev_(other.link_rev_),
       conv_rev_(other.conv_rev_), uid_(next_network_uid()) {}
 
@@ -43,6 +44,8 @@ WdmNetwork& WdmNetwork::operator=(const WdmNetwork& other) {
   used_ = other.used_;
   failed_ = other.failed_;
   weight_ = other.weight_;
+  srlgs_ = other.srlgs_;
+  srlg_of_link_ = other.srlg_of_link_;
   revision_ = other.revision_;
   link_rev_ = other.link_rev_;
   conv_rev_ = other.conv_rev_;
@@ -54,6 +57,8 @@ WdmNetwork::WdmNetwork(WdmNetwork&& other) noexcept
     : g_(std::move(other.g_)), w_(other.w_), conv_(std::move(other.conv_)),
       installed_(std::move(other.installed_)), used_(std::move(other.used_)),
       failed_(std::move(other.failed_)), weight_(std::move(other.weight_)),
+      srlgs_(std::move(other.srlgs_)),
+      srlg_of_link_(std::move(other.srlg_of_link_)),
       revision_(other.revision_), link_rev_(std::move(other.link_rev_)),
       conv_rev_(std::move(other.conv_rev_)), uid_(next_network_uid()) {}
 
@@ -66,6 +71,8 @@ WdmNetwork& WdmNetwork::operator=(WdmNetwork&& other) noexcept {
   used_ = std::move(other.used_);
   failed_ = std::move(other.failed_);
   weight_ = std::move(other.weight_);
+  srlgs_ = std::move(other.srlgs_);
+  srlg_of_link_ = std::move(other.srlg_of_link_);
   revision_ = other.revision_;
   link_rev_ = std::move(other.link_rev_);
   conv_rev_ = std::move(other.conv_rev_);
@@ -275,6 +282,60 @@ std::uint64_t WdmNetwork::link_revision(EdgeId e) const {
 std::uint64_t WdmNetwork::conversion_revision(NodeId v) const {
   WDM_CHECK(g_.valid_node(v));
   return conv_rev_[static_cast<std::size_t>(v)];
+}
+
+int WdmNetwork::add_srlg(std::vector<EdgeId> links, double failure_probability) {
+  WDM_CHECK_MSG(failure_probability >= 0.0 && failure_probability <= 1.0,
+                "srlg failure probability outside [0, 1]");
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  WDM_CHECK_MSG(!links.empty(), "srlg must name >= 1 link");
+  for (EdgeId e : links) {
+    WDM_CHECK_MSG(g_.valid_edge(e), "srlg member is not a link");
+  }
+  const int id = static_cast<int>(srlgs_.size());
+  if (srlg_of_link_.size() < static_cast<std::size_t>(num_links())) {
+    srlg_of_link_.resize(static_cast<std::size_t>(num_links()));
+  }
+  for (EdgeId e : links) {
+    srlg_of_link_[static_cast<std::size_t>(e)].push_back(id);
+  }
+  srlgs_.push_back(Srlg{std::move(links), failure_probability});
+  // Annotation only: available(e) is untouched, so no per-link counter moves
+  // and AuxGraphBuilder caches stay warm.
+  ++revision_;
+  return id;
+}
+
+const Srlg& WdmNetwork::srlg(int g) const {
+  WDM_CHECK(g >= 0 && g < num_srlgs());
+  return srlgs_[static_cast<std::size_t>(g)];
+}
+
+std::span<const int> WdmNetwork::srlgs_of_link(EdgeId e) const {
+  WDM_CHECK(g_.valid_edge(e));
+  if (static_cast<std::size_t>(e) >= srlg_of_link_.size()) return {};
+  return srlg_of_link_[static_cast<std::size_t>(e)];
+}
+
+bool WdmNetwork::links_share_srlg(EdgeId a, EdgeId b) const {
+  const std::span<const int> ga = srlgs_of_link(a);
+  if (ga.empty()) return false;
+  const std::span<const int> gb = srlgs_of_link(b);
+  for (int x : ga) {
+    for (int y : gb) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+double WdmNetwork::link_failure_probability(EdgeId e) const {
+  double survive = 1.0;
+  for (int g : srlgs_of_link(e)) {
+    survive *= 1.0 - srlgs_[static_cast<std::size_t>(g)].failure_probability;
+  }
+  return 1.0 - survive;
 }
 
 double WdmNetwork::theta_min() const {

@@ -22,6 +22,15 @@ namespace wdm::net {
 using graph::EdgeId;
 using graph::NodeId;
 
+/// A shared-risk link group: a set of fibers that fail together (same
+/// conduit, same amplifier hut, ...) with a declared probability of the
+/// group failing during a unit of exposure. SRLG-disjoint protection
+/// requires primary and backup to share no group.
+struct Srlg {
+  std::vector<EdgeId> links;          // sorted, unique member fibers
+  double failure_probability = 0.0;   // in [0, 1]
+};
+
 class WdmNetwork {
  public:
   /// A network over `num_wavelengths` channels with `num_nodes` nodes, each
@@ -123,6 +132,28 @@ class WdmNetwork {
   /// speculation snapshots with: O(diff) instead of a deep copy per commit.
   void sync_residual_from(const WdmNetwork& src);
 
+  // --- Shared-risk link groups -------------------------------------------
+  //
+  // SRLGs are *annotations*: they never change Λ_avail(e), so declaring one
+  // bumps revision() only — per-link counters stay put and AuxGraphBuilder
+  // caches remain warm (see the cache-invalidation contract below).
+
+  /// Declares a group of `links` that fail together with probability
+  /// `failure_probability` ∈ [0, 1]. Members are deduplicated and sorted;
+  /// the group must end up with >= 1 member and every member must be a
+  /// valid link. Returns the new group id (dense, 0-based).
+  int add_srlg(std::vector<EdgeId> links, double failure_probability);
+
+  int num_srlgs() const { return static_cast<int>(srlgs_.size()); }
+  const Srlg& srlg(int g) const;
+  /// Ids of every group containing e (possibly empty).
+  std::span<const int> srlgs_of_link(EdgeId e) const;
+  /// True iff a and b belong to at least one common group.
+  bool links_share_srlg(EdgeId a, EdgeId b) const;
+  /// P[e fails] = 1 - Π_{g ∋ e} (1 - p_g); 0 for links in no group. A
+  /// link's standalone failure probability is modeled as a singleton group.
+  double link_failure_probability(EdgeId e) const;
+
   /// ϑ_min / ϑ_max of §4.1: min / max over links of (U(e)+1)/N(e).
   double theta_min() const;
   double theta_max() const;
@@ -142,6 +173,10 @@ class WdmNetwork {
   //                                   usage actually changed, revision()
   //   * set_conversion             -> conversion_revision(v), revision()
   //   * add_node / add_link        -> revision() (topology growth)
+  //   * add_srlg                   -> revision() only: SRLG membership never
+  //                                   affects available(e), so per-link
+  //                                   counters stay put and builder caches
+  //                                   stay valid
   // What must NOT bump them: any const query, and mutations that provably
   // leave the residual state untouched (set_link_failed to the current
   // state). Λ(e) and w(e, λ) are immutable after add_link and carry no
@@ -167,6 +202,9 @@ class WdmNetwork {
   std::vector<WavelengthSet> used_;
   std::vector<std::uint8_t> failed_;
   std::vector<double> weight_;  // m * W, row per edge
+
+  std::vector<Srlg> srlgs_;
+  std::vector<std::vector<int>> srlg_of_link_;  // lazily sized to num_links
 
   std::uint64_t revision_ = 0;
   std::vector<std::uint64_t> link_rev_;

@@ -97,20 +97,64 @@ bool edge_disjoint(const Semilightpath& a, const Semilightpath& b) {
   return true;
 }
 
+bool srlg_disjoint(const WdmNetwork& net, const Semilightpath& a,
+                   const Semilightpath& b) {
+  if (!edge_disjoint(a, b)) return false;
+  for (const Hop& ha : a.hops) {
+    for (const Hop& hb : b.hops) {
+      if (net.links_share_srlg(ha.edge, hb.edge)) return false;
+    }
+  }
+  return true;
+}
+
+const char* protect_kind_name(ProtectKind kind) {
+  switch (kind) {
+    case ProtectKind::kFull: return "full";
+    case ProtectKind::kSrlg: return "srlg";
+    case ProtectKind::kPartial: return "partial";
+  }
+  return "?";
+}
+
 bool ProtectedRoute::feasible(const WdmNetwork& net) const {
-  return found && primary.fits_residual(net) && backup.fits_residual(net) &&
-         edge_disjoint(primary, backup);
+  switch (policy.kind) {
+    case ProtectKind::kFull:
+      return found && primary.fits_residual(net) && backup.fits_residual(net) &&
+             edge_disjoint(primary, backup);
+    case ProtectKind::kSrlg:
+      return found && primary.fits_residual(net) && backup.fits_residual(net) &&
+             srlg_disjoint(net, primary, backup);
+    case ProtectKind::kPartial: {
+      if (!found || !primary.fits_residual(net)) return false;
+      if (!backup.found) return avoid.empty();  // nothing risky to cover
+      if (!backup.fits_residual(net)) return false;
+      for (const Hop& h : backup.hops) {
+        for (EdgeId e : avoid) {
+          if (h.edge == e) return false;
+        }
+      }
+      // Shared safe links are fine, but never the same (link, λ) channel.
+      for (const Hop& hb : backup.hops) {
+        for (const Hop& hp : primary.hops) {
+          if (hb == hp) return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 void ProtectedRoute::reserve_in(WdmNetwork& net) const {
   WDM_CHECK(feasible(net));
   primary.reserve_in(net);
-  backup.reserve_in(net);
+  if (backup.found) backup.reserve_in(net);
 }
 
 void ProtectedRoute::release_in(WdmNetwork& net) const {
   primary.release_in(net);
-  backup.release_in(net);
+  if (backup.found) backup.release_in(net);
 }
 
 }  // namespace wdm::net

@@ -60,18 +60,56 @@ struct Semilightpath {
 /// (wavelengths are irrelevant — a fiber cut takes out every λ on the fiber).
 bool edge_disjoint(const Semilightpath& a, const Semilightpath& b);
 
-/// A provisioned robust route: primary + backup, edge-disjoint.
+/// SRLG-disjoint: edge-disjoint AND no link of `a` shares a shared-risk
+/// group with a link of `b`. Strictly stronger than edge_disjoint; on a
+/// network with no SRLGs declared the two predicates coincide.
+bool srlg_disjoint(const WdmNetwork& net, const Semilightpath& a,
+                   const Semilightpath& b);
+
+/// What "protected" means for a route — the §2 edge-disjoint predicate, its
+/// SRLG-disjoint strengthening, or partial protection in the spirit of LP
+/// relaxations for partial path protection: only primary links whose
+/// declared failure probability exceeds a threshold need backup coverage.
+enum class ProtectKind { kFull, kSrlg, kPartial };
+
+struct ProtectPolicy {
+  ProtectKind kind = ProtectKind::kFull;
+  /// kPartial only: links with link_failure_probability > threshold are
+  /// "risky" and must be avoided by the backup.
+  double threshold = 0.0;
+
+  static ProtectPolicy full() { return {ProtectKind::kFull, 0.0}; }
+  static ProtectPolicy srlg() { return {ProtectKind::kSrlg, 0.0}; }
+  static ProtectPolicy partial(double p) { return {ProtectKind::kPartial, p}; }
+
+  friend bool operator==(const ProtectPolicy&, const ProtectPolicy&) = default;
+};
+
+const char* protect_kind_name(ProtectKind kind);
+
+/// A provisioned robust route: primary + backup, disjoint per `policy`.
+///
+/// Under kPartial the backup is optional (absent when no primary link is
+/// risky) and may share *safe* links with the primary — never a (link, λ)
+/// pair, and never a link in `avoid` (the risky links plus their SRLG
+/// co-members, recorded by the router that built the route).
 struct ProtectedRoute {
   Semilightpath primary;
   Semilightpath backup;
   bool found = false;
+  ProtectPolicy policy{};          // defaults to kFull: pre-SRLG semantics
+  std::vector<EdgeId> avoid;       // kPartial: links backup must not touch
 
   double total_cost(const WdmNetwork& net) const {
-    return primary.cost(net) + backup.cost(net);
+    return primary.cost(net) + (backup.found ? backup.cost(net) : 0.0);
   }
 
-  /// found AND both paths fit the residual network AND they are
-  /// edge-disjoint — the full §2 feasibility predicate.
+  /// The policy's feasibility predicate against the current residual.
+  /// kFull keeps the exact pre-SRLG behavior: found AND both paths fit AND
+  /// edge-disjoint. kSrlg strengthens disjointness to srlg_disjoint.
+  /// kPartial: primary fits; if a backup exists it fits, avoids `avoid`,
+  /// and shares no (link, λ) hop with the primary; a missing backup is
+  /// feasible only when nothing was risky (avoid empty).
   bool feasible(const WdmNetwork& net) const;
 
   void reserve_in(WdmNetwork& net) const;

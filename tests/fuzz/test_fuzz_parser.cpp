@@ -109,8 +109,44 @@ TEST(ParserFuzz, GarbageTokensNeverCrash) {
       "network 3 2\nlink 0 1 costs ,,,\n",
       "network 3 2\nlink 0 1 cost\n",
       "network 1000000000 1000000000\n",
+      "network 3 2\nlink 0 1 cost 1\nsrlg 0 0.5 99999999999999999999\n",
+      "network 3 2\nlink 0 1 cost 1\nsrlg 0 nan 0\n",
+      "network 3 2\nlink 0 1 cost 1\nsrlg -1 0.5 0\n",
+      "network 3 2\nlink 0 1 cost 1\nsrlg 0 0.5 0,0,0,0,0,0,0,0,,\n",
+      "srlg 0 0.5 0\n",
   };
   for (const char* c : cases) check_both_parsers(c);
+}
+
+TEST(ParserFuzz, SrlgAnnotatedInstancesMutateCleanly) {
+  // Same byte-mutation property over instances that serialize srlg blocks,
+  // so the new directive's parsing paths face the same abuse.
+  GenOptions gen;
+  gen.srlg_probability = 1.0;
+  support::Rng rng(0x5197u);
+  const int budget = mutation_budget() / 2;
+  for (int i = 0; i < budget; ++i) {
+    const FuzzInstance inst = generate_instance(rng() % 64, gen);
+    Violation v;
+    v.invariant = "parser-fuzz";
+    std::string text = write_repro_text(inst, v);
+    const int edits = 1 + static_cast<int>(rng() % 8);
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t pos = rng.index(text.size());
+      switch (rng() % 3) {
+        case 0:
+          text[pos] = static_cast<char>(rng() % 256);
+          break;
+        case 1:
+          text.insert(pos, 1, static_cast<char>(rng() % 256));
+          break;
+        default:
+          text.erase(pos, 1);
+          break;
+      }
+    }
+    check_both_parsers(text);
+  }
 }
 
 }  // namespace

@@ -99,6 +99,56 @@ TEST(Io, ParsesHandWrittenInput) {
   EXPECT_FALSE(n.conversion(0).allowed(0, 1));
 }
 
+TEST(Io, RoundTripSrlgBlocks) {
+  net::WdmNetwork original(4, 3);
+  original.add_link(0, 1, net::WavelengthSet::all(3), 1.0);
+  original.add_link(1, 2, net::WavelengthSet::all(3), 2.0);
+  original.add_link(2, 3, net::WavelengthSet::all(3), 3.0);
+  original.add_link(0, 3, net::WavelengthSet::all(3), 4.0);
+  original.add_srlg({0, 2}, 0.25);
+  original.add_srlg({1, 2, 3}, 0.125);
+
+  const std::string text = write_network(original);
+  const net::WdmNetwork loaded = read_network(text);
+  expect_equal_networks(original, loaded);
+  ASSERT_EQ(loaded.num_srlgs(), 2);
+  EXPECT_EQ(loaded.srlg(0).links, (std::vector<graph::EdgeId>{0, 2}));
+  EXPECT_EQ(loaded.srlg(1).links, (std::vector<graph::EdgeId>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loaded.srlg(0).failure_probability, 0.25);
+  EXPECT_DOUBLE_EQ(loaded.srlg(1).failure_probability, 0.125);
+  // Exact text round-trip: save -> load -> save is byte-identical.
+  EXPECT_EQ(text, write_network(loaded));
+}
+
+TEST(Io, SrlgRejectsMalformedBlocks) {
+  const std::string base = "network 3 2\nlink 0 1 cost 1\nlink 1 2 cost 1\n";
+  // Duplicate group id.
+  EXPECT_THROW(read_network(base + "srlg 0 0.5 0\nsrlg 0 0.5 1\n"), ParseError);
+  // Ids must be dense and in order.
+  EXPECT_THROW(read_network(base + "srlg 1 0.5 0\n"), ParseError);
+  // Out-of-range link reference.
+  EXPECT_THROW(read_network(base + "srlg 0 0.5 0,7\n"), ParseError);
+  EXPECT_THROW(read_network(base + "srlg 0 0.5 -1\n"), ParseError);
+  // Probability outside [0, 1] or non-finite.
+  EXPECT_THROW(read_network(base + "srlg 0 1.5 0\n"), ParseError);
+  EXPECT_THROW(read_network(base + "srlg 0 -0.1 0\n"), ParseError);
+  EXPECT_THROW(read_network(base + "srlg 0 nan 0\n"), ParseError);
+  EXPECT_THROW(read_network(base + "srlg 0 inf 0\n"), ParseError);
+  // Empty member list / arity errors / srlg before any network header.
+  EXPECT_THROW(read_network(base + "srlg 0 0.5\n"), ParseError);
+  EXPECT_THROW(read_network(base + "srlg 0 0.5 ,,,\n"), ParseError);
+  EXPECT_THROW(read_network("srlg 0 0.5 0\n"), ParseError);
+}
+
+TEST(Io, SrlgErrorsCarryLineNumbers) {
+  try {
+    read_network("network 3 2\nlink 0 1 cost 1\nsrlg 0 2.0 0\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
 TEST(Io, ErrorsCarryLineNumbers) {
   try {
     read_network("network 2 2\nlink 0 5 cost 1\n");

@@ -190,5 +190,138 @@ TEST(Simulator, ThetaIterationsTrackedForLoadAwareRouter) {
   EXPECT_GE(m.theta_iterations.mean(), 1.0);
 }
 
+/// NSFNET with the first `groups` fiber pairs annotated as shared conduits.
+net::WdmNetwork srlg_net(int groups = 3) {
+  net::WdmNetwork n = small_net();
+  for (int g = 0; g < groups; ++g) {
+    n.add_srlg({static_cast<graph::EdgeId>(2 * g),
+                static_cast<graph::EdgeId>(2 * g + 1)},
+               0.5);
+  }
+  return n;
+}
+
+TEST(SimulatorSrlg, CorrelatedFailuresFireAndBalance) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(10.0, 100.0);
+  opt.failures.srlg_failure_rate = 0.3;
+  opt.failures.mean_repair = 2.0;
+  opt.restoration = RestorationMode::kActive;
+  Simulator sim(srlg_net(), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.srlg_failures, 0) << "SRLG failure process never fired";
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+  EXPECT_GE(m.reliability(), 0.0);
+  EXPECT_LE(m.reliability(), 1.0);
+  EXPECT_GT(m.availability.count(), 0u);
+}
+
+TEST(SimulatorSrlg, DeterministicForSeed) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(10.0, 60.0);
+  opt.failures.srlg_failure_rate = 0.2;
+  Simulator a(srlg_net(), router, opt);
+  Simulator b(srlg_net(), router, opt);
+  const SimMetrics ma = a.run();
+  const SimMetrics mb = b.run();
+  EXPECT_EQ(ma.offered, mb.offered);
+  EXPECT_EQ(ma.srlg_failures, mb.srlg_failures);
+  EXPECT_DOUBLE_EQ(ma.service_requested, mb.service_requested);
+  EXPECT_DOUBLE_EQ(ma.service_delivered, mb.service_delivered);
+}
+
+TEST(SimulatorSrlg, DisabledRateLeavesSimulationIdentical) {
+  // srlg_failure_rate == 0 must not touch the RNG stream: a run on an
+  // annotated network is bit-identical to the same run on the plain one.
+  rwa::ApproxDisjointRouter router;
+  const SimOptions opt = base_options(10.0, 60.0);
+  Simulator plain(small_net(), router, opt);
+  Simulator annotated(srlg_net(), router, opt);
+  const SimMetrics mp = plain.run();
+  const SimMetrics ma = annotated.run();
+  EXPECT_EQ(mp.offered, ma.offered);
+  EXPECT_EQ(mp.accepted, ma.accepted);
+  EXPECT_EQ(mp.blocked, ma.blocked);
+  EXPECT_EQ(ma.srlg_failures, 0);
+  EXPECT_DOUBLE_EQ(mp.network_load.mean(), ma.network_load.mean());
+  EXPECT_DOUBLE_EQ(mp.service_delivered, ma.service_delivered);
+}
+
+TEST(SimulatorSrlg, GroupFailureIsAtomic) {
+  // Every fiber in one conduit: an SRLG event takes primary AND backup down
+  // in the same instant, so the pre-reserved backup must never absorb the
+  // switchover. A non-atomic implementation (fail one member, sweep, fail
+  // the next) would count switchover recoveries here.
+  rwa::ApproxDisjointRouter router;
+  net::WdmNetwork n = small_net();
+  std::vector<graph::EdgeId> all;
+  for (graph::EdgeId e = 0; e < n.num_links(); ++e) all.push_back(e);
+  n.add_srlg(std::move(all), 1.0);
+
+  SimOptions opt = base_options(10.0, 100.0);
+  opt.failures.srlg_failure_rate = 0.1;
+  opt.failures.mean_repair = 1.0;
+  opt.restoration = RestorationMode::kActive;
+  Simulator sim(std::move(n), router, opt);
+  const SimMetrics m = sim.run();
+  EXPECT_GT(m.srlg_failures, 0);
+  EXPECT_GT(m.primary_failures, 0);
+  EXPECT_EQ(m.switchover_recoveries, 0)
+      << "backup sharing the primary's SRLG absorbed a switchover";
+  EXPECT_EQ(m.recoveries_succeeded, 0);  // nothing survives a total blackout
+  EXPECT_EQ(m.dropped_on_failure, m.primary_failures);
+  EXPECT_EQ(m.final_reserved_wavelength_links, 0);
+}
+
+TEST(SimulatorSrlg, AvailabilityThreadCountInvariantUnderBatching) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(10.0, 60.0);
+  opt.failures.srlg_failure_rate = 0.2;
+  opt.restoration = RestorationMode::kActive;
+  opt.batching.interval = 0.5;
+
+  opt.batching.threads = 1;
+  Simulator one(srlg_net(), router, opt);
+  const SimMetrics m1 = one.run();
+
+  opt.batching.threads = 4;
+  Simulator four(srlg_net(), router, opt);
+  const SimMetrics m4 = four.run();
+
+  EXPECT_EQ(m1.offered, m4.offered);
+  EXPECT_EQ(m1.accepted, m4.accepted);
+  EXPECT_EQ(m1.blocked, m4.blocked);
+  EXPECT_EQ(m1.srlg_failures, m4.srlg_failures);
+  EXPECT_EQ(m1.availability.count(), m4.availability.count());
+  EXPECT_DOUBLE_EQ(m1.service_requested, m4.service_requested);
+  EXPECT_DOUBLE_EQ(m1.service_delivered, m4.service_delivered);
+  EXPECT_DOUBLE_EQ(m1.reliability(), m4.reliability());
+}
+
+TEST(SimulatorSrlg, PerfectNetworkDeliversFullAvailability) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(5.0, 50.0);
+  Simulator sim(srlg_net(), router, opt);
+  const SimMetrics m = sim.run();
+  ASSERT_GT(m.availability.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.reliability(), 1.0);
+  EXPECT_DOUBLE_EQ(m.availability.mean(), 1.0);
+}
+
+TEST(SimulatorSrlg, FailuresDegradeAvailability) {
+  rwa::ApproxDisjointRouter router;
+  SimOptions opt = base_options(10.0, 100.0);
+  opt.restoration = RestorationMode::kNone;  // drops forfeit holding time
+  opt.failures.srlg_failure_rate = 0.3;
+  opt.failures.mean_repair = 2.0;
+  Simulator sim(srlg_net(), router, opt);
+  const SimMetrics m = sim.run();
+  ASSERT_GT(m.srlg_failures, 0);
+  if (m.dropped_on_failure > 0) {
+    EXPECT_LT(m.reliability(), 1.0);
+  }
+  EXPECT_GT(m.reliability(), 0.0);
+}
+
 }  // namespace
 }  // namespace wdm::sim

@@ -3,7 +3,8 @@
 //   wdmtool topologies
 //   wdmtool route <topology> <s> <t> [-W n] [-r router] [--occupy p] [--seed k]
 //   wdmtool simulate <topology> [-W n] [-r router] [--erlang x]
-//            [--duration t] [--failures rate] [--replicas k] [--seed k]
+//            [--duration t] [--failures rate] [--srlg-failures rate]
+//            [--replicas k] [--seed k] [--protect full|srlg|partial:<p>]
 //   wdmtool audit <topology>
 //   wdmtool dot <topology>
 //
@@ -70,9 +71,12 @@ int usage() {
       "  wdmtool topologies\n"
       "  wdmtool route <topology> <s> <t> [-W n] [-r router] [--occupy p] "
       "[--seed k]\n"
+      "           [--protect full|srlg|partial:<p>]\n"
       "  wdmtool simulate <topology> [-W n] [-r router] [--erlang x] "
       "[--duration t]\n"
-      "           [--failures rate] [--replicas k] [--seed k]\n"
+      "           [--failures rate] [--srlg-failures rate] [--replicas k] "
+      "[--seed k]\n"
+      "           [--protect full|srlg|partial:<p>]\n"
       "  wdmtool audit <topology>\n"
       "  wdmtool dot <topology>\n"
       "  wdmtool save <topology> [-W n] [--occupy p] > file.wdm\n"
@@ -121,12 +125,27 @@ bool parse_topology(const std::string& name, topo::Topology* out) {
   return true;
 }
 
-rwa::RouterPtr make_router(const std::string& name) {
-  if (name == "approx") return std::make_unique<rwa::ApproxDisjointRouter>();
-  if (name == "minload") return std::make_unique<rwa::MinLoadRouter>();
-  if (name == "loadcost") return std::make_unique<rwa::LoadCostRouter>();
+rwa::RouterPtr make_router(const std::string& name,
+                           net::ProtectPolicy policy) {
+  if (name == "approx") {
+    return std::make_unique<rwa::ApproxDisjointRouter>(true, policy);
+  }
+  if (name == "minload") {
+    return std::make_unique<rwa::MinLoadRouter>(rwa::MinCogOptions{}, policy);
+  }
+  if (name == "loadcost") {
+    return std::make_unique<rwa::LoadCostRouter>(rwa::MinCogOptions{}, false,
+                                                 policy);
+  }
   if (name == "node-disjoint") {
-    return std::make_unique<rwa::NodeDisjointRouter>();
+    return std::make_unique<rwa::NodeDisjointRouter>(policy);
+  }
+  // The remaining routers predate protection policies; only the default
+  // (full edge-disjoint) request is meaningful for them.
+  if (policy.kind != net::ProtectKind::kFull) {
+    std::fprintf(stderr, "router '%s' does not support --protect\n",
+                 name.c_str());
+    return nullptr;
   }
   if (name == "two-step") return std::make_unique<rwa::TwoStepRouter>();
   if (name == "physical") {
@@ -137,9 +156,30 @@ rwa::RouterPtr make_router(const std::string& name) {
   return nullptr;
 }
 
+/// --protect value: "full" | "srlg" | "partial:<p>" with p in [0, 1].
+bool parse_protect(const std::string& value, net::ProtectPolicy* out) {
+  if (value == "full") {
+    *out = net::ProtectPolicy::full();
+    return true;
+  }
+  if (value == "srlg") {
+    *out = net::ProtectPolicy::srlg();
+    return true;
+  }
+  if (value.rfind("partial:", 0) == 0) {
+    double p = 0.0;
+    if (parse_cli_double(value.c_str() + 8, &p) && p >= 0.0 && p <= 1.0) {
+      *out = net::ProtectPolicy::partial(p);
+      return true;
+    }
+  }
+  return false;
+}
+
 struct Flags {
   int W = 8;
   std::string router = "approx";
+  net::ProtectPolicy protect = net::ProtectPolicy::full();  // --protect
   std::string net_file;  // --net: load the network state instead of building
   std::string telemetry_file;  // --telemetry: JSON dump path
   std::string trace_file;      // --trace: Chrome trace-event export path
@@ -149,6 +189,7 @@ struct Flags {
   double erlang = 20.0;
   double duration = 100.0;
   double failures = 0.0;
+  double srlg_failures = 0.0;  // --srlg-failures: correlated group events
   int replicas = 1;
   std::uint64_t seed = 1;
 };
@@ -186,6 +227,12 @@ bool parse_flags(int argc, char** argv, int first, Flags* f) {
       f->W = iv;
     } else if (a == "-r") {
       if (!next_str(&f->router)) return false;
+    } else if (a == "--protect") {
+      std::string v;
+      if (!next_str(&v)) return false;
+      if (!parse_protect(v, &f->protect)) {
+        return flag_error("--protect", v.c_str());
+      }
     } else if (a == "--net") {
       if (!next_str(&f->net_file)) return false;
     } else if (a == "--telemetry") {
@@ -210,6 +257,10 @@ bool parse_flags(int argc, char** argv, int first, Flags* f) {
       if (!next_double(&f->duration) || f->duration < 0.0) return false;
     } else if (a == "--failures") {
       if (!next_double(&f->failures) || f->failures < 0.0) return false;
+    } else if (a == "--srlg-failures") {
+      if (!next_double(&f->srlg_failures) || f->srlg_failures < 0.0) {
+        return false;
+      }
     } else if (a == "--replicas") {
       if (!next_int(&iv) || iv < 1) return flag_error("--replicas", argv[i]);
       f->replicas = iv;
@@ -308,7 +359,7 @@ int cmd_route(int argc, char** argv) {
   const auto dst = static_cast<net::NodeId>(dst_raw);
   Flags f;
   if (!parse_flags(argc, argv, 5, &f)) return usage();
-  const rwa::RouterPtr router = make_router(f.router);
+  const rwa::RouterPtr router = make_router(f.router, f.protect);
   if (!router) return usage();
   const net::WdmNetwork n = make_network(t, f);
   if (!n.graph().valid_node(s) || !n.graph().valid_node(dst) || s == dst) {
@@ -338,7 +389,7 @@ int cmd_simulate(int argc, char** argv) {
   if (!parse_topology(argv[2], &t)) return usage();
   Flags f;
   if (!parse_flags(argc, argv, 3, &f)) return usage();
-  const rwa::RouterPtr router = make_router(f.router);
+  const rwa::RouterPtr router = make_router(f.router, f.protect);
   if (!router) return usage();
   const net::WdmNetwork base = make_network(t, f);
 
@@ -352,6 +403,15 @@ int cmd_simulate(int argc, char** argv) {
     opt.failures.duplex_failure_rate = f.failures;
     opt.reverse_of = t.reverse_of;
   }
+  if (f.srlg_failures > 0.0) {
+    if (base.num_srlgs() == 0) {
+      std::fprintf(stderr,
+                   "--srlg-failures needs a network with srlg blocks "
+                   "(load one via --net)\n");
+      return 2;
+    }
+    opt.failures.srlg_failure_rate = f.srlg_failures;
+  }
   const sim::ReplicationSummary s =
       sim::replicate(base, *router, opt, f.replicas);
   std::printf("%s on %s: W=%d, %.1f Erlang, horizon %.0f, %d replica(s)\n",
@@ -364,9 +424,11 @@ int cmd_simulate(int argc, char** argv) {
   std::printf("  peak load     %.4f\n", s.peak_load.max);
   std::printf("  route cost    %.3f ± %.3f\n", s.route_cost.mean,
               s.route_cost.ci95);
-  if (f.failures > 0.0) {
+  if (f.failures > 0.0 || f.srlg_failures > 0.0) {
     std::printf("  recovery      %.4f ± %.4f\n", s.recovery_success.mean,
                 s.recovery_success.ci95);
+    std::printf("  availability  %.4f ± %.4f\n", s.availability.mean,
+                s.availability.ci95);
   }
   return finish(f, 0);
 }
