@@ -4,20 +4,37 @@
 // actually drop requests (the regime the engine's drop-run speculation
 // targets).
 //
-// Two things are enforced by exit status, not just reported:
+// Three things are enforced by exit status, not just reported:
 //   * determinism — at EVERY thread count the engine's outcome (accept set,
 //     routes, cost sum, reservation ledger) must equal the serial loop's,
 //     and the 1-thread engine must equal serial by construction (exit 3 on
 //     any mismatch, always enforced);
-//   * the acceptance bar — >= 2x serial throughput at 4 threads on
+//   * the speedup bar — >= 2x serial throughput at 4 threads on
 //     random60-w32 (exit 2 when missed). The bar is only *meaningful* on a
 //     machine with >= 4 usable cores; on smaller hosts (or under
-//     ROBUSTWDM_E17_SKIP_BAR=1 for sanitizer smoke runs) it is reported but
-//     waived, with the waiver recorded in the JSON.
+//     ROBUSTWDM_E17_SKIP_BAR=1 for sanitizer smoke runs) it is waived — and
+//     the waiver is LOUD: distinct exit code 4, recorded in the JSON, so CI
+//     surfaces it as a warning instead of a silent pass;
+//   * the 1-thread bar — the 1T engine arm short-circuits to the serial
+//     provision_batch path, so it must not be measurably slower than serial:
+//     speedup >= 0.98 or exit 5 (the pre-footprint engine ran 0.924x here by
+//     spinning up its snapshot pool for nothing). Measured on thread-CPU
+//     time over interleaved serial/engine passes, with a serial-vs-serial
+//     A/A control through the same harness; a miss only becomes exit 5 when
+//     the control sits inside the 2% band — a host whose A/A control itself
+//     strays past 2% cannot resolve the bar, and it is waived via exit 4
+//     like the speedup bar (loud, recorded in the JSON, never a silent
+//     pass).
+//
+// The authoritative core count is ROBUSTWDM_THREADS when set (CI pins it so
+// the waiver decision is explicit, not guessed from the container's cpuset),
+// else support::hardware_threads().
 //
 // Writes BENCH_parallel_batch.json (override via --out <path>).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -34,6 +51,24 @@
 namespace {
 
 using namespace wdm;
+
+// Thread-CPU time in ms, for the 1-thread bar only. Both sides of that bar
+// run single-threaded identical code on the calling thread, so any genuine
+// engine overhead shows up in CPU time — while scheduler slices stolen by a
+// loaded host (which dominate wall-clock jitter on 1-core CI runners) do
+// not. The throughput arms keep wall clock: parallelism is a wall-time win.
+double thread_cpu_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::vector<rwa::BatchRequest> make_batch(int count, net::NodeId n,
                                           std::uint64_t seed) {
@@ -85,6 +120,7 @@ bool outcomes_identical(const rwa::BatchOutcome& a, const rwa::BatchOutcome& b,
 struct ArmResult {
   int threads = 0;
   double ms = 0.0;
+  double best_round_ms = 0.0;
   double rps = 0.0;
   double speedup = 0.0;
   bool identical = true;
@@ -99,12 +135,21 @@ struct ScenarioResult {
   int serial_accepted = 0;
   int serial_dropped = 0;
   double serial_ms = 0.0;
+  double serial_best_round_ms = 0.0;
   double serial_rps = 0.0;
+  /// total(serial) / total(engine-1T) thread-CPU time over interleaved
+  /// passes — the basis for the 1-thread bar.
+  double one_thread_paired_speedup = 0.0;
+  /// total(serial) / total(serial) over the same passes: an A/A control
+  /// measuring the host's timing floor. Outside [0.98, 1/0.98] the 1T bar
+  /// is unresolvable on this host and is waived loudly.
+  double one_thread_aa_control = 0.0;
   std::vector<ArmResult> arms;
 };
 
 ScenarioResult run_scenario(const char* name, const net::WdmNetwork& base,
-                            int batch_size, int rounds, std::uint64_t seed) {
+                            int batch_size, int rounds, std::uint64_t seed,
+                            bool measure_one_thread_bar) {
   ScenarioResult sr;
   sr.scenario = name;
   sr.batch_size = batch_size;
@@ -124,13 +169,18 @@ ScenarioResult run_scenario(const char* name, const net::WdmNetwork& base,
 
   {
     net::WdmNetwork net = base;
-    support::Stopwatch sw;
+    double total = 0.0, best = 0.0;
     for (int r = 0; r < rounds; ++r) {
+      support::Stopwatch sw;
       const rwa::BatchOutcome out = rwa::provision_batch(
           net, router, batch, rwa::BatchOrder::kArrival);
       rwa::release_batch(net, out);
+      const double ms = sw.elapsed_ms();
+      total += ms;
+      if (r == 0 || ms < best) best = ms;
     }
-    sr.serial_ms = sw.elapsed_ms();
+    sr.serial_ms = total;
+    sr.serial_best_round_ms = best;
     sr.serial_rps = bench::requests_per_second(sr.requests, sr.serial_ms);
   }
 
@@ -153,18 +203,75 @@ ScenarioResult run_scenario(const char* name, const net::WdmNetwork& base,
     engine.reset_stats();
     {
       net::WdmNetwork net = base;
-      support::Stopwatch sw;
+      double total = 0.0, best = 0.0;
       for (int r = 0; r < rounds; ++r) {
+        support::Stopwatch sw;
         const rwa::BatchOutcome out =
             engine.run(net, router, batch, rwa::BatchOrder::kArrival);
         rwa::release_batch(net, out);
+        const double ms = sw.elapsed_ms();
+        total += ms;
+        if (r == 0 || ms < best) best = ms;
       }
-      arm.ms = sw.elapsed_ms();
+      arm.ms = total;
+      arm.best_round_ms = best;
     }
     arm.rps = bench::requests_per_second(sr.requests, arm.ms);
     arm.speedup = arm.ms > 0.0 ? sr.serial_ms / arm.ms : 0.0;
     arm.stats = engine.stats();
     sr.arms.push_back(arm);
+  }
+
+  // 1-thread overhead bar measurement, with a built-in A/A control.
+  //
+  // Three arms interleave per pass: serial (A), serial again (B), and the
+  // 1T engine (E) — thread-CPU time, so preemption by a loaded host does
+  // not count against either side, and the arm order rotates each pass so
+  // periodic co-tenant interference cannot phase-lock onto one arm. The
+  // reported speedup is total(A)/total(E); total(A)/total(B) is an A/A
+  // control that measures the host's timing floor on *identical* code.
+  // main() only declares a violation when the engine misses the bar while
+  // the control sits inside the band: on a host whose A/A control itself
+  // strays past 2%, no estimator can resolve the bar honestly (measured
+  // here: min, median-of-pair-ratios, and totals all drift to ~0.97 A/A
+  // on a busy 1-core container), so the bar is waived LOUDLY instead.
+  // The pass count is fixed, not adaptive: every engine.run bumps the
+  // rwa.parallel_batch.requests telemetry counter that the CI teldiff
+  // gate pins, so the amount of work here must be deterministic.
+  if (measure_one_thread_bar) {
+    rwa::ParallelBatchOptions opt;
+    opt.threads = 1;
+    rwa::ParallelBatchEngine engine(opt);
+    double tot[3] = {0.0, 0.0, 0.0};  // A, B, E
+    const auto time_serial = [&](double& acc) {
+      net::WdmNetwork net = base;
+      const double start = thread_cpu_ms();
+      const rwa::BatchOutcome out = rwa::provision_batch(
+          net, router, batch, rwa::BatchOrder::kArrival);
+      acc += thread_cpu_ms() - start;
+      rwa::release_batch(net, out);
+    };
+    const auto time_engine = [&](double& acc) {
+      net::WdmNetwork net = base;
+      const double start = thread_cpu_ms();
+      const rwa::BatchOutcome out =
+          engine.run(net, router, batch, rwa::BatchOrder::kArrival);
+      acc += thread_cpu_ms() - start;
+      rwa::release_batch(net, out);
+    };
+    const int kTriples = 24;
+    for (int k = 0; k < kTriples; ++k) {
+      for (int slot = 0; slot < 3; ++slot) {
+        const int arm = (slot + k) % 3;
+        if (arm == 2) {
+          time_engine(tot[2]);
+        } else {
+          time_serial(tot[arm]);
+        }
+      }
+    }
+    sr.one_thread_paired_speedup = tot[2] > 0.0 ? tot[0] / tot[2] : 0.0;
+    sr.one_thread_aa_control = tot[1] > 0.0 ? tot[0] / tot[1] : 0.0;
   }
   return sr;
 }
@@ -192,7 +299,12 @@ int main(int argc, char** argv) {
       ">= 2x at 4 threads on random60-w32 when >= 4 cores are available "
       "(enforced, exit 2). Conflict/retry rates quantify the optimism tax.");
 
-  const int cores = support::hardware_threads();
+  // ROBUSTWDM_THREADS is authoritative when set: the waiver decision must
+  // follow the declared budget, not a guess from the container's cpuset
+  // (hardware_threads() only caps by the env var, it never raises).
+  const std::int64_t declared = support::env_int("ROBUSTWDM_THREADS", 0);
+  const int cores = declared > 0 ? static_cast<int>(declared)
+                                 : support::hardware_threads();
   const bool skip_bar = support::env_int("ROBUSTWDM_E17_SKIP_BAR", 0) != 0;
   const int rounds = quick ? 3 : 12;
 
@@ -201,7 +313,8 @@ int main(int argc, char** argv) {
     net::WdmNetwork nsf = topo::nsfnet_network(16, 0.5);
     preload(nsf, 0.55, 1001);
     results.push_back(
-        run_scenario("nsfnet-w16", nsf, quick ? 120 : 240, rounds, 11));
+        run_scenario("nsfnet-w16", nsf, quick ? 120 : 240, rounds, 11,
+                     /*measure_one_thread_bar=*/false));
   }
   {
     support::Rng rng(7);
@@ -211,18 +324,20 @@ int main(int argc, char** argv) {
     net::WdmNetwork big = topo::build_network(t, nopt, rng);
     preload(big, 0.93, 1002);
     results.push_back(
-        run_scenario("random60-w32", big, quick ? 150 : 300, rounds, 21));
+        run_scenario("random60-w32", big, quick ? 150 : 300, rounds, 21,
+                     /*measure_one_thread_bar=*/true));
   }
 
   bool determinism_ok = true;
   wdm::support::TextTable table({"scenario", "threads", "ms", "requests/s",
                                  "speedup", "conflict rate", "spec hits",
-                                 "retries", "fallbacks", "identical"});
+                                 "fp hits", "retries", "fallbacks",
+                                 "identical"});
   for (const ScenarioResult& sr : results) {
     table.add_row({sr.scenario, "serial",
                    wdm::support::TextTable::num(sr.serial_ms, 2),
                    wdm::support::TextTable::num(sr.serial_rps, 0), "1.00", "-",
-                   "-", "-", "-", "-"});
+                   "-", "-", "-", "-", "-"});
     for (const ArmResult& a : sr.arms) {
       determinism_ok = determinism_ok && a.identical;
       table.add_row({sr.scenario, wdm::support::TextTable::integer(a.threads),
@@ -231,6 +346,8 @@ int main(int argc, char** argv) {
                      wdm::support::TextTable::num(a.speedup, 2),
                      wdm::support::TextTable::num(a.stats.conflict_rate(), 3),
                      wdm::support::TextTable::num(a.stats.spec_hit_rate(), 3),
+                     wdm::support::TextTable::num(
+                         a.stats.footprint_hit_rate(), 3),
                      wdm::support::TextTable::integer(
                          static_cast<int>(a.stats.retries)),
                      wdm::support::TextTable::integer(
@@ -244,10 +361,28 @@ int main(int argc, char** argv) {
   const double bar_speedup = bar_arm ? bar_arm->speedup : 0.0;
   const bool bar_waived = skip_bar || cores < 4;
   const bool bar_met = bar_speedup >= 2.0;
+  // The 1T arm delegates to the serial path, so any overhead beyond noise is
+  // a regression in the short-circuit itself. Enforced regardless of cores,
+  // on the interleaved thread-CPU-time measurement from run_scenario (see
+  // comment there). A miss only counts as a violation when the A/A control
+  // proves the host could have resolved it; otherwise the bar is waived
+  // loudly, like the 4-thread bar on small hosts.
+  const double one_t_speedup = results.back().one_thread_paired_speedup;
+  const double one_t_aa = results.back().one_thread_aa_control;
+  const bool one_t_ok = one_t_speedup >= 0.98;
+  const bool one_t_waived =
+      !one_t_ok && (one_t_aa < 0.98 || one_t_aa > 1.0 / 0.98);
 
   std::printf("usable cores: %d\n", cores);
   std::printf("determinism (all thread counts == serial): %s\n",
               determinism_ok ? "OK" : "VIOLATED");
+  std::printf(
+      "random60-w32 1-thread arm >= 0.98x serial (interleaved cpu time, "
+      "A/A control %.3f): %.3fx — %s\n",
+      one_t_aa, one_t_speedup,
+      one_t_ok ? "OK"
+               : (one_t_waived ? "WAIVED (host timing floor exceeds bar)"
+                               : "VIOLATED"));
   if (bar_waived) {
     std::printf(
         "random60-w32 >= 2x @ 4 threads bar: %.2fx — WAIVED (%s)\n",
@@ -270,6 +405,12 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"bar_met\": %s,\n", bar_met ? "true" : "false");
   std::fprintf(f, "  \"bar_waived_insufficient_cores\": %s,\n",
                bar_waived ? "true" : "false");
+  std::fprintf(f, "  \"one_thread_speedup_random60\": %.3f,\n", one_t_speedup);
+  std::fprintf(f, "  \"one_thread_aa_control\": %.3f,\n", one_t_aa);
+  std::fprintf(f, "  \"one_thread_bar_met\": %s,\n",
+               one_t_ok ? "true" : "false");
+  std::fprintf(f, "  \"one_thread_bar_waived_noisy_host\": %s,\n",
+               one_t_waived ? "true" : "false");
   std::fprintf(f, "  \"scenarios\": [\n");
   for (std::size_t s = 0; s < results.size(); ++s) {
     const ScenarioResult& sr = results[s];
@@ -287,17 +428,20 @@ int main(int argc, char** argv) {
           f,
           "      {\"threads\": %d, \"ms\": %.3f, \"rps\": %.1f, "
           "\"speedup\": %.3f, \"identical\": %s, \"conflict_rate\": %.4f, "
-          "\"spec_hit_rate\": %.4f, \"speculations\": %lld, "
-          "\"conflicts\": %lld, \"retries\": %lld, "
+          "\"spec_hit_rate\": %.4f, \"footprint_hit_rate\": %.4f, "
+          "\"runs\": %lld, \"serial_runs\": %lld, \"speculations\": %lld, "
+          "\"footprint_hits\": %lld, \"conflicts\": %lld, "
+          "\"spec_discarded\": %lld, \"retries\": %lld, "
           "\"commit_reroutes\": %lld, \"serial_fallbacks\": %lld, "
           "\"epochs\": %lld, \"snapshot_syncs\": %lld, "
           "\"snapshot_copies\": %lld}%s\n",
           a.threads, a.ms, a.rps, a.speedup, a.identical ? "true" : "false",
           a.stats.conflict_rate(), a.stats.spec_hit_rate(),
-          a.stats.speculations, a.stats.conflicts, a.stats.retries,
-          a.stats.commit_reroutes, a.stats.serial_fallbacks, a.stats.epochs,
-          a.stats.snapshot_syncs, a.stats.snapshot_copies,
-          i + 1 < sr.arms.size() ? "," : "");
+          a.stats.footprint_hit_rate(), a.stats.runs, a.stats.serial_runs,
+          a.stats.speculations, a.stats.footprint_hits, a.stats.conflicts,
+          a.stats.spec_discarded, a.stats.retries, a.stats.commit_reroutes,
+          a.stats.serial_fallbacks, a.stats.epochs, a.stats.snapshot_syncs,
+          a.stats.snapshot_copies, i + 1 < sr.arms.size() ? "," : "");
     }
     std::fprintf(f, "    ]}%s\n", s + 1 < results.size() ? "," : "");
   }
@@ -306,6 +450,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!determinism_ok) return 3;
+  if (!one_t_ok && !one_t_waived) return 5;
   if (!bar_waived && !bar_met) return 2;
+  if (bar_waived || one_t_waived) return 4;
   return 0;
 }

@@ -11,7 +11,9 @@
 namespace wdm::rwa {
 
 RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
-                                        net::NodeId s, net::NodeId t) const {
+                                        net::NodeId s, net::NodeId t,
+                                        RouteFootprint* fp) const {
+  if (fp != nullptr) fp->mark_opaque();
   if (policy_.kind == net::ProtectKind::kPartial) {
     return route_partial(net, s, t, policy_.threshold);
   }
@@ -20,9 +22,17 @@ RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
   support::telemetry::SplitTimer tel;
   RouteResult result;
   result.route.policy = policy_;
+  const bool srlg_path =
+      policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0;
+  if (fp != nullptr && !srlg_path) {
+    // G' is a pure function of the cost channel; everything downstream of
+    // the pair reads only the induced masks, added below.
+    fp->begin();
+    fp->cost_semantics = true;
+  }
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
-  auto builder = builders_.lease();
+  auto builder = builders_.lease(net);
   const AuxGraph& aux = builder->build(net, s, t, opt);
   tel.split(WDM_TEL_HIST("rwa.approx.aux_build_ns"),
             WDM_TEL_NAME("rwa.approx.aux_build"));
@@ -51,11 +61,21 @@ RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
   if (refine_) {
     const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
     const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+    if (fp != nullptr && !fp->opaque) {
+      fp->add_exact_mask(mask1);
+      fp->add_exact_mask(mask2);
+    }
     p1 = optimal_semilightpath(net, s, t, mask1);
     p2 = optimal_semilightpath(net, s, t, mask2);
   } else {
-    p1 = first_fit_assign(net, aux.project(pair.first));
-    p2 = first_fit_assign(net, aux.project(pair.second));
+    const auto links1 = aux.project(pair.first);
+    const auto links2 = aux.project(pair.second);
+    if (fp != nullptr && !fp->opaque) {
+      for (graph::EdgeId e : links1) fp->add_exact_link(e);
+      for (graph::EdgeId e : links2) fp->add_exact_link(e);
+    }
+    p1 = first_fit_assign(net, links1);
+    p2 = first_fit_assign(net, links2);
   }
   tel.split(WDM_TEL_HIST("rwa.approx.liang_shen_ns"),
             WDM_TEL_NAME("rwa.approx.liang_shen"));

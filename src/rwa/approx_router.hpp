@@ -36,7 +36,15 @@ class ApproxDisjointRouter final : public Router {
       : refine_(refine), policy_(policy) {}
 
   RouteResult route(const net::WdmNetwork& net, net::NodeId s,
-                    net::NodeId t) const override;
+                    net::NodeId t) const override {
+    return route(net, s, t, nullptr);
+  }
+
+  /// Records a cost-channel footprint (G' semantics + the induced refinement
+  /// masks as exact links). SRLG-with-groups and partial-protection paths
+  /// stay opaque.
+  RouteResult route(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
+                    RouteFootprint* fp) const override;
 
   std::string name() const override {
     return refine_ ? "approx-cost(§3.3)" : "approx-cost(no-refine)";

@@ -361,6 +361,31 @@ AuxGraphBuilderPool::Lease AuxGraphBuilderPool::lease() {
   return Lease(this, std::move(builder));
 }
 
+AuxGraphBuilderPool::Lease AuxGraphBuilderPool::lease(
+    const net::WdmNetwork& net) {
+  std::unique_ptr<AuxGraphBuilder> builder;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // Exact uid match first (warm caches), then a never-bound builder (no
+    // caches to destroy), then LIFO (evicts some other network's warmth).
+    std::size_t pick = idle_.size();
+    for (std::size_t i = idle_.size(); i-- > 0;) {
+      if (idle_[i]->bound_uid() == net.uid()) {
+        pick = i;
+        break;
+      }
+      if (pick == idle_.size() && idle_[i]->bound_uid() == 0) pick = i;
+    }
+    if (pick == idle_.size() && !idle_.empty()) pick = idle_.size() - 1;
+    if (pick < idle_.size()) {
+      builder = std::move(idle_[pick]);
+      idle_.erase(idle_.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  if (builder == nullptr) builder = std::make_unique<AuxGraphBuilder>();
+  return Lease(this, std::move(builder));
+}
+
 std::size_t AuxGraphBuilderPool::idle_count() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return idle_.size();

@@ -167,6 +167,13 @@ class AuxGraphBuilder {
   /// Drops every cache and the network binding; arena capacity is kept.
   void invalidate();
 
+  /// uid() of the network the caches are currently bound to (0 = unbound).
+  /// AuxGraphBuilderPool keys leases on this so a caller gets back a builder
+  /// whose caches are warm for *its* network, not whichever network leased
+  /// last — the difference between a warm rebuild and a full rebind when
+  /// snapshot copies and the live network interleave (ParallelBatchEngine).
+  std::uint64_t bound_uid() const { return net_uid_; }
+
   struct CacheStats {
     std::uint64_t builds = 0;
     std::uint64_t rebinds = 0;      // network changed -> full cache drop
@@ -246,6 +253,12 @@ class AuxGraphBuilderPool {
   AuxGraphBuilderPool& operator=(const AuxGraphBuilderPool&) = delete;
 
   Lease lease();
+  /// Keyed lease: prefers an idle builder already bound to `net` (warm
+  /// caches), then an unbound one, then LIFO; allocates only when the pool
+  /// is empty. Concurrent callers over distinct networks (speculation
+  /// snapshots vs the live network) each keep their own warm builder instead
+  /// of thrashing each other's caches through rebinds.
+  Lease lease(const net::WdmNetwork& net);
   /// Builders currently parked in the pool (observability for tests).
   std::size_t idle_count() const;
 

@@ -1,0 +1,142 @@
+#include "rwa/footprint.hpp"
+
+#include <algorithm>
+
+#include "rwa/aux_graph.hpp"
+#include "support/check.hpp"
+
+namespace wdm::rwa {
+
+namespace {
+
+/// (U(e)+1)/N(e), bitwise the term WdmNetwork::theta_min/theta_max range
+/// over — the validator's band rules must agree with the network's ϑ bounds
+/// exactly, not up to rounding.
+double next_load(const net::WdmNetwork& net, graph::EdgeId e) {
+  return static_cast<double>(net.usage(e) + 1) /
+         static_cast<double>(net.capacity(e));
+}
+
+}  // namespace
+
+void FootprintValidator::begin_run(const net::WdmNetwork& net) {
+  pre_.clear();
+  scratch_links_.clear();
+  deltas_.clear();
+  last_write_epoch_.assign(static_cast<std::size_t>(net.num_links()), 0);
+  last_cost_change_epoch_ = 0;
+  latest_epoch_ = 0;
+}
+
+void FootprintValidator::capture_link(const net::WdmNetwork& net,
+                                      graph::EdgeId e, LinkPre* into) const {
+  into->link = e;
+  into->empty = net.available(e).count() == 0;
+  into->mean_weight = into->empty ? 0.0 : net.mean_available_weight(e);
+  into->load = net.link_load(e);
+  into->next_load = next_load(net, e);
+  into->pairs.clear();
+  // Every transit pair that reads Λ_avail(e): e as the in-link of its head
+  // node, then e as the out-link of its tail node. Adjacency is immutable
+  // during a run, so pre/post captures align elementwise.
+  const graph::Digraph& g = net.graph();
+  for (graph::EdgeId o : g.out_edges(g.head(e))) {
+    PairPre p;
+    p.has = mean_conversion_cost(net, g.head(e), e, o, &p.mean);
+    into->pairs.push_back(p);
+  }
+  for (graph::EdgeId i : g.in_edges(g.tail(e))) {
+    PairPre p;
+    p.has = mean_conversion_cost(net, g.tail(e), i, e, &p.mean);
+    into->pairs.push_back(p);
+  }
+}
+
+void FootprintValidator::capture_pre(const net::WdmNetwork& net,
+                                     const net::ProtectedRoute& r) {
+  scratch_links_.clear();
+  for (const net::Hop& h : r.primary.hops) scratch_links_.push_back(h.edge);
+  for (const net::Hop& h : r.backup.hops) scratch_links_.push_back(h.edge);
+  std::sort(scratch_links_.begin(), scratch_links_.end());
+  scratch_links_.erase(
+      std::unique(scratch_links_.begin(), scratch_links_.end()),
+      scratch_links_.end());
+
+  pre_.resize(scratch_links_.size());
+  for (std::size_t i = 0; i < scratch_links_.size(); ++i) {
+    capture_link(net, scratch_links_[i], &pre_[i]);
+  }
+}
+
+void FootprintValidator::discard_pre() { pre_.clear(); }
+
+void FootprintValidator::commit(const net::WdmNetwork& net,
+                                std::uint64_t epoch) {
+  WDM_CHECK(epoch > latest_epoch_);
+  CommitDelta delta;
+  delta.epoch = epoch;
+  bool cost_changed = false;
+  LinkPre post;
+  for (const LinkPre& was : pre_) {
+    capture_link(net, was.link, &post);
+    if (was.empty != post.empty) {
+      // Usable-set membership flipped: the G' edge-node layout itself moved.
+      cost_changed = true;
+    } else if (!was.empty && was.mean_weight != post.mean_weight) {
+      cost_changed = true;
+    }
+    WDM_DCHECK(was.pairs.size() == post.pairs.size());
+    for (std::size_t i = 0; i < was.pairs.size() && !cost_changed; ++i) {
+      if (was.pairs[i].has != post.pairs[i].has ||
+          (was.pairs[i].has && was.pairs[i].mean != post.pairs[i].mean)) {
+        cost_changed = true;
+      }
+    }
+    delta.links.push_back({was.link, was.load, post.load, was.next_load,
+                           post.next_load});
+    last_write_epoch_[static_cast<std::size_t>(was.link)] = epoch;
+  }
+  if (cost_changed) last_cost_change_epoch_ = epoch;
+  latest_epoch_ = epoch;
+  deltas_.push_back(std::move(delta));
+  pre_.clear();
+}
+
+bool FootprintValidator::valid(const RouteFootprint& fp,
+                               std::uint64_t base_epoch) const {
+  if (base_epoch >= latest_epoch_) return true;  // nothing committed since
+  if (fp.opaque) return false;
+  if (fp.cost_semantics && last_cost_change_epoch_ > base_epoch) return false;
+  for (graph::EdgeId e : fp.exact_links) {
+    if (last_write_epoch_[static_cast<std::size_t>(e)] > base_epoch) {
+      return false;
+    }
+  }
+  if (fp.load_semantics) {
+    // Deltas are appended in strictly increasing epoch order; only the ones
+    // after the speculation's snapshot matter, so scan from the back.
+    for (auto it = deltas_.rbegin();
+         it != deltas_.rend() && it->epoch > base_epoch; ++it) {
+      for (const LinkWriteDelta& d : it->links) {
+        // Member of the accepted G_c/G_rc (load < ϑ_accepted) was written:
+        // its weight, membership, or transit means may have moved. False for
+        // NaN (dropped request: no members to protect).
+        if (d.load_before < fp.theta_accepted) return false;
+        // ϑ_max rose past the recorded stamp, so the probe ladder moves.
+        if (d.next_load_after > fp.theta_max) return false;
+        // The written link sat at the recorded ϑ_min; the minimum may rise.
+        if (d.next_load_before <= fp.theta_min) return false;
+        // A probed G_c(ϑ) gained/lost this link. Redundant while commits
+        // only reserve (membership shrinks monotonically, so infeasible
+        // probes stay infeasible and members are caught above), but kept as
+        // a cheap belt-and-braces for future release-in-batch workloads.
+        for (double p : fp.theta_probes) {
+          if ((d.load_before < p) != (d.load_after < p)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace wdm::rwa

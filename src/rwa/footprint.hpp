@@ -1,0 +1,201 @@
+// Per-speculation read footprints and the commit-side validator that replaces
+// whole-network epoch validation in ParallelBatchEngine (ROADMAP item 1).
+//
+// The problem: a speculation computed against a snapshot at epoch b is safe to
+// commit at epoch c > b iff re-running the router against the *live* network
+// would reproduce the speculated RouteResult bit-for-bit. Epoch validation
+// answers "yes" only when b == c, which serializes accept-heavy batches. The
+// footprint answers "yes" whenever none of the intervening commits *semantically
+// changed* anything the router read.
+//
+// A naive per-link read set does not work here: every auxiliary-graph router
+// reads *all* links (G', G_c and G_rc are built over the whole residual
+// network), so a literal read set degenerates back to epoch validation. The
+// footprint is therefore expressed in the router's *derived* quantities — the
+// values the auxiliary graphs are actually built from — and the validator
+// diffs those quantities across each committed route's write set:
+//
+//   * cost channel (G'-family routers: ApproxDisjointRouter,
+//     NodeDisjointRouter). G' depends on each link only through
+//     (a) availability *emptiness* (usable-set membership, which also fixes
+//     the edge-node id layout), (b) the bitwise mean available weight
+//     (mean_available_weight), and (c) the (exists, mean) value of every
+//     transit pair touching the link (mean_conversion_cost). A commit whose
+//     reservations leave all three unchanged on every written link — the
+//     common case under uniform per-wavelength costs — is invisible to G'.
+//
+//   * load channel (MinCog-family routers: LoadCostRouter, MinLoadRouter).
+//     The ϑ-search ladder is derived from ϑ_min/ϑ_max = min/max over links of
+//     (U(e)+1)/N(e); probe feasibility and the accepted G_c(ϑ)/G_rc(ϑ) depend
+//     on each link only through its load band relative to the probed ϑ values
+//     and, for members (load < ϑ_accepted), the exact residual state. Under
+//     commit-only usage growth (loads are monotone within a run) the validator
+//     can prove the ladder, every probe answer, and the accepted graph
+//     unchanged from the recorded stamps — the "load-band stamp" of the issue.
+//
+//   * exact links. The projection/refinement stage (optimal_semilightpath over
+//     the induced masks) reads the full residual state of exactly the masked
+//     links; any write to one of them invalidates.
+//
+//   * opaque. Routers that do not record a footprint (baselines, SRLG and
+//     partial-protection paths, ablation ϑ-searches whose probe grid depends
+//     on every link load) validate exactly like the old epoch scheme: valid
+//     iff nothing committed since the snapshot.
+//
+// Soundness argument (why "footprint passes" implies bit-identical re-route)
+// is spelled out rule-by-rule in DESIGN.md §5; the differential unit + fuzz
+// suites enforce it against both serial provisioning and epoch validation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "wdm/network.hpp"
+#include "wdm/semilightpath.hpp"
+
+namespace wdm::rwa {
+
+/// The read set of one Router::route call, recorded by the router itself.
+/// Default-constructed (or mark_opaque()'d) footprints demand epoch-exact
+/// validation, so routers that never heard of footprints stay correct.
+struct RouteFootprint {
+  /// No structured footprint recorded: valid only if zero commits landed
+  /// since the speculation's snapshot (the old epoch rule).
+  bool opaque = true;
+
+  /// The route consulted the G' cost channel of every link (mean available
+  /// weights, transit-pair means, usable-set membership).
+  bool cost_semantics = false;
+
+  /// The route consulted the global load structure: ϑ_min/ϑ_max and the
+  /// recorded probe ladder.
+  bool load_semantics = false;
+
+  double theta_min = std::numeric_limits<double>::quiet_NaN();
+  double theta_max = std::numeric_limits<double>::quiet_NaN();
+  /// Every ϑ value probed by the MinCog search, in probe order.
+  std::vector<double> theta_probes;
+  /// The accepted ϑ (NaN when the search dropped the request). Links with
+  /// load < theta_accepted are members of the accepted G_c/G_rc and any
+  /// write to one invalidates.
+  double theta_accepted = std::numeric_limits<double>::quiet_NaN();
+
+  /// Links whose exact residual state was read (the induced refinement
+  /// masks); any write to one invalidates.
+  std::vector<graph::EdgeId> exact_links;
+
+  /// Starts recording a structured (non-opaque) footprint.
+  void begin() {
+    opaque = false;
+    cost_semantics = false;
+    load_semantics = false;
+    theta_min = std::numeric_limits<double>::quiet_NaN();
+    theta_max = std::numeric_limits<double>::quiet_NaN();
+    theta_probes.clear();
+    theta_accepted = std::numeric_limits<double>::quiet_NaN();
+    exact_links.clear();
+  }
+
+  /// Collapses to epoch-exact validation (unsupported router paths).
+  void mark_opaque() {
+    opaque = true;
+    cost_semantics = false;
+    load_semantics = false;
+    theta_probes.clear();
+    exact_links.clear();
+  }
+
+  void add_exact_link(graph::EdgeId e) { exact_links.push_back(e); }
+
+  /// Appends every link enabled in an induced mask (mask[e] != 0).
+  void add_exact_mask(std::span<const std::uint8_t> mask) {
+    for (std::size_t e = 0; e < mask.size(); ++e) {
+      if (mask[e] != 0) exact_links.push_back(static_cast<graph::EdgeId>(e));
+    }
+  }
+};
+
+/// One written link of one committed route, with its load position before and
+/// after the reservation. next_load = (U(e)+1)/N(e), the quantity ϑ_min/ϑ_max
+/// range over.
+struct LinkWriteDelta {
+  graph::EdgeId link = graph::kInvalidEdge;
+  double load_before = 0.0;
+  double load_after = 0.0;
+  double next_load_before = 0.0;
+  double next_load_after = 0.0;
+};
+
+/// The write set of one committed route, in commit (epoch) order.
+struct CommitDelta {
+  std::uint64_t epoch = 0;  // epoch value *after* this commit landed
+  std::vector<LinkWriteDelta> links;
+};
+
+/// Commit-side bookkeeping: captures each committed route's write set, diffs
+/// the derived quantities the footprints reference, and answers validity
+/// queries. Owned by the ParallelBatchEngine commit thread; concurrent
+/// access (workers validating their own landings) must be externally
+/// synchronized by the engine's mutex — the validator itself takes no locks.
+class FootprintValidator {
+ public:
+  /// Resets all history and sizes per-link state for `net`. Epoch restarts
+  /// at 0 (== "no commits yet").
+  void begin_run(const net::WdmNetwork& net);
+
+  /// Captures the pre-reservation state of every distinct link of `r`
+  /// (primary + backup hops). Call immediately before ProtectedRoute::
+  /// reserve_in on an accepted route; pair with either commit() or
+  /// discard_pre().
+  void capture_pre(const net::WdmNetwork& net, const net::ProtectedRoute& r);
+
+  /// Recaptures the written links post-reservation, diffs the cost channel,
+  /// and records the write deltas under `epoch` (strictly increasing).
+  void commit(const net::WdmNetwork& net, std::uint64_t epoch);
+
+  /// Drops a capture_pre whose route was not reserved after all.
+  void discard_pre();
+
+  /// True iff a speculation with footprint `fp`, computed against the
+  /// snapshot at `base_epoch`, is still bit-for-bit reproducible against the
+  /// live network (i.e. after every commit with epoch > base_epoch).
+  bool valid(const RouteFootprint& fp, std::uint64_t base_epoch) const;
+
+  std::uint64_t latest_epoch() const { return latest_epoch_; }
+
+ private:
+  struct PairPre {
+    bool has = false;
+    double mean = 0.0;
+  };
+  struct LinkPre {
+    graph::EdgeId link = graph::kInvalidEdge;
+    bool empty = false;
+    double mean_weight = 0.0;
+    double load = 0.0;
+    double next_load = 0.0;
+    // (exists, mean) of every transit pair the link participates in:
+    // (link -> o) for o out of head(link), then (i -> link) for i into
+    // tail(link), in adjacency order.
+    std::vector<PairPre> pairs;
+  };
+
+  void capture_link(const net::WdmNetwork& net, graph::EdgeId e,
+                    LinkPre* into) const;
+
+  // Scratch for the in-flight capture (commit thread only).
+  std::vector<LinkPre> pre_;
+  std::vector<graph::EdgeId> scratch_links_;
+
+  // Committed history, epochs strictly increasing.
+  std::vector<CommitDelta> deltas_;
+  std::vector<std::uint64_t> last_write_epoch_;  // per link, 0 = never
+  std::uint64_t last_cost_change_epoch_ = 0;
+  std::uint64_t latest_epoch_ = 0;
+};
+
+}  // namespace wdm::rwa

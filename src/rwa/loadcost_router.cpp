@@ -11,7 +11,9 @@
 namespace wdm::rwa {
 
 RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
-                                  net::NodeId t) const {
+                                  net::NodeId t,
+                                  RouteFootprint* fp) const {
+  if (fp != nullptr) fp->mark_opaque();
   if (policy_.kind == net::ProtectKind::kPartial) {
     return route_partial(net, s, t, policy_.threshold);
   }
@@ -20,12 +22,24 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   support::telemetry::SplitTimer tel;
   RouteResult result;
   result.route.policy = policy_;
-  auto builder = builders_.lease();
+  const bool srlg_path =
+      policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0;
+  const bool band_footprint =
+      fp != nullptr && !srlg_path && opt_.search != ThetaSearch::kLinearScan;
+  auto builder = builders_.lease(net);
 
   // Phase 1: minimum feasible network-load threshold.
   const MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
+  if (band_footprint) {
+    fp->begin();
+    fp->load_semantics = true;
+    fp->theta_min = net.theta_min();
+    fp->theta_max = net.theta_max();
+    fp->theta_probes = mc.probes;
+    if (mc.found) fp->theta_accepted = mc.theta;
+  }
   tel.split(WDM_TEL_HIST("rwa.loadcost.theta_search_ns"),
             WDM_TEL_NAME("rwa.loadcost.theta_search"));
   WDM_TEL_COUNT_N("rwa.loadcost.theta_probes", mc.iterations);
@@ -64,6 +78,10 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
 
   const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
   const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+  if (fp != nullptr && !fp->opaque) {
+    fp->add_exact_mask(mask1);
+    fp->add_exact_mask(mask2);
+  }
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
   tel.split(WDM_TEL_HIST("rwa.loadcost.liang_shen_ns"),

@@ -63,6 +63,7 @@ MinCogResult mincog_linear_scan(const net::WdmNetwork& net, net::NodeId s,
   }
   for (double theta : grid) {
     ++result.iterations;
+    result.probes.push_back(theta);
     if (probe(net, s, t, theta, opt.load_base, builder, &result)) {
       result.found = true;
       result.theta = theta;
@@ -82,6 +83,7 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
   double lo = net.theta_min();
   double hi = net.theta_max();
   ++result.iterations;
+  result.probes.push_back(lo);
   if (probe(net, s, t, lo, opt.load_base, builder, &result)) {
     result.found = true;
     result.theta = lo;
@@ -89,6 +91,7 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
   }
   result.last_infeasible_theta = lo;
   ++result.iterations;
+  result.probes.push_back(hi);
   if (!probe(net, s, t, hi, opt.load_base, builder, &result)) {
     result.last_infeasible_theta = hi;
     return result;  // drop: infeasible even with every link admitted
@@ -97,6 +100,7 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
   while (hi - lo > opt.bisection_tolerance) {
     const double mid = 0.5 * (lo + hi);
     ++result.iterations;
+    result.probes.push_back(mid);
     MinCogResult probe_result;
     if (probe(net, s, t, mid, opt.load_base, builder, &probe_result)) {
       hi = mid;
@@ -139,6 +143,7 @@ MinCogResult find_two_paths_mincog(const net::WdmNetwork& net, net::NodeId s,
               : 0;
   while (true) {
     ++result.iterations;
+    result.probes.push_back(theta);
     if (probe(net, s, t, theta, opt.load_base, b, &result)) {
       result.found = true;
       result.theta = theta;
@@ -175,7 +180,8 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
 }
 
 RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
-                                 net::NodeId t) const {
+                                 net::NodeId t, RouteFootprint* fp) const {
+  if (fp != nullptr) fp->mark_opaque();
   if (policy_.kind == net::ProtectKind::kPartial) {
     return route_partial(net, s, t, policy_.threshold);
   }
@@ -184,10 +190,22 @@ RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
   support::telemetry::SplitTimer tel;
   RouteResult result;
   result.route.policy = policy_;
-  auto builder = builders_.lease();
+  const bool srlg_path =
+      policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0;
+  const bool band_footprint =
+      fp != nullptr && !srlg_path && opt_.search != ThetaSearch::kLinearScan;
+  auto builder = builders_.lease(net);
   MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
+  if (band_footprint) {
+    fp->begin();
+    fp->load_semantics = true;
+    fp->theta_min = net.theta_min();
+    fp->theta_max = net.theta_max();
+    fp->theta_probes = mc.probes;
+    if (mc.found) fp->theta_accepted = mc.theta;
+  }
   tel.split(WDM_TEL_HIST("rwa.minload.theta_search_ns"),
             WDM_TEL_NAME("rwa.minload.theta_search"));
   WDM_TEL_COUNT_N("rwa.minload.theta_probes", mc.iterations);
@@ -212,6 +230,10 @@ RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
   const auto mask1 = mc.aux.induced_link_mask(mc.aux_pair.first, net.num_links());
   const auto mask2 =
       mc.aux.induced_link_mask(mc.aux_pair.second, net.num_links());
+  if (fp != nullptr && !fp->opaque) {
+    fp->add_exact_mask(mask1);
+    fp->add_exact_mask(mask2);
+  }
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
   tel.split(WDM_TEL_HIST("rwa.minload.liang_shen_ns"),

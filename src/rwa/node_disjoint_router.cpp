@@ -12,7 +12,9 @@
 namespace wdm::rwa {
 
 RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
-                                      net::NodeId s, net::NodeId t) const {
+                                      net::NodeId s, net::NodeId t,
+                                      RouteFootprint* fp) const {
+  if (fp != nullptr) fp->mark_opaque();
   if (policy_.kind == net::ProtectKind::kPartial) {
     return route_partial(net, s, t, policy_.threshold);
   }
@@ -21,10 +23,18 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
   support::telemetry::SplitTimer tel;
   RouteResult result;
   result.route.policy = policy_;
+  const bool srlg_path =
+      policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0;
+  if (fp != nullptr && !srlg_path) {
+    // The node-protection hub weights are means over transit-pair means, so
+    // the gadget is still a pure function of the G' cost channel.
+    fp->begin();
+    fp->cost_semantics = true;
+  }
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
   opt.protect_nodes = true;
-  auto builder = builders_.lease();
+  auto builder = builders_.lease(net);
   const AuxGraph& aux = builder->build(net, s, t, opt);
   tel.split(WDM_TEL_HIST("rwa.node_disjoint.aux_build_ns"),
             WDM_TEL_NAME("rwa.node_disjoint.aux_build"));
@@ -48,6 +58,10 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
 
   const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
   const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+  if (fp != nullptr && !fp->opaque) {
+    fp->add_exact_mask(mask1);
+    fp->add_exact_mask(mask2);
+  }
   net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
   net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
   tel.split(WDM_TEL_HIST("rwa.node_disjoint.liang_shen_ns"),

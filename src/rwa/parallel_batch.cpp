@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "rwa/footprint.hpp"
 #include "support/check.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
@@ -21,33 +23,47 @@ namespace {
 /// route computation itself runs unlocked against an immutable snapshot.
 struct Slot {
   RouteResult res;
-  std::uint64_t epoch = ~std::uint64_t{0};  // epoch `res` was computed in
-  std::uint64_t claim_epoch = ~std::uint64_t{0};  // epoch of the latest claim
-  std::uint64_t spec_span = 0;  // telemetry span id that produced `res`
+  RouteFootprint fp;            // read set of `res`
+  std::uint64_t base_epoch = 0;  // epoch `res`/`fp` were computed against
+  std::uint64_t spec_span = 0;   // telemetry span id that produced `res`
   int attempts = 0;     // speculation claims (retries = attempts - 1)
   int in_flight = 0;    // outstanding route() calls for this slot
-  bool has = false;     // res holds a published (possibly stale) result
+  bool has = false;     // res holds a published, not-yet-judged result
+  bool queued = false;  // sits in the retry queue
+  bool done = false;    // finalized by the commit thread
 };
 
 struct Shared {
   std::mutex mu;
-  std::condition_variable work_cv;    // workers: window opened / epoch / stop
+  std::condition_variable work_cv;    // workers: window opened / retry / stop
   std::condition_variable result_cv;  // commit: a result landed
 
   std::vector<Slot> slots;
   std::shared_ptr<const net::WdmNetwork> snap;
   std::uint64_t cur_epoch = 0;
   std::size_t commit_idx = 0;  // next slot to finalize (policy order)
-  std::size_t cursor = 0;      // next slot to claim for speculation
+  std::size_t cursor = 0;      // next never-claimed slot
+  std::deque<std::size_t> retry_q;  // invalidated slots to re-speculate
   std::size_t window = 1;
   int max_attempts = 1;  // 1 + max_speculation_retries
+  bool force_epoch = false;
   bool stop = false;
   std::exception_ptr first_exception;
 
+  FootprintValidator validator;
   ParallelBatchStats st;  // this run's counters
 
+  std::size_t claim_limit() const {
+    return std::min(slots.size(), commit_idx + window);
+  }
   bool claimable() const {
-    return cursor < std::min(slots.size(), commit_idx + window);
+    return !retry_q.empty() || cursor < claim_limit();
+  }
+  /// Would a speculation with footprint `fp` computed at `base` reproduce
+  /// bit-for-bit against the live network right now?
+  bool spec_valid(const RouteFootprint& fp, std::uint64_t base) const {
+    if (force_epoch) return base == cur_epoch;
+    return validator.valid(fp, base);
   }
 };
 
@@ -88,14 +104,20 @@ void worker_loop(Shared& sh, int widx, const Router& router,
   for (;;) {
     sh.work_cv.wait(lk, [&] { return sh.stop || sh.claimable(); });
     if (sh.stop) return;
-    const std::size_t i = sh.cursor++;
+    std::size_t i;
+    if (!sh.retry_q.empty()) {
+      i = sh.retry_q.front();
+      sh.retry_q.pop_front();
+      sh.slots[i].queued = false;
+    } else {
+      i = sh.cursor++;
+    }
     Slot& sl = sh.slots[i];
-    if (sl.attempts >= sh.max_attempts) continue;  // left to the commit thread
+    if (sl.done || sl.attempts >= sh.max_attempts) continue;
     ++sl.attempts;
     if (sl.attempts > 1) ++sh.st.retries;
     ++sl.in_flight;
-    sl.claim_epoch = sh.cur_epoch;
-    const std::uint64_t epoch = sh.cur_epoch;
+    const std::uint64_t base = sh.cur_epoch;
     const BatchRequest& req = batch[perm[i]];
     {
       // Route unlocked against the immutable snapshot; the shared_ptr keeps
@@ -103,6 +125,7 @@ void worker_loop(Shared& sh, int widx, const Router& router,
       std::shared_ptr<const net::WdmNetwork> snap = sh.snap;
       lk.unlock();
       RouteResult r;
+      RouteFootprint fp;
       std::uint64_t spec_span_id = 0;
       try {
         // Speculation span: a root of the request's trace on this worker's
@@ -111,7 +134,7 @@ void worker_loop(Shared& sh, int widx, const Router& router,
         WDM_TEL_SPAN(spec_span, "rwa.batch.speculate");
         spec_span_id = spec_span.span_id();
         spec_span.flow_out(spec_span_id);
-        r = router.route(*snap, req.s, req.t);
+        r = router.route(*snap, req.s, req.t, &fp);
       } catch (...) {
         lk.lock();
         if (!sh.first_exception) sh.first_exception = std::current_exception();
@@ -124,13 +147,24 @@ void worker_loop(Shared& sh, int widx, const Router& router,
       lk.lock();
       ++sh.st.speculations;
       --sl.in_flight;
-      if (epoch == sh.cur_epoch) {
+      if (sl.done || sh.stop) {
+        // The commit thread finalized this slot (or the run is unwinding)
+        // while we were routing: the result was never judged.
+        ++sh.st.spec_discarded;
+      } else if (sh.spec_valid(fp, base)) {
         sl.res = std::move(r);
-        sl.epoch = epoch;
+        sl.fp = std::move(fp);
+        sl.base_epoch = base;
         sl.spec_span = spec_span_id;
         sl.has = true;
       } else {
-        ++sh.st.conflicts;  // a commit invalidated this speculation mid-route
+        // Dead on arrival: a commit intersected the footprint mid-route.
+        ++sh.st.conflicts;
+        if (sl.attempts < sh.max_attempts && !sl.queued) {
+          sh.retry_q.push_back(i);
+          sl.queued = true;
+          sh.work_cv.notify_one();
+        }
       }
     }
     sh.result_cv.notify_all();
@@ -197,26 +231,23 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
                                       const Router& router,
                                       const std::vector<BatchRequest>& batch,
                                       BatchOrder order, support::Rng* rng) {
-  const std::vector<std::size_t> perm =
-      batch_order_permutation(net, batch, order, rng);
-  BatchOutcome out;
-  out.routes.resize(batch.size());
   stats_.requests += static_cast<long long>(batch.size());
 
   const int threads = resolved_threads();
   if (threads <= 1 || batch.size() <= 1) {
-    // Serial path through the exact same commit helper — identical to
-    // provision_batch by construction.
+    // Serial short-circuit: hand the whole batch (including the ordering
+    // permutation and its rng draw) to the shared serial path — bit-for-bit
+    // trivially, with no snapshot pool, worker, or validator machinery.
+    ++stats_.serial_runs;
     WDM_TEL_COUNT_N("rwa.parallel_batch.requests", batch.size());
-    for (std::size_t i : perm) {
-      const BatchRequest& req = batch[i];
-      support::telemetry::TraceScope trace_scope({req.trace, 0});
-      WDM_TEL_SPAN(commit_span, "rwa.batch.commit_slot");
-      detail::commit_route(net, router.route(net, req.s, req.t), i, out);
-    }
-    out.final_network_load = net.network_load();
-    return out;
+    return provision_batch(net, router, batch, order, rng);
   }
+
+  const std::vector<std::size_t> perm =
+      batch_order_permutation(net, batch, order, rng);
+  BatchOutcome out;
+  out.routes.resize(batch.size());
+  ++stats_.runs;
 
   Shared sh;
   sh.slots.resize(batch.size());
@@ -224,6 +255,8 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
                               : static_cast<std::size_t>(4 * threads);
   sh.window = std::max<std::size_t>(sh.window, 1);
   sh.max_attempts = 1 + std::max(0, opt_.max_speculation_retries);
+  sh.force_epoch = opt_.force_epoch_validation;
+  sh.validator.begin_run(net);
   sh.snap = pool_->publish(net, sh.st);
 
   WorkerPool workers(sh);
@@ -246,28 +279,43 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
       WDM_TEL_SPAN(commit_span, "rwa.batch.commit_slot");
       RouteResult r;
       bool from_spec = false;
+      std::uint64_t spec_base = 0;
       for (;;) {
         if (sh.first_exception) break;
-        if (sl.has && sl.epoch == sh.cur_epoch) {
-          r = std::move(sl.res);
-          sl.has = false;
-          from_spec = true;
-          break;
-        }
-        if (sl.has) {  // published against a superseded epoch
+        if (sl.has) {
+          if (sh.spec_valid(sl.fp, sl.base_epoch)) {
+            r = std::move(sl.res);
+            sl.has = false;
+            from_spec = true;
+            spec_base = sl.base_epoch;
+            break;
+          }
           sl.has = false;
           ++sh.st.conflicts;
+          if (sl.attempts < sh.max_attempts && !sl.queued) {
+            sh.retry_q.push_back(k);
+            sl.queued = true;
+            sh.work_cv.notify_one();
+          }
           continue;
         }
-        if (sl.in_flight > 0 && sl.claim_epoch == sh.cur_epoch) {
-          sh.result_cv.wait(lk);  // a fresh speculation is coming
+        if (sl.in_flight > 0) {
+          sh.result_cv.wait(lk);  // a speculation is landing soon
           continue;
         }
-        // No usable speculation in flight: route it on the commit thread
-        // against the live network (the serial state by induction).
+        // No speculation in flight: route on the commit thread against the
+        // live network (the serial state by induction). Steal a pending
+        // retry — routing it here beats waiting for a worker to reach it.
+        if (sl.queued) {
+          auto it = std::find(sh.retry_q.begin(), sh.retry_q.end(), k);
+          WDM_DCHECK(it != sh.retry_q.end());
+          sh.retry_q.erase(it);
+          sl.queued = false;
+        }
         if (sl.attempts >= sh.max_attempts) ++sh.st.serial_fallbacks;
         ++sh.st.commit_reroutes;
         if (sh.cursor <= k) sh.cursor = k + 1;  // nobody else claims k
+        sl.done = true;  // landed speculations for k are now discards
         const BatchRequest& req = batch[perm[k]];
         lk.unlock();
         RouteResult mine;
@@ -283,18 +331,39 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
         break;
       }
       if (sh.first_exception) break;
+      sl.done = true;
 
       if (from_spec) {
         ++sh.st.spec_commits;
+        if (spec_base < sh.cur_epoch) ++sh.st.footprint_hits;
         commit_span.flow_in(sl.spec_span);
       }
       // The serial accept/drop decision, evaluated against the live network.
+      // The validator needs the pre-reservation state of the route's links,
+      // so capture before commit_route and keep only if it reserved.
+      const bool capture = !sh.force_epoch && r.found;
+      if (capture) sh.validator.capture_pre(net, r.route);
       if (detail::commit_route(net, r, perm[k], out)) {
         ++sh.cur_epoch;
         ++sh.st.epochs;
+        if (capture) sh.validator.commit(net, sh.cur_epoch);
+        // Proactively invalidate only the published speculations this write
+        // set intersects; everything else stays valid across the commit.
+        const std::size_t limit = sh.claim_limit();
+        for (std::size_t j = k + 1; j < limit; ++j) {
+          Slot& s2 = sh.slots[j];
+          if (!s2.has || sh.spec_valid(s2.fp, s2.base_epoch)) continue;
+          s2.has = false;
+          ++sh.st.conflicts;
+          if (s2.attempts < sh.max_attempts && !s2.queued) {
+            sh.retry_q.push_back(j);
+            s2.queued = true;
+          }
+        }
         sh.snap = pool_->publish(net, sh.st);
-        sh.cursor = k + 1;  // everything past k must re-speculate
         sh.work_cv.notify_all();
+      } else if (capture) {
+        sh.validator.discard_pre();
       }
       // Finalize latency for this slot: wait-for-speculation + validation +
       // commit (the batch-mode provisioning critical path).
@@ -308,7 +377,9 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
   // Merge this run's counters (single-threaded again: workers are gone).
   stats_.speculations += sh.st.speculations;
   stats_.spec_commits += sh.st.spec_commits;
+  stats_.footprint_hits += sh.st.footprint_hits;
   stats_.conflicts += sh.st.conflicts;
+  stats_.spec_discarded += sh.st.spec_discarded;
   stats_.retries += sh.st.retries;
   stats_.commit_reroutes += sh.st.commit_reroutes;
   stats_.serial_fallbacks += sh.st.serial_fallbacks;
@@ -323,7 +394,12 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
     WDM_TEL_COUNT_N("rwa.parallel_batch.requests", batch.size());
     WDM_TEL_COUNT_N("rwa.parallel_batch.speculations", sh.st.speculations);
     WDM_TEL_COUNT_N("rwa.parallel_batch.spec_commits", sh.st.spec_commits);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.footprint_hits",
+                    sh.st.footprint_hits);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.footprint_misses", sh.st.conflicts);
     WDM_TEL_COUNT_N("rwa.parallel_batch.conflicts", sh.st.conflicts);
+    WDM_TEL_COUNT_N("rwa.parallel_batch.spec_discarded",
+                    sh.st.spec_discarded);
     WDM_TEL_COUNT_N("rwa.parallel_batch.retries", sh.st.retries);
     WDM_TEL_COUNT_N("rwa.parallel_batch.commit_reroutes",
                     sh.st.commit_reroutes);

@@ -1,4 +1,4 @@
-// Optimistic parallel batch provisioning with conflict-checked commits.
+// Optimistic parallel batch provisioning with footprint-validated commits.
 //
 // §2 fixes the operating model: a batch of connection requests per interval,
 // processed one by one against the evolving residual network. provision_batch
@@ -16,36 +16,39 @@
 //      the AuxGraphBuilders warm inside each router's pool keep their
 //      revision-validated caches across epochs.
 //   2. SPECULATE. Workers claim requests in policy order (work-stealing
-//      cursor, bounded `window` past the commit frontier) and route them
-//      against the current snapshot. Router::route is const and
-//      thread-compatible; every in-tree router leases per-thread builders.
+//      cursor plus a retry queue, bounded `window` past the commit frontier)
+//      and route them against the current snapshot, recording each call's
+//      RouteFootprint — the read set of the routing decision.
 //   3. VALIDATE + COMMIT. A single commit thread (the caller) finalizes
 //      requests strictly in policy order. A speculative result is valid iff
-//      its epoch matches the current one — i.e. *nothing* was reserved since
-//      its snapshot was published, which makes the snapshot's residual state
-//      bit-identical to the live network's, which in turn makes the
-//      deterministic router's output identical to what the serial loop would
-//      have computed. Dropped requests do not mutate the network, so a whole
-//      run of consecutive drops (the common case under contention, exactly
-//      where batching matters) validates against one snapshot and commits at
-//      the cost of its slowest member instead of the sum.
-//   4. CONFLICT. Each accepted commit bumps the epoch, republishes the
-//      snapshot, and invalidates outstanding speculation (counted as
-//      conflicts); conflicted requests are re-speculated against the new
-//      snapshot (counted as retries, bounded by max_speculation_retries),
-//      after which — or whenever no fresh speculation is in flight for the
-//      head request — the commit thread routes the request itself against
-//      the live network (serial fallback).
+//      its footprint proves that re-running the router against the live
+//      network would reproduce it bit-for-bit: no committed route since the
+//      speculation's snapshot wrote a link whose exact residual state it read
+//      (the refinement masks), semantically changed the G' cost channel
+//      (mean available weights / transit-pair means / usable-set membership),
+//      or crossed its recorded load bands (ϑ_min/ϑ_max stamps, probe ladder,
+//      accepted-ϑ membership) — see rwa/footprint.hpp. Routers that record
+//      no footprint validate the old way: epoch-exact (zero accepts since
+//      the snapshot).
+//   4. CONFLICT. Each accepted commit records its write set with the
+//      validator, proactively invalidates only the published speculations
+//      whose footprints it intersects (counted as conflicts) and queues them
+//      for re-speculation against the fresh snapshot (counted as retries,
+//      bounded by max_speculation_retries); untouched speculations stay
+//      valid across the commit — the footprint hits that let accept-heavy
+//      batches scale instead of serializing. When the head request has no
+//      usable speculation and none in flight, the commit thread routes it
+//      itself against the live network.
 //
 // Why this is exact rather than approximate: acceptance itself is always
 // decided by rwa::detail::commit_route against the *live* network, the same
 // helper the serial loop runs; speculation only decides which route gets
-// proposed, and a proposal is used only when its base state provably equals
-// the live state. Resource-level validation (route links disjoint from the
-// dirty set) is deliberately NOT sufficient here: load-aware routers (G_c's
-// exponential load weights, the ϑ filter) and conversion-mean transit
-// weights read state on links a route never touches, so only revision-exact
-// snapshots guarantee serial equality for arbitrary Router implementations.
+// proposed, and a proposal is used only when its footprint (or, for opaque
+// footprints, revision-exact snapshot equality) proves the live network
+// would yield the same proposal. A naive per-link read set is NOT sufficient
+// here — the auxiliary-graph routers read every link — which is why
+// footprints are expressed in the routers' derived quantities; the soundness
+// argument lives in DESIGN.md §5 and rwa/footprint.hpp.
 #pragma once
 
 #include <memory>
@@ -59,8 +62,9 @@ namespace wdm::rwa {
 
 struct ParallelBatchOptions {
   /// Worker threads routing speculatively. <= 0 picks
-  /// support::hardware_threads(); 1 runs the serial path (still through the
-  /// shared commit helper, so the outcome is identical by construction).
+  /// support::hardware_threads(); <= 1 short-circuits to the serial
+  /// provision_batch path (identical by construction, no snapshot pool or
+  /// worker machinery spun up).
   int threads = 0;
   /// Max requests speculated past the commit frontier. <= 0 picks
   /// 4 * threads. Larger windows salvage longer drop runs per snapshot;
@@ -69,16 +73,39 @@ struct ParallelBatchOptions {
   /// A request whose speculation went stale this many times is left to the
   /// commit thread (serial fallback) instead of being re-speculated.
   int max_speculation_retries = 3;
+  /// Ignore footprints and validate every speculation epoch-exactly (the
+  /// pre-footprint behavior). The differential test suites run both modes
+  /// against serial to prove footprint validation changes performance only,
+  /// never outcomes.
+  bool force_epoch_validation = false;
 };
 
+/// Counters for the engine's speculation machinery. For every completed
+/// (exception-free) sequence of run() calls these reconcile exactly:
+///
+///   spec_commits + commit_reroutes == requests routed by the parallel path
+///   speculations == spec_commits + conflicts + spec_discarded
+///   snapshot_syncs + snapshot_copies == epochs + runs
+///
+/// (`runs` counts parallel-path run() calls only; serial-path calls touch
+/// nothing but `requests` and `serial_runs`. Each parallel run publishes one
+/// initial snapshot plus one per accepted commit = per-epoch.) The unit test
+/// ParallelBatchStatsReconcile asserts all three after every batch.
 struct ParallelBatchStats {
   long long requests = 0;
-  long long speculations = 0;      // worker route() calls
-  long long spec_commits = 0;      // finalized from a fresh speculative result
+  long long runs = 0;              // run() calls that took the parallel path
+  long long serial_runs = 0;       // run() calls delegated to provision_batch
+  long long speculations = 0;      // worker route() calls that landed
+  long long spec_commits = 0;      // finalized from a valid speculative result
+  long long footprint_hits = 0;    // ... of which survived >= 1 commit (wins
+                                   // epoch validation could never keep)
   long long conflicts = 0;         // speculations invalidated by a commit
-  long long retries = 0;           // re-speculations after a conflict
+  long long spec_discarded = 0;    // landed after their slot was finalized
+                                   // (or the run was stopping): never judged
+  long long retries = 0;           // re-speculation claims after a conflict
   long long commit_reroutes = 0;   // routed on the commit thread instead
-  long long serial_fallbacks = 0;  // retry budget exhausted
+  long long serial_fallbacks = 0;  // ... of which had exhausted the retry
+                                   // budget
   long long epochs = 0;            // accepted commits = snapshot republishes
   long long snapshot_syncs = 0;    // snapshots refreshed in place (cheap)
   long long snapshot_copies = 0;   // snapshots deep-copied (pool growth)
@@ -95,6 +122,13 @@ struct ParallelBatchStats {
     return requests > 0 ? static_cast<double>(spec_commits) /
                               static_cast<double>(requests)
                         : 0.0;
+  }
+  /// Fraction of speculative commits that outlived at least one intervening
+  /// accept — the work epoch validation would have thrown away.
+  double footprint_hit_rate() const {
+    return spec_commits > 0 ? static_cast<double>(footprint_hits) /
+                                  static_cast<double>(spec_commits)
+                            : 0.0;
   }
 };
 

@@ -4,7 +4,8 @@
 // set, per-request routes, reservation ledger, and cost sum — for every
 // ordering policy.
 //
-// Budget knobs: WDM_FUZZ_ITERATIONS (default 120), WDM_FUZZ_SEED.
+// Budget knobs: WDM_FUZZ_ITERATIONS (default 120),
+// WDM_FUZZ_FOOTPRINT_ITERATIONS (default 64), WDM_FUZZ_SEED.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -12,6 +13,9 @@
 #include "fuzz/generator.hpp"
 #include "rwa/approx_router.hpp"
 #include "rwa/baselines.hpp"
+#include "rwa/loadcost_router.hpp"
+#include "rwa/mincog.hpp"
+#include "rwa/node_disjoint_router.hpp"
 #include "rwa/parallel_batch.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -39,10 +43,34 @@ std::vector<rwa::BatchRequest> instance_batch(const FuzzInstance& inst,
   return batch;
 }
 
+void expect_outcomes_equal(const rwa::BatchOutcome& serial,
+                           const rwa::BatchOutcome& par,
+                           const net::WdmNetwork& net_serial,
+                           const net::WdmNetwork& net_par,
+                           const FuzzInstance& inst, const char* mode) {
+  ASSERT_EQ(serial.accepted, par.accepted)
+      << "seed " << inst.seed << " family " << inst.family << " " << mode;
+  ASSERT_EQ(serial.dropped, par.dropped) << "seed " << inst.seed << " " << mode;
+  ASSERT_EQ(serial.total_cost, par.total_cost)
+      << "seed " << inst.seed << " " << mode;
+  ASSERT_EQ(serial.routes.size(), par.routes.size());
+  for (std::size_t i = 0; i < serial.routes.size(); ++i) {
+    ASSERT_EQ(serial.routes[i].has_value(), par.routes[i].has_value())
+        << "seed " << inst.seed << " request " << i << " " << mode;
+    if (!serial.routes[i].has_value()) continue;
+    ASSERT_TRUE(serial.routes[i]->primary.hops == par.routes[i]->primary.hops)
+        << "seed " << inst.seed << " request " << i << " " << mode;
+    ASSERT_TRUE(serial.routes[i]->backup.hops == par.routes[i]->backup.hops)
+        << "seed " << inst.seed << " request " << i << " " << mode;
+  }
+  ASSERT_EQ(net_serial.usage_snapshot(), net_par.usage_snapshot())
+      << "reservation ledgers diverged at seed " << inst.seed << " " << mode;
+}
+
 void diff_serial_vs_engine(const FuzzInstance& inst,
                            const std::vector<rwa::BatchRequest>& batch,
                            const rwa::Router& router, rwa::BatchOrder order,
-                           int threads) {
+                           int threads, bool force_epoch = false) {
   net::WdmNetwork net_serial = inst.network;
   net::WdmNetwork net_par = inst.network;
   support::Rng rng_serial(inst.seed + 1), rng_par(inst.seed + 1);
@@ -56,26 +84,13 @@ void diff_serial_vs_engine(const FuzzInstance& inst,
   // windows get fuzzed too, not just the defaults.
   opt.window = static_cast<int>(inst.seed % 5);           // 0 = default
   opt.max_speculation_retries = static_cast<int>(inst.seed % 3);
+  opt.force_epoch_validation = force_epoch;
   rwa::ParallelBatchEngine engine(opt);
   const rwa::BatchOutcome par =
       engine.run(net_par, router, batch, order, &rng_par);
 
-  ASSERT_EQ(serial.accepted, par.accepted)
-      << "seed " << inst.seed << " family " << inst.family << " order "
-      << rwa::batch_order_name(order) << " threads " << threads;
-  ASSERT_EQ(serial.dropped, par.dropped) << "seed " << inst.seed;
-  ASSERT_EQ(serial.total_cost, par.total_cost) << "seed " << inst.seed;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    ASSERT_EQ(serial.routes[i].has_value(), par.routes[i].has_value())
-        << "seed " << inst.seed << " request " << i;
-    if (!serial.routes[i].has_value()) continue;
-    ASSERT_TRUE(serial.routes[i]->primary.hops == par.routes[i]->primary.hops)
-        << "seed " << inst.seed << " request " << i;
-    ASSERT_TRUE(serial.routes[i]->backup.hops == par.routes[i]->backup.hops)
-        << "seed " << inst.seed << " request " << i;
-  }
-  ASSERT_EQ(net_serial.usage_snapshot(), net_par.usage_snapshot())
-      << "reservation ledgers diverged at seed " << inst.seed;
+  expect_outcomes_equal(serial, par, net_serial, net_par, inst,
+                        force_epoch ? "[epoch]" : "[footprint]");
 }
 
 TEST(FuzzParallelBatch, EngineMatchesSerialOnRandomInstances) {
@@ -105,6 +120,48 @@ TEST(FuzzParallelBatch, EngineMatchesSerialOnRandomInstances) {
     const rwa::BatchOrder order = kOrders[i % 4];
     const int threads = 2 + i % 3;  // 2..4
     diff_serial_vs_engine(inst, batch, router, order, threads);
+  }
+}
+
+// Footprint-validation differential: replay each random batch through BOTH
+// validation modes (footprint default, force_epoch_validation) and the serial
+// loop, rotating the four footprint-recording routers — including the
+// MinCog load-band path — across all four ordering policies. Identical
+// accept/drop decisions, routes, and final usage required everywhere.
+//
+// Budget knob: WDM_FUZZ_FOOTPRINT_ITERATIONS (CI pins it per job).
+TEST(FuzzParallelBatch, FootprintMatchesEpochValidationOnRandomInstances) {
+  const int iterations = static_cast<int>(
+      support::env_int("WDM_FUZZ_FOOTPRINT_ITERATIONS", 64));
+  const auto base_seed = static_cast<std::uint64_t>(
+      support::env_int("WDM_FUZZ_SEED", 0xf007));
+  GenOptions gen;
+  gen.preload_probability = 0.15;
+  gen.failure_probability = 0.2;
+
+  const rwa::ApproxDisjointRouter approx;
+  const rwa::NodeDisjointRouter node_disjoint;
+  const rwa::LoadCostRouter load_cost;
+  const rwa::MinLoadRouter min_load;
+  const rwa::Router* routers[] = {&approx, &node_disjoint, &load_cost,
+                                  &min_load};
+  constexpr rwa::BatchOrder kOrders[] = {
+      rwa::BatchOrder::kArrival, rwa::BatchOrder::kShortestFirst,
+      rwa::BatchOrder::kLongestFirst, rwa::BatchOrder::kRandom};
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const FuzzInstance inst = generate_instance(seed, gen);
+    const auto batch = instance_batch(inst, seed);
+    // Router and order rotate at coprime-ish strides so 16 consecutive
+    // iterations cover the full 4x4 matrix.
+    const rwa::Router& router = *routers[i % 4];
+    const rwa::BatchOrder order = kOrders[(i / 4) % 4];
+    const int threads = 2 + i % 3;  // 2..4
+    diff_serial_vs_engine(inst, batch, router, order, threads,
+                          /*force_epoch=*/false);
+    diff_serial_vs_engine(inst, batch, router, order, threads,
+                          /*force_epoch=*/true);
   }
 }
 

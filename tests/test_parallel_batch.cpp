@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "rwa/approx_router.hpp"
 #include "rwa/baselines.hpp"
+#include "rwa/footprint.hpp"
 #include "rwa/loadcost_router.hpp"
 #include "rwa/mincog.hpp"
 #include "rwa/node_disjoint_router.hpp"
@@ -137,8 +139,13 @@ TEST(ParallelBatch, OneThreadEngineIsExactlySerial) {
   ParallelBatchEngine engine(opt);
   const BatchOutcome par = engine.run(net_par, router, batch);
   expect_identical(serial, par, net_serial, net_par, "1-thread");
-  // The serial path never speculates or snapshots.
+  // threads <= 1 short-circuits to the shared serial provision_batch path:
+  // no snapshot pool, no workers, no speculation machinery at all.
+  EXPECT_EQ(engine.stats().serial_runs, 1);
+  EXPECT_EQ(engine.stats().runs, 0);
   EXPECT_EQ(engine.stats().speculations, 0);
+  EXPECT_EQ(engine.stats().epochs, 0);
+  EXPECT_EQ(engine.stats().snapshot_syncs, 0);
   EXPECT_EQ(engine.stats().snapshot_copies, 0);
   EXPECT_EQ(engine.stats().requests, static_cast<long long>(batch.size()));
 }
@@ -168,14 +175,34 @@ class ThrottledRouter final : public Router {
   explicit ThrottledRouter(const Router& inner) : inner_(inner) {}
   RouteResult route(const net::WdmNetwork& net, net::NodeId s,
                     net::NodeId t) const override {
+    return route(net, s, t, nullptr);
+  }
+  // Forwards the footprint pointer so the wrapper throttles without
+  // collapsing the inner router's footprint to opaque.
+  RouteResult route(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
+                    RouteFootprint* fp) const override {
     std::this_thread::sleep_for(std::chrono::microseconds(300));
-    return inner_.route(net, s, t);
+    return inner_.route(net, s, t, fp);
   }
   std::string name() const override { return "throttled+" + inner_.name(); }
 
  private:
   const Router& inner_;
 };
+
+/// The three counter identities documented on ParallelBatchStats; must hold
+/// after every exception-free batch, for runs where every request took the
+/// parallel path (serial-path delegation only bumps requests/serial_runs).
+void expect_stats_reconcile(const ParallelBatchStats& st) {
+  EXPECT_EQ(st.spec_commits + st.commit_reroutes, st.requests);
+  EXPECT_EQ(st.speculations, st.spec_commits + st.conflicts + st.spec_discarded);
+  EXPECT_EQ(st.snapshot_syncs + st.snapshot_copies, st.epochs + st.runs);
+  // Derived sanity: every retry claim follows a conflict; every serial
+  // fallback is a commit-thread reroute; footprint hits are spec commits.
+  EXPECT_LE(st.retries, st.conflicts);
+  EXPECT_LE(st.serial_fallbacks, st.commit_reroutes);
+  EXPECT_LE(st.footprint_hits, st.spec_commits);
+}
 
 TEST(ParallelBatch, StatsAccountForEveryRequest) {
   const auto batch = random_batch(40, 14, 17);
@@ -189,17 +216,40 @@ TEST(ParallelBatch, StatsAccountForEveryRequest) {
 
   const ParallelBatchStats& st = engine.stats();
   EXPECT_EQ(st.requests, static_cast<long long>(batch.size()));
-  // Every request is finalized exactly once: either straight from a fresh
-  // speculative result or re-routed on the commit thread.
-  EXPECT_EQ(st.spec_commits + st.commit_reroutes, st.requests);
+  EXPECT_EQ(st.runs, 1);
   EXPECT_GT(st.speculations, 0);
-  // Each publish is either an in-place sync or a deep copy; there is one
-  // publish per accepted commit plus the initial one.
-  EXPECT_EQ(st.snapshot_syncs + st.snapshot_copies, st.epochs + 1);
+  expect_stats_reconcile(st);
   EXPECT_GE(st.conflict_rate(), 0.0);
   EXPECT_LE(st.conflict_rate(), 1.0);
   EXPECT_GE(st.spec_hit_rate(), 0.0);
   EXPECT_LE(st.spec_hit_rate(), 1.0);
+  EXPECT_GE(st.footprint_hit_rate(), 0.0);
+  EXPECT_LE(st.footprint_hit_rate(), 1.0);
+}
+
+// The reconciliation identities must hold after EVERY batch, not just in
+// aggregate at the end — this is the regression test for the pre-footprint
+// accounting bugs (snapshot_syncs > epochs; speculations that vanished from
+// conflicts + commits when a publish raced finalization).
+TEST(ParallelBatch, StatsReconcileAfterEveryBatch) {
+  ApproxDisjointRouter approx;
+  MinLoadRouter min_load;
+  ThrottledRouter slow_approx(approx);
+  ThrottledRouter slow_min_load(min_load);
+  const Router* routers[] = {&slow_approx, &slow_min_load};
+  ParallelBatchOptions opt;
+  opt.threads = 4;
+  ParallelBatchEngine engine(opt);
+  net::WdmNetwork net = churned_network(8, 23);
+  for (int round = 0; round < 4; ++round) {
+    const BatchOutcome out = engine.run(
+        net, *routers[round % 2], random_batch(24, 14, 100 + round),
+        BatchOrder::kShortestFirst);
+    SCOPED_TRACE(round);
+    EXPECT_EQ(out.accepted + out.dropped, 24);
+    expect_stats_reconcile(engine.stats());
+    EXPECT_EQ(engine.stats().runs, round + 1);
+  }
 }
 
 TEST(ParallelBatch, EngineIsReusableAcrossRuns) {
@@ -220,6 +270,72 @@ TEST(ParallelBatch, EngineIsReusableAcrossRuns) {
   }
   // Later rounds reuse pooled snapshots instead of re-copying the network.
   EXPECT_GT(engine.stats().snapshot_syncs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Footprint validation differential: for every footprint-recording router and
+// every ordering policy, the engine must produce the bit-identical outcome
+// under footprint validation (default), epoch validation
+// (force_epoch_validation), and the serial loop. Footprints may change only
+// how much speculative work survives, never what gets provisioned.
+// ---------------------------------------------------------------------------
+TEST(ParallelBatch, FootprintVsEpochDifferential) {
+  const auto batch = random_batch(28, 14, 13);
+  std::vector<std::pair<const char*, std::unique_ptr<Router>>> routers;
+  routers.emplace_back("approx", std::make_unique<ApproxDisjointRouter>());
+  routers.emplace_back("approx-norefine",
+                       std::make_unique<ApproxDisjointRouter>(false));
+  routers.emplace_back("node-disjoint", std::make_unique<NodeDisjointRouter>());
+  routers.emplace_back("load+cost", std::make_unique<LoadCostRouter>());
+  routers.emplace_back("min-load", std::make_unique<MinLoadRouter>());
+  {
+    // Bisection exercises the probe-ladder stamps; linear-scan must stay
+    // correct via the opaque fallback.
+    MinCogOptions bisect;
+    bisect.search = ThetaSearch::kBisection;
+    routers.emplace_back("min-load-bisect",
+                         std::make_unique<MinLoadRouter>(bisect));
+    MinCogOptions linear;
+    linear.search = ThetaSearch::kLinearScan;
+    routers.emplace_back("min-load-linear",
+                         std::make_unique<MinLoadRouter>(linear));
+  }
+  for (const auto& [rname, router] : routers) {
+    ThrottledRouter throttled(*router);
+    for (BatchOrder order : kAllOrders) {
+      net::WdmNetwork net_serial = churned_network(8, 31);
+      net::WdmNetwork net_fp = churned_network(8, 31);
+      net::WdmNetwork net_ep = churned_network(8, 31);
+      support::Rng rng_serial(41), rng_fp(41), rng_ep(41);
+
+      const BatchOutcome serial =
+          provision_batch(net_serial, throttled, batch, order, &rng_serial);
+
+      ParallelBatchOptions fp_opt;
+      fp_opt.threads = 4;
+      ParallelBatchEngine fp_engine(fp_opt);
+      const BatchOutcome fp =
+          fp_engine.run(net_fp, throttled, batch, order, &rng_fp);
+
+      ParallelBatchOptions ep_opt;
+      ep_opt.threads = 4;
+      ep_opt.force_epoch_validation = true;
+      ParallelBatchEngine ep_engine(ep_opt);
+      const BatchOutcome ep =
+          ep_engine.run(net_ep, throttled, batch, order, &rng_ep);
+
+      const std::string label =
+          std::string(rname) + " / " + batch_order_name(order);
+      expect_identical(serial, fp, net_serial, net_fp,
+                       (label + " [footprint]").c_str());
+      expect_identical(serial, ep, net_serial, net_ep,
+                       (label + " [epoch]").c_str());
+      expect_stats_reconcile(fp_engine.stats());
+      expect_stats_reconcile(ep_engine.stats());
+      // Epoch mode can never keep a speculation across a commit.
+      EXPECT_EQ(ep_engine.stats().footprint_hits, 0) << label;
+    }
+  }
 }
 
 class ThrowingRouter final : public Router {
@@ -284,6 +400,175 @@ TEST(ParallelBatch, SimulatorBatchModeBalancesLedger) {
   EXPECT_GT(m.offered, 0);
   EXPECT_EQ(m.offered, m.accepted + m.blocked);
   EXPECT_EQ(m.final_reserved_wavelength_links, 0);  // run() checks too
+}
+
+// ---------------------------------------------------------------------------
+// FootprintValidator unit tests: drive the validator directly with hand-built
+// commits and check each validation rule in isolation. (Suite name contains
+// "Footprint" so the TSan CI job's ctest regex picks these up too.)
+// ---------------------------------------------------------------------------
+
+/// Reserves (e, l) as a committed single-hop route at `epoch`.
+void commit_hop(FootprintValidator& v, net::WdmNetwork& net, graph::EdgeId e,
+                net::Wavelength l, std::uint64_t epoch) {
+  net::ProtectedRoute r;
+  r.primary.hops.push_back({e, l});
+  r.primary.found = true;
+  r.found = true;
+  v.capture_pre(net, r);
+  net.reserve(e, l);
+  v.commit(net, epoch);
+}
+
+TEST(Footprint, OpaqueRequiresEpochExact) {
+  net::WdmNetwork net = topo::nsfnet_network(4, 0.5);
+  FootprintValidator v;
+  v.begin_run(net);
+  RouteFootprint fp;  // default-constructed == opaque
+  EXPECT_TRUE(fp.opaque);
+  EXPECT_TRUE(v.valid(fp, 0));  // nothing committed yet
+  commit_hop(v, net, 0, 0, 1);
+  EXPECT_FALSE(v.valid(fp, 0));  // one commit since the snapshot
+  EXPECT_TRUE(v.valid(fp, 1));   // snapshot already current
+}
+
+TEST(Footprint, CostChannelSurvivesUniformReservation) {
+  // Unit weights + uniform conversion costs: while every neighboring link is
+  // fully available, reserving wavelengths off one link keeps its mean
+  // available weight and every transit-pair mean bitwise unchanged (the
+  // identity-pair fraction k/(f*t) is preserved whenever the shrinking set is
+  // contained in the other), so the G' cost channel is untouched and
+  // cost-semantic speculations survive the commit — the hit epoch validation
+  // can never keep.
+  net::WdmNetwork net = topo::nsfnet_network(4, 0.5);
+  FootprintValidator v;
+  v.begin_run(net);
+  RouteFootprint fp;
+  fp.begin();
+  fp.cost_semantics = true;
+  commit_hop(v, net, 0, 0, 1);
+  EXPECT_TRUE(v.valid(fp, 0));
+  commit_hop(v, net, 0, 1, 2);
+  EXPECT_TRUE(v.valid(fp, 0));
+  // But once availability is asymmetric across a transit pair, reserving on
+  // the neighbor (link 3 feeds tail(link 0)) shifts the (3 -> 0) pair mean:
+  // the validator must catch the cross-link interaction and invalidate.
+  commit_hop(v, net, 3, 1, 3);
+  EXPECT_FALSE(v.valid(fp, 2));
+  EXPECT_TRUE(v.valid(fp, 3));
+}
+
+TEST(Footprint, CostChannelInvalidatedWhenLinkEmpties) {
+  net::WdmNetwork net = topo::nsfnet_network(2, 0.5);
+  FootprintValidator v;
+  v.begin_run(net);
+  RouteFootprint fp;
+  fp.begin();
+  fp.cost_semantics = true;
+  commit_hop(v, net, 0, 0, 1);
+  EXPECT_TRUE(v.valid(fp, 0));  // one of two wavelengths left
+  // The second reservation drains the link: usable-set membership flips and
+  // the G' layout moves — every cost-semantic speculation is stale.
+  commit_hop(v, net, 0, 1, 2);
+  EXPECT_FALSE(v.valid(fp, 0));
+  EXPECT_FALSE(v.valid(fp, 1));
+  EXPECT_TRUE(v.valid(fp, 2));
+}
+
+TEST(Footprint, ExactLinkInvalidatedOnlyByItsWriters) {
+  net::WdmNetwork net = topo::nsfnet_network(4, 0.5);
+  FootprintValidator v;
+  v.begin_run(net);
+  RouteFootprint fp;
+  fp.begin();
+  fp.add_exact_link(0);
+  commit_hop(v, net, 5, 0, 1);  // writes a different link
+  EXPECT_TRUE(v.valid(fp, 0));
+  commit_hop(v, net, 0, 0, 2);  // writes the read link
+  EXPECT_FALSE(v.valid(fp, 0));
+  EXPECT_FALSE(v.valid(fp, 1));
+  EXPECT_TRUE(v.valid(fp, 2));
+}
+
+TEST(Footprint, LoadBandRules) {
+  // nsfnet at W=4: link 0 starts at usage 0, so the commit below moves it
+  // load 0.00 -> 0.25 and next-load (U+1)/N 0.25 -> 0.50.
+  net::WdmNetwork net = topo::nsfnet_network(4, 0.5);
+  FootprintValidator v;
+  v.begin_run(net);
+  commit_hop(v, net, 0, 0, 1);
+
+  auto load_fp = [] {
+    RouteFootprint fp;
+    fp.begin();
+    fp.load_semantics = true;
+    return fp;
+  };
+
+  {  // Bands clear of the write: the speculation survives.
+    RouteFootprint fp = load_fp();
+    fp.theta_min = 0.1;
+    fp.theta_max = 0.9;
+    EXPECT_TRUE(v.valid(fp, 0));
+  }
+  {  // Written link was a member of the accepted G_c (load < ϑ_accepted).
+    RouteFootprint fp = load_fp();
+    fp.theta_accepted = 0.1;
+    EXPECT_FALSE(v.valid(fp, 0));
+  }
+  {  // NaN ϑ_accepted (dropped request): no members to protect.
+    RouteFootprint fp = load_fp();
+    EXPECT_TRUE(v.valid(fp, 0));
+  }
+  {  // Write pushed (U+1)/N above the recorded ϑ_max stamp.
+    RouteFootprint fp = load_fp();
+    fp.theta_max = 0.4;
+    EXPECT_FALSE(v.valid(fp, 0));
+  }
+  {  // Written link sat exactly at the recorded ϑ_min: the minimum may rise.
+    RouteFootprint fp = load_fp();
+    fp.theta_min = 0.25;
+    EXPECT_FALSE(v.valid(fp, 0));
+  }
+  {  // A probed G_c(ϑ) band flipped across the write...
+    RouteFootprint fp = load_fp();
+    fp.theta_probes.push_back(0.2);  // 0.00 < 0.2 but 0.25 >= 0.2
+    EXPECT_FALSE(v.valid(fp, 0));
+  }
+  {  // ...but a probe above both load positions sees no flip.
+    RouteFootprint fp = load_fp();
+    fp.theta_probes.push_back(0.7);
+    EXPECT_TRUE(v.valid(fp, 0));
+  }
+  {  // Snapshot taken after the commit: always valid.
+    RouteFootprint fp = load_fp();
+    fp.theta_accepted = 0.1;
+    fp.theta_min = 0.25;
+    EXPECT_TRUE(v.valid(fp, 1));
+  }
+}
+
+TEST(Footprint, RulesComposeAcrossMultipleCommits) {
+  net::WdmNetwork net = topo::nsfnet_network(4, 0.5);
+  FootprintValidator v;
+  v.begin_run(net);
+  commit_hop(v, net, 2, 0, 1);
+  commit_hop(v, net, 2, 1, 2);  // link 2 now at usage 2: load 0.5
+  commit_hop(v, net, 7, 0, 3);
+
+  RouteFootprint fp;
+  fp.begin();
+  fp.load_semantics = true;
+  fp.theta_accepted = 0.3;  // members: load < 0.3
+  // Epoch-1 commit wrote link 2 at load_before 0.0 < 0.3 — a member — so a
+  // base-0 speculation is stale even though the *latest* commits are benign.
+  EXPECT_FALSE(v.valid(fp, 0));
+  // From base 1 the remaining writes have load_before 0.25 and 0.0... the
+  // epoch-3 write of link 7 starts at 0.0 < 0.3, still a member.
+  EXPECT_FALSE(v.valid(fp, 2));
+  // Raise the membership bound out of the way instead.
+  fp.theta_accepted = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(v.valid(fp, 0));
 }
 
 }  // namespace
