@@ -12,7 +12,83 @@ Digraph::Digraph(NodeId n) {
   in_.resize(static_cast<std::size_t>(n));
 }
 
+void Digraph::finalize_csr() {
+  if (csr_) return;
+  const auto n = static_cast<std::size_t>(num_nodes());
+  const auto m = tail_.size();
+  csr_out_start_.assign(n + 1, 0);
+  csr_in_start_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++csr_out_start_[static_cast<std::size_t>(tail_[e]) + 1];
+    ++csr_in_start_[static_cast<std::size_t>(head_[e]) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    csr_out_start_[v + 1] += csr_out_start_[v];
+    csr_in_start_[v + 1] += csr_in_start_[v];
+  }
+  csr_out_.resize(m);
+  csr_in_.resize(m);
+  // Fill in ascending edge-id order: within each node's block that matches
+  // the insertion order the dynamic representation reports.
+  std::vector<std::size_t> next_out(csr_out_start_.begin(),
+                                    csr_out_start_.end() - 1);
+  std::vector<std::size_t> next_in(csr_in_start_.begin(),
+                                   csr_in_start_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    csr_out_[next_out[static_cast<std::size_t>(tail_[e])]++] =
+        static_cast<EdgeId>(e);
+    csr_in_[next_in[static_cast<std::size_t>(head_[e])]++] =
+        static_cast<EdgeId>(e);
+  }
+  // Recycle the per-node buffers; num_nodes() reads the CSR offsets now.
+  spare_.reserve(spare_.size() + out_.size() + in_.size());
+  for (auto& adj : out_) {
+    adj.clear();
+    spare_.push_back(std::move(adj));
+  }
+  for (auto& adj : in_) {
+    adj.clear();
+    spare_.push_back(std::move(adj));
+  }
+  out_.clear();
+  in_.clear();
+  csr_ = true;
+}
+
+void Digraph::definalize() {
+  if (!csr_) return;
+  const auto n = static_cast<std::size_t>(csr_out_start_.size() - 1);
+  csr_ = false;
+  out_.clear();
+  in_.clear();
+  while (out_.size() < n) {
+    if (!spare_.empty()) {
+      out_.push_back(std::move(spare_.back()));
+      spare_.pop_back();
+    } else {
+      out_.emplace_back();
+    }
+  }
+  while (in_.size() < n) {
+    if (!spare_.empty()) {
+      in_.push_back(std::move(spare_.back()));
+      spare_.pop_back();
+    } else {
+      in_.emplace_back();
+    }
+  }
+  for (std::size_t e = 0; e < tail_.size(); ++e) {
+    out_[static_cast<std::size_t>(tail_[e])].push_back(static_cast<EdgeId>(e));
+    in_[static_cast<std::size_t>(head_[e])].push_back(static_cast<EdgeId>(e));
+  }
+  csr_out_.clear();
+  csr_in_.clear();
+  csr_out_start_.clear();
+  csr_in_start_.clear();
+}
+
 NodeId Digraph::add_node() {
+  definalize();
   if (!spare_.empty()) {
     out_.push_back(std::move(spare_.back()));
     spare_.pop_back();
@@ -31,6 +107,7 @@ NodeId Digraph::add_node() {
 EdgeId Digraph::add_edge(NodeId tail, NodeId head) {
   WDM_CHECK_MSG(valid_node(tail) && valid_node(head),
                 "add_edge endpoints must be existing nodes");
+  definalize();
   const auto e = static_cast<EdgeId>(tail_.size());
   tail_.push_back(tail);
   head_.push_back(head);
@@ -63,6 +140,18 @@ void Digraph::reserve(NodeId nodes, EdgeId edges) {
 }
 
 void Digraph::clear_keep_capacity() {
+  if (csr_) {
+    // The CSR arrays keep their capacity for the next finalize; the per-node
+    // buffers were already recycled into spare_ at finalize time.
+    csr_ = false;
+    csr_out_.clear();
+    csr_in_.clear();
+    csr_out_start_.clear();
+    csr_in_start_.clear();
+    tail_.clear();
+    head_.clear();
+    return;
+  }
   tail_.clear();
   head_.clear();
   spare_.reserve(spare_.size() + out_.size() + in_.size());

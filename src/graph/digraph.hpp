@@ -34,7 +34,10 @@ class Digraph {
   /// the same node pair are distinct edges.
   EdgeId add_edge(NodeId tail, NodeId head);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(out_.size()); }
+  NodeId num_nodes() const {
+    if (csr_) return static_cast<NodeId>(csr_out_start_.size() - 1);
+    return static_cast<NodeId>(out_.size());
+  }
   EdgeId num_edges() const { return static_cast<EdgeId>(tail_.size()); }
 
   NodeId tail(EdgeId e) const { return tail_[static_cast<std::size_t>(e)]; }
@@ -42,18 +45,38 @@ class Digraph {
 
   /// Edge ids leaving / entering `v`, in insertion order.
   std::span<const EdgeId> out_edges(NodeId v) const {
-    return out_[static_cast<std::size_t>(v)];
+    const auto i = static_cast<std::size_t>(v);
+    if (csr_) {
+      return {csr_out_.data() + csr_out_start_[i],
+              csr_out_start_[i + 1] - csr_out_start_[i]};
+    }
+    return out_[i];
   }
   std::span<const EdgeId> in_edges(NodeId v) const {
-    return in_[static_cast<std::size_t>(v)];
+    const auto i = static_cast<std::size_t>(v);
+    if (csr_) {
+      return {csr_in_.data() + csr_in_start_[i],
+              csr_in_start_[i + 1] - csr_in_start_[i]};
+    }
+    return in_[i];
   }
 
   int out_degree(NodeId v) const {
-    return static_cast<int>(out_[static_cast<std::size_t>(v)].size());
+    return static_cast<int>(out_edges(v).size());
   }
   int in_degree(NodeId v) const {
-    return static_cast<int>(in_[static_cast<std::size_t>(v)].size());
+    return static_cast<int>(in_edges(v).size());
   }
+
+  /// Compacts the adjacency into flat CSR arrays (one contiguous edge-id
+  /// block per node, insertion order preserved) and frees the per-node
+  /// buffers. Queries are unchanged observationally but touch two flat
+  /// arrays instead of n separate heap blocks — the memory-layout step of
+  /// the continental-scale arena (ROADMAP item 4). Any later structural
+  /// mutation (add_node / add_edge / clear_keep_capacity) transparently
+  /// drops back to the dynamic representation.
+  void finalize_csr();
+  bool csr_finalized() const { return csr_; }
 
   /// max over nodes of max(in_degree, out_degree) — the paper's `d`.
   int max_degree() const;
@@ -85,12 +108,22 @@ class Digraph {
   Digraph reversed() const;
 
  private:
+  /// Rebuilds the dynamic per-node adjacency from tail_/head_ and drops the
+  /// CSR arrays; called by mutating operations on a finalized graph.
+  void definalize();
+
   std::vector<NodeId> tail_;
   std::vector<NodeId> head_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
   /// Cleared adjacency buffers recycled by clear_keep_capacity -> add_node.
   std::vector<std::vector<EdgeId>> spare_;
+
+  bool csr_ = false;
+  std::vector<EdgeId> csr_out_;          // edge ids grouped by tail node
+  std::vector<EdgeId> csr_in_;           // edge ids grouped by head node
+  std::vector<std::size_t> csr_out_start_;  // n+1 offsets into csr_out_
+  std::vector<std::size_t> csr_in_start_;   // n+1 offsets into csr_in_
 };
 
 }  // namespace wdm::graph

@@ -150,10 +150,23 @@ DisjointPair suurballe_node_disjoint(
   WDM_CHECK(s != t);
   // Split every node v into v_in (id v) and v_out (id v + n); internal arc
   // v_in -> v_out carries zero weight; original edges run u_out -> v_in.
+  // The split graph lives in a thread-local arena recycled across calls via
+  // clear_keep_capacity(): repeated node-disjoint queries over same-sized
+  // graphs (the simulator's steady state) rebuild it allocation-free.
   const NodeId n = g.num_nodes();
-  Digraph split(2 * n);
-  std::vector<double> sw;
-  std::vector<EdgeId> orig;  // original edge id per split edge, -1 = internal
+  struct SplitArena {
+    Digraph split;
+    std::vector<double> sw;
+    std::vector<EdgeId> orig;  // original edge id per split edge, -1 = internal
+  };
+  thread_local SplitArena arena;
+  Digraph& split = arena.split;
+  std::vector<double>& sw = arena.sw;
+  std::vector<EdgeId>& orig = arena.orig;
+  split.clear_keep_capacity();
+  sw.clear();
+  orig.clear();
+  for (NodeId v = 0; v < 2 * n; ++v) split.add_node();
   for (NodeId v = 0; v < n; ++v) {
     split.add_edge(v, v + n);
     sw.push_back(0.0);

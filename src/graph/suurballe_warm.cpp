@@ -1,0 +1,429 @@
+#include "graph/suurballe_warm.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace wdm::graph {
+
+void SuurballeEngine::bind(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  const EdgeId m = g.num_edges();
+  if (n == n_ && m == m_) return;
+  n_ = n;
+  m_ = m;
+  for (Tree& tr : trees_) tr.valid = false;
+  heap_.emplace(static_cast<std::size_t>(n));
+  const auto ns = static_cast<std::size_t>(n);
+  const auto ms = static_cast<std::size_t>(m);
+  suspect_.assign(ns, 0);
+  child_start_.assign(ns + 1, 0);
+  child_.assign(ns, kInvalidNode);
+  child_cursor_.assign(ns, 0);
+  r2_dist_.assign(ns, kInf);
+  r2_pred_.assign(ns, kInvalidEdge);
+  r2_pred_rev_.assign(ns, 0);
+  r2_touched_.clear();
+  r2_touched_.reserve(ns);
+  on_p1_.assign(ms, 0);
+  in_flow_.assign(ms, 0);
+  flow_cand_.clear();
+  flow_cand_.reserve(2 * ns + 2);
+  decomp_slot_.assign(2 * ns, kInvalidEdge);
+  decomp_cnt_.assign(ns, 0);
+}
+
+void SuurballeEngine::invalidate() {
+  for (Tree& tr : trees_) tr.valid = false;
+}
+
+SuurballeEngine::Tree& SuurballeEngine::acquire_tree(std::uint64_t key,
+                                                     NodeId s) {
+  ++use_clock_;
+  Tree* lru = nullptr;
+  for (Tree& tr : trees_) {
+    if (tr.valid && tr.key == key) {
+      // The contract ties a key to one source; a different s means the
+      // caller recycled the key, so start the slot over.
+      if (tr.source != s) tr.valid = false;
+      tr.last_use = use_clock_;
+      tr.key = key;
+      tr.source = s;
+      return tr;
+    }
+    if (lru == nullptr || tr.last_use < lru->last_use) lru = &tr;
+  }
+  if (static_cast<int>(trees_.size()) < kMaxTrees) {
+    trees_.emplace_back();
+    lru = &trees_.back();
+  }
+  // Recycle the least-recently-used slot in place — its vectors keep their
+  // capacity, so steady-state key rotation allocates nothing.
+  lru->valid = false;
+  lru->key = key;
+  lru->source = s;
+  lru->last_use = use_clock_;
+  return *lru;
+}
+
+namespace {
+
+/// Pops until empty, relaxing out-arcs with strict improvement. Arcs with
+/// +inf weight never relax (inf is not < anything), which is what makes the
+/// stable-arena universe graphs safe to search without an enabled mask.
+/// Returns the number of pops.
+std::uint64_t drain_dijkstra(const Digraph& g, std::span<const double> w,
+                             QuadHeap& heap, std::vector<double>& dist,
+                             std::vector<EdgeId>& pred) {
+  std::uint64_t pops = 0;
+  while (!heap.empty()) {
+    const auto [uid, du] = heap.pop_min();
+    ++pops;
+    const auto u = static_cast<NodeId>(uid);
+    for (EdgeId e : g.out_edges(u)) {
+      const auto v = static_cast<std::size_t>(g.head(e));
+      const double dv = du + w[static_cast<std::size_t>(e)];
+      if (dv < dist[v]) {
+        dist[v] = dv;
+        pred[v] = e;
+        heap.push_or_decrease(v, dv);
+      }
+    }
+  }
+  return pops;
+}
+
+}  // namespace
+
+void SuurballeEngine::build_tree(const Digraph& g, std::span<const double> w,
+                                 Tree& tr) {
+  ++stats_.tree_builds;
+  const auto ns = static_cast<std::size_t>(n_);
+  tr.dist.assign(ns, kInf);
+  tr.pred.assign(ns, kInvalidEdge);
+  tr.dist[static_cast<std::size_t>(tr.source)] = 0.0;
+  heap_->push(static_cast<std::size_t>(tr.source), 0.0);
+  drain_dijkstra(g, w, *heap_, tr.dist, tr.pred);
+  tr.w_snap.assign(w.begin(), w.end());
+  tr.valid = true;
+}
+
+bool SuurballeEngine::repair_tree(const Digraph& g, std::span<const double> w,
+                                  Tree& tr, const WeightPatchFeed* feed) {
+  // Collect the arcs whose weight moved since the snapshot. With a trusted
+  // feed cursor only the spans appended since the tree's last sync are
+  // scanned; otherwise every arc. Duplicate candidates may enter
+  // changed_arcs_ more than once — every consumer below is idempotent.
+  changed_arcs_.clear();
+  const bool hinted = feed != nullptr && tr.feed_synced &&
+                      tr.feed_epoch == feed->epoch &&
+                      tr.feed_offset <= feed->spans.size();
+  if (hinted) {
+    ++stats_.hinted_diffs;
+    for (std::size_t si = tr.feed_offset; si < feed->spans.size(); ++si) {
+      const WeightPatchSpan& sp = feed->spans[si];
+      for (EdgeId a = sp.begin; a < sp.begin + sp.count; ++a) {
+        if (w[static_cast<std::size_t>(a)] !=
+            tr.w_snap[static_cast<std::size_t>(a)]) {
+          changed_arcs_.push_back(a);
+        }
+      }
+    }
+  } else {
+    ++stats_.full_diffs;
+    const auto ms = static_cast<std::size_t>(m_);
+    for (std::size_t a = 0; a < ms; ++a) {
+      if (w[a] != tr.w_snap[a]) changed_arcs_.push_back(static_cast<EdgeId>(a));
+    }
+  }
+  if (changed_arcs_.empty()) {
+    ++stats_.tree_hits;
+    return false;
+  }
+  ++stats_.tree_repairs;
+
+  // Suspects: every node whose tree path crosses an arc that got *more*
+  // expensive. Their labels may be stale-low in a way no relaxation from
+  // intact labels would fix, so they restart from +inf. Every other label
+  // is the fp cost of a real path whose arcs did not increase — a valid
+  // upper bound the seeded Dijkstra below can only tighten. Pure decreases
+  // orphan nothing, so the child index is only built when some increased
+  // arc is a tree arc.
+  auto& suspects = suspect_stack_;
+  suspects.clear();
+  bool need_subtrees = false;
+  for (const EdgeId a : changed_arcs_) {
+    const auto ai = static_cast<std::size_t>(a);
+    if (w[ai] > tr.w_snap[ai] &&
+        tr.pred[static_cast<std::size_t>(g.head(a))] == a) {
+      need_subtrees = true;
+      break;
+    }
+  }
+  if (need_subtrees) {
+    // Children of the support forest, CSR form, for subtree invalidation.
+    const auto ns = static_cast<std::size_t>(n_);
+    std::fill(child_start_.begin(), child_start_.end(), 0);
+    for (std::size_t v = 0; v < ns; ++v) {
+      const EdgeId pe = tr.pred[v];
+      if (pe == kInvalidEdge) continue;
+      ++child_start_[static_cast<std::size_t>(g.tail(pe)) + 1];
+    }
+    for (std::size_t v = 0; v < ns; ++v) {
+      child_start_[v + 1] += child_start_[v];
+    }
+    std::fill(child_cursor_.begin(), child_cursor_.end(), 0);
+    for (std::size_t v = 0; v < ns; ++v) {
+      const EdgeId pe = tr.pred[v];
+      if (pe == kInvalidEdge) continue;
+      const auto p = static_cast<std::size_t>(g.tail(pe));
+      child_[child_start_[p] + child_cursor_[p]++] = static_cast<NodeId>(v);
+    }
+
+    auto mark_subtree = [&](NodeId root) {
+      if (suspect_[static_cast<std::size_t>(root)]) return;
+      suspect_[static_cast<std::size_t>(root)] = 1;
+      suspects.push_back(root);
+      for (std::size_t qi = suspects.size() - 1; qi < suspects.size(); ++qi) {
+        const auto v = static_cast<std::size_t>(suspects[qi]);
+        for (std::size_t c = child_start_[v]; c < child_start_[v + 1]; ++c) {
+          const NodeId ch = child_[c];
+          if (!suspect_[static_cast<std::size_t>(ch)]) {
+            suspect_[static_cast<std::size_t>(ch)] = 1;
+            suspects.push_back(ch);
+          }
+        }
+      }
+    };
+    for (const EdgeId a : changed_arcs_) {
+      const auto ai = static_cast<std::size_t>(a);
+      if (w[ai] <= tr.w_snap[ai]) {
+        continue;  // decrease: existing labels stay valid upper bounds
+      }
+      const NodeId v = g.head(a);
+      if (tr.pred[static_cast<std::size_t>(v)] == a) mark_subtree(v);
+    }
+    for (const NodeId v : suspects) {
+      tr.dist[static_cast<std::size_t>(v)] = kInf;
+      tr.pred[static_cast<std::size_t>(v)] = kInvalidEdge;
+    }
+  }
+
+  // Seeds: (1) the invalidation boundary — every arc from an intact label
+  // into a suspect; (2) every changed arc, so decreases propagate and
+  // increased non-tree arcs on new optimal paths are re-examined.
+  auto relax_seed = [&](EdgeId a) {
+    const auto u = static_cast<std::size_t>(g.tail(a));
+    if (suspect_[u] || tr.dist[u] == kInf) return;
+    const auto v = static_cast<std::size_t>(g.head(a));
+    const double dv = tr.dist[u] + w[static_cast<std::size_t>(a)];
+    if (dv < tr.dist[v]) {
+      tr.dist[v] = dv;
+      tr.pred[v] = a;
+      heap_->push_or_decrease(v, dv);
+    }
+  };
+  for (const NodeId v : suspects) {
+    for (const EdgeId a : g.in_edges(v)) relax_seed(a);
+  }
+  for (const EdgeId a : changed_arcs_) relax_seed(a);
+
+  stats_.repaired_nodes += drain_dijkstra(g, w, *heap_, tr.dist, tr.pred);
+
+  for (const NodeId v : suspects) suspect_[static_cast<std::size_t>(v)] = 0;
+  // Re-sync the snapshot at exactly the arcs found changed (duplicates are
+  // harmless); with hints this replaces the O(m) full copy.
+  for (const EdgeId a : changed_arcs_) {
+    tr.w_snap[static_cast<std::size_t>(a)] = w[static_cast<std::size_t>(a)];
+  }
+  return true;
+}
+
+void SuurballeEngine::round_two(const Digraph& g, std::span<const double> w,
+                                NodeId s, NodeId t, const Tree& tr,
+                                DisjointPair* out) {
+  // p1: the canonical round-1 shortest path. From t, repeatedly take the
+  // minimum arc id with exact fp tightness dist[tail] ⊕ w == dist[v] — a
+  // pure function of (structure, w, dist), so cold builds and warm repairs
+  // that agree on dist (they do, see the header) extract the same path.
+  p1_edges_.clear();
+  for (NodeId v = t; v != s;) {
+    const double dv = tr.dist[static_cast<std::size_t>(v)];
+    EdgeId best = kInvalidEdge;
+    for (EdgeId e : g.in_edges(v)) {
+      const auto u = static_cast<std::size_t>(g.tail(e));
+      if (tr.dist[u] == kInf) continue;
+      if (tr.dist[u] + w[static_cast<std::size_t>(e)] != dv) continue;
+      if (best == kInvalidEdge || e < best) best = e;
+    }
+    WDM_CHECK_MSG(best != kInvalidEdge, "round-1 labels lost tightness");
+    p1_edges_.push_back(best);
+    WDM_CHECK_MSG(p1_edges_.size() <= static_cast<std::size_t>(m_),
+                  "canonical p1 walk cycled (zero-weight cycle?)");
+    v = g.tail(best);
+  }
+  std::reverse(p1_edges_.begin(), p1_edges_.end());
+  for (EdgeId e : p1_edges_) on_p1_[static_cast<std::size_t>(e)] = 1;
+
+  // Mirrors graph::suurballe round 2: Dijkstra over reduced costs with p1
+  // reversed at cost 0, then interlacing cancellation and 2-flow
+  // decomposition. Identical inputs (graph, weights, round-1 labels and
+  // canonical p1) make this deterministic, so warm == cold extends through
+  // the full pair. The r2_* arrays are clean outside r2_touched_ (bind()
+  // establishes that, the epilogue below restores it), so nothing here is
+  // O(n) or O(m) in the quiescent graph.
+  r2_touched_.clear();
+  auto r2_label = [&](std::size_t v, double dv, EdgeId pe, std::uint8_t rev) {
+    if (r2_dist_[v] == kInf) r2_touched_.push_back(static_cast<NodeId>(v));
+    r2_dist_[v] = dv;
+    r2_pred_[v] = pe;
+    r2_pred_rev_[v] = rev;
+  };
+  r2_label(static_cast<std::size_t>(s), 0.0, kInvalidEdge, 0);
+  heap_->push(static_cast<std::size_t>(s), 0.0);
+  auto reduced = [&](EdgeId e) {
+    const double r = w[static_cast<std::size_t>(e)] +
+                     tr.dist[static_cast<std::size_t>(g.tail(e))] -
+                     tr.dist[static_cast<std::size_t>(g.head(e))];
+    return r < 0.0 ? 0.0 : r;
+  };
+  while (!heap_->empty()) {
+    const auto [uid, du] = heap_->pop_min();
+    const auto u = static_cast<NodeId>(uid);
+    if (u == t) break;
+    for (EdgeId e : g.out_edges(u)) {
+      if (on_p1_[static_cast<std::size_t>(e)]) continue;
+      if (tr.dist[static_cast<std::size_t>(g.head(e))] == kInf) continue;
+      const auto v = static_cast<std::size_t>(g.head(e));
+      const double dv = du + reduced(e);
+      if (dv < r2_dist_[v]) {
+        r2_label(v, dv, e, 0);
+        heap_->push_or_decrease(v, dv);
+      }
+    }
+    for (EdgeId e : g.in_edges(u)) {
+      if (!on_p1_[static_cast<std::size_t>(e)]) continue;
+      const auto v = static_cast<std::size_t>(g.tail(e));
+      const double dv = du;
+      if (dv < r2_dist_[v]) {
+        r2_label(v, dv, e, 1);
+        heap_->push_or_decrease(v, dv);
+      }
+    }
+  }
+  // Reset the heap for the next solve (entries past the early exit).
+  while (!heap_->empty()) heap_->pop_min();
+
+  if (r2_dist_[static_cast<std::size_t>(t)] != kInf) {  // else: no pair
+    // The 2-flow is p1 plus the r2 path with reversed p1 arcs cancelled;
+    // only arcs on p1 or on the r2 walk can carry flow, so those are the
+    // only in_flow_ entries ever written (and cleared below).
+    flow_cand_.assign(p1_edges_.begin(), p1_edges_.end());
+    for (EdgeId e : p1_edges_) in_flow_[static_cast<std::size_t>(e)] = 1;
+    for (NodeId v = t; v != s;) {
+      const EdgeId e = r2_pred_[static_cast<std::size_t>(v)];
+      WDM_CHECK(e != kInvalidEdge);
+      if (r2_pred_rev_[static_cast<std::size_t>(v)]) {
+        in_flow_[static_cast<std::size_t>(e)] = 0;  // already a candidate
+        v = g.head(e);
+      } else {
+        in_flow_[static_cast<std::size_t>(e)] = 1;
+        flow_cand_.push_back(e);
+        v = g.tail(e);
+      }
+    }
+
+    // Ascending unique arc ids, exactly what the old full scan produced.
+    std::sort(flow_cand_.begin(), flow_cand_.end());
+    flow_cand_.erase(std::unique(flow_cand_.begin(), flow_cand_.end()),
+                     flow_cand_.end());
+    flow_edges_.clear();
+    for (const EdgeId e : flow_cand_) {
+      if (in_flow_[static_cast<std::size_t>(e)]) flow_edges_.push_back(e);
+    }
+
+    // Decompose the 2-flow exactly like graph::suurballe's helper: per-node
+    // out-choices filled in ascending edge order, consumed from the back.
+    // A node carries at most 2 units of outgoing flow, so two slots suffice.
+    for (const EdgeId e : flow_edges_) {
+      const auto v = static_cast<std::size_t>(g.tail(e));
+      WDM_CHECK_MSG(decomp_cnt_[v] < 2, "flow decomposition: out-degree > 2");
+      decomp_slot_[2 * v + decomp_cnt_[v]++] = e;
+    }
+    Path* paths[2] = {&out->first, &out->second};
+    for (Path* p : paths) {
+      NodeId v = s;
+      while (v != t) {
+        const auto vi = static_cast<std::size_t>(v);
+        WDM_CHECK_MSG(decomp_cnt_[vi] > 0,
+                      "flow decomposition stuck — not a 2-flow");
+        const EdgeId e = decomp_slot_[2 * vi + --decomp_cnt_[vi]];
+        p->edges.push_back(e);
+        v = g.head(e);
+        WDM_CHECK_MSG(p->edges.size() <= flow_edges_.size(),
+                      "flow decomposition cycled");
+      }
+      p->found = true;
+      p->cost = path_weight(*p, w);
+    }
+    out->found = true;
+    if (out->second.cost < out->first.cost) {
+      std::swap(out->first, out->second);
+    }
+
+    // Touched-only cleanup: the decomposition consumed every counter it
+    // incremented (guard against zero-cost leftovers anyway), and in_flow_
+    // was only written at candidates.
+    for (const EdgeId e : flow_edges_) {
+      decomp_cnt_[static_cast<std::size_t>(g.tail(e))] = 0;
+    }
+    for (const EdgeId e : flow_cand_) in_flow_[static_cast<std::size_t>(e)] = 0;
+  }
+
+  for (EdgeId e : p1_edges_) on_p1_[static_cast<std::size_t>(e)] = 0;
+  for (const NodeId v : r2_touched_) {
+    const auto vi = static_cast<std::size_t>(v);
+    r2_dist_[vi] = kInf;
+    r2_pred_[vi] = kInvalidEdge;
+    r2_pred_rev_[vi] = 0;
+  }
+}
+
+void SuurballeEngine::solve_into(const Digraph& g, std::span<const double> w,
+                                 NodeId s, NodeId t, std::uint64_t tree_key,
+                                 DisjointPair* out,
+                                 const WeightPatchFeed* feed) {
+  WDM_CHECK(g.valid_node(s) && g.valid_node(t));
+  WDM_CHECK_MSG(s != t, "suurballe requires distinct endpoints");
+  WDM_CHECK(w.size() == static_cast<std::size_t>(g.num_edges()));
+  ++stats_.solves;
+  bind(g);
+
+  out->found = false;
+  out->first.edges.clear();
+  out->first.cost = 0.0;
+  out->first.found = false;
+  out->second.edges.clear();
+  out->second.cost = 0.0;
+  out->second.found = false;
+
+  Tree& tr = acquire_tree(tree_key, s);
+  if (!tr.valid) {
+    build_tree(g, w, tr);
+  } else {
+    repair_tree(g, w, tr, feed);
+  }
+  // The snapshot now equals w; remember where the caller's patch log stood
+  // so the next solve can scope its diff to what gets appended after this.
+  if (feed != nullptr) {
+    tr.feed_epoch = feed->epoch;
+    tr.feed_offset = feed->spans.size();
+    tr.feed_synced = true;
+  } else {
+    tr.feed_synced = false;
+  }
+  if (tr.dist[static_cast<std::size_t>(t)] == kInf) return;
+  round_two(g, w, s, t, tr, out);
+}
+
+}  // namespace wdm::graph

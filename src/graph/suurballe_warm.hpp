@@ -1,0 +1,198 @@
+// Warm-startable Suurballe engine (ROADMAP item 4, continental-scale hot
+// path).
+//
+// The classic graph::suurballe() pays a full round-1 Dijkstra per query. At
+// 250–1000 nodes that dominates routing, yet between two consecutive
+// requests the weight vector of the stable-arena auxiliary graph barely
+// moves: a handful of arcs change when wavelengths are reserved/released,
+// plus the O(deg) s'/t'' query wiring. This engine keeps the round-1
+// shortest-path tree per caller-chosen key (one per physical source in
+// router use) together with a snapshot of the weight vector it was computed
+// under. A solve diffs the current weights against the snapshot,
+// conservatively invalidates exactly the subtrees hanging below tree arcs
+// whose weight increased, re-seeds a Dijkstra from the invalidation
+// boundary plus every changed arc, and runs it to quiescence.
+//
+// Dirty hints. Diffing w against the snapshot over all arcs is itself O(m)
+// — linear in topology size, which defeats the point at continental scale.
+// Callers that know which arcs they touched (the stable-arena
+// AuxGraphBuilder logs every weight it patches) pass a WeightPatchFeed:
+// an epoch plus the append-only log of patched arc spans. Each tree
+// remembers the (epoch, offset) it was last synced at, and a repair scans
+// only the spans appended since — O(recent churn), not O(m). The hints
+// must be a superset of the actually-changed arcs; the epoch changes
+// whenever that cannot be guaranteed (full repatch, log overflow), and the
+// engine falls back to the full scan. Solving without a feed also falls
+// back (and marks the tree unsynced, so a later hinted solve cannot trust
+// a stale offset).
+//
+// Bit-for-bit determinism. Warm repair produces the *identical* double for
+// every distance as a cold run: with nonnegative weights, both cold
+// Dijkstra and the repair converge to the unique least fixpoint of
+//   d(v) = min over in-arcs a=(u,v) of  d(u) ⊕ w(a)
+// where ⊕ is IEEE double addition — the min over paths of their
+// left-to-right floating-point cost, a value independent of relaxation
+// order. The round-1 path handed to round 2 is then extracted by a local
+// canonical rule — from t, repeatedly take the minimum arc id achieving
+// exact fp equality d(tail) ⊕ w == d(v) — a pure function of (structure,
+// w, d), so the whole pair is reproducible bit-for-bit no matter how the
+// labels were obtained. The internal predecessor forest (whatever arcs the
+// relaxations happened to leave behind) only guides subtree invalidation
+// and never leaks into results. The fuzz differential suite asserts
+// warm == cold on edges and costs bitwise.
+//
+// The canonical walk requires that the tight subgraph has no zero-weight
+// cycle (true for the builder's auxiliary graphs, whose link arcs carry
+// positive costs); a cycle would make the walk non-terminating and trips a
+// WDM_CHECK instead.
+//
+// The engine never allocates in steady state: tree slots (at most
+// kMaxTrees, LRU-recycled), the repair heap, and every round-2 array are
+// retained across solves, and round 2 cleans up via touched-lists rather
+// than O(n + m) refills, following the clear_keep_capacity idiom.
+//
+// Not thread-safe; rwa::RouteScratch owns one per leased scratch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/heaps.hpp"
+#include "graph/path.hpp"
+#include "graph/suurballe.hpp"
+
+namespace wdm::graph {
+
+/// A contiguous run of arc ids whose weights may have been rewritten.
+struct WeightPatchSpan {
+  EdgeId begin = 0;
+  EdgeId count = 0;
+};
+
+/// Append-only log of weight patches since `epoch` began. Spans may overlap
+/// and repeat; they must cover every arc whose weight changed within the
+/// epoch. Bump the epoch whenever that coverage cannot be guaranteed.
+struct WeightPatchFeed {
+  std::uint64_t epoch = 0;
+  std::span<const WeightPatchSpan> spans;
+};
+
+class SuurballeEngine {
+ public:
+  /// Trees kept per engine; least-recently-used slots are recycled in place.
+  static constexpr int kMaxTrees = 8;
+
+  SuurballeEngine() = default;
+  SuurballeEngine(const SuurballeEngine&) = delete;
+  SuurballeEngine& operator=(const SuurballeEngine&) = delete;
+
+  /// Min-total-weight pair of edge-disjoint s -> t paths over nonnegative
+  /// weights, or found == false. `tree_key` names the warm round-1 tree to
+  /// reuse (router callers pass the physical source node): solves sharing a
+  /// key must also share the source `s`, and the graph *structure* (arc
+  /// table) must be unchanged since the key's last solve — only weights may
+  /// move. A structural change (different node/arc counts) drops every
+  /// tree; call invalidate() to force that when reusing the engine against
+  /// a rebuilt graph with coincidentally equal counts.
+  ///
+  /// `feed`, when non-null, scopes the snapshot diff to the arcs the caller
+  /// patched since this tree's last solve (see WeightPatchFeed above);
+  /// null means a full O(m) diff.
+  ///
+  /// Output vectors inside `*out` are recycled (clear, keep capacity).
+  void solve_into(const Digraph& g, std::span<const double> w, NodeId s,
+                  NodeId t, std::uint64_t tree_key, DisjointPair* out,
+                  const WeightPatchFeed* feed = nullptr);
+
+  /// Convenience wrapper for tests; allocates the result.
+  DisjointPair solve(const Digraph& g, std::span<const double> w, NodeId s,
+                     NodeId t, std::uint64_t tree_key,
+                     const WeightPatchFeed* feed = nullptr) {
+    DisjointPair out;
+    solve_into(g, w, s, t, tree_key, &out, feed);
+    return out;
+  }
+
+  /// Drops every cached tree (keeps capacity).
+  void invalidate();
+
+  struct Stats {
+    std::uint64_t solves = 0;
+    std::uint64_t tree_builds = 0;    // cold round-1 tree constructions
+    std::uint64_t tree_repairs = 0;   // warm repairs (some arcs moved)
+    std::uint64_t tree_hits = 0;      // snapshot identical — tree reused as-is
+    std::uint64_t repaired_nodes = 0; // nodes relabeled across all repairs
+    std::uint64_t hinted_diffs = 0;   // snapshot diffs scoped by a patch feed
+    std::uint64_t full_diffs = 0;     // snapshot diffs over every arc
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Tree {
+    std::uint64_t key = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    NodeId source = kInvalidNode;
+    std::vector<double> dist;     // round-1 labels, canonical fixpoint
+    std::vector<EdgeId> pred;     // support forest (repair bookkeeping only)
+    std::vector<double> w_snap;   // weights the labels were computed under
+    // Position in the caller's patch feed at the last w_snap sync; valid
+    // only while feed_synced and the feed's epoch matches.
+    std::uint64_t feed_epoch = 0;
+    std::size_t feed_offset = 0;
+    bool feed_synced = false;
+  };
+
+  /// Binds the scratch to the graph shape; drops trees when it changes.
+  void bind(const Digraph& g);
+  Tree& acquire_tree(std::uint64_t key, NodeId s);
+  /// Cold build: full Dijkstra from tr.source.
+  void build_tree(const Digraph& g, std::span<const double> w, Tree& tr);
+  /// Warm repair: diff w against tr.w_snap (scoped by `feed` when the
+  /// tree's cursor is still valid), invalidate suspect subtrees, re-run
+  /// Dijkstra from the boundary + changed arcs. No-op on empty diff.
+  /// Returns false when nothing changed (tree served as-is).
+  bool repair_tree(const Digraph& g, std::span<const double> w, Tree& tr,
+                   const WeightPatchFeed* feed);
+  /// Classic round 2 over the canonical round-1 path; fills *out.
+  void round_two(const Digraph& g, std::span<const double> w, NodeId s,
+                 NodeId t, const Tree& tr, DisjointPair* out);
+
+  NodeId n_ = -1;
+  EdgeId m_ = -1;
+  std::uint64_t use_clock_ = 0;
+  std::vector<Tree> trees_;
+
+  // Repair scratch.
+  std::optional<QuadHeap> heap_;
+  std::vector<std::uint8_t> suspect_;
+  std::vector<NodeId> suspect_stack_;
+  std::vector<EdgeId> changed_arcs_;
+  // Tree children in CSR form, rebuilt per repair from pred (only when an
+  // increased arc is a tree arc — pure decreases never orphan a subtree).
+  std::vector<std::size_t> child_start_;
+  std::vector<NodeId> child_;
+  std::vector<std::uint8_t> child_cursor_;
+
+  // Round-2 scratch. The r2_* arrays and the flag arrays hold their clean
+  // values (kInf / kInvalidEdge / 0) for every index NOT named by the
+  // touched-lists below; round_two restores that invariant on every exit.
+  std::vector<EdgeId> p1_edges_;
+  std::vector<double> r2_dist_;
+  std::vector<EdgeId> r2_pred_;
+  std::vector<std::uint8_t> r2_pred_rev_;
+  std::vector<NodeId> r2_touched_;    // nodes with a live r2_* entry
+  std::vector<std::uint8_t> on_p1_;
+  std::vector<std::uint8_t> in_flow_;
+  std::vector<EdgeId> flow_cand_;     // arcs with a live in_flow_ entry
+  std::vector<EdgeId> flow_edges_;
+  std::vector<EdgeId> decomp_slot_;   // 2 out-slots per node
+  std::vector<std::uint8_t> decomp_cnt_;
+
+  Stats stats_;
+};
+
+}  // namespace wdm::graph

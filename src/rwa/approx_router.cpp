@@ -10,18 +10,19 @@
 
 namespace wdm::rwa {
 
-RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
-                                        net::NodeId s, net::NodeId t,
-                                        RouteFootprint* fp) const {
+void ApproxDisjointRouter::route_into(const net::WdmNetwork& net, net::NodeId s,
+                                      net::NodeId t, RouteResult* out,
+                                      RouteFootprint* fp) const {
   if (fp != nullptr) fp->mark_opaque();
+  out->reset_keep_capacity();
   if (policy_.kind == net::ProtectKind::kPartial) {
-    return route_partial(net, s, t, policy_.threshold);
+    *out = route_partial(net, s, t, policy_.threshold);
+    return;
   }
   WDM_TEL_COUNT("rwa.approx.attempts");
   WDM_TEL_SPAN(tel_span, "rwa.approx.route");
   support::telemetry::SplitTimer tel;
-  RouteResult result;
-  result.route.policy = policy_;
+  out->route.policy = policy_;
   const bool srlg_path =
       policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0;
   if (fp != nullptr && !srlg_path) {
@@ -32,50 +33,63 @@ RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
   }
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
-  auto builder = builders_.lease(net);
-  const AuxGraph& aux = builder->build(net, s, t, opt);
+  opt.stable_arena = true;
+  auto sc = scratch_.lease(net);
+  const AuxGraph& aux = sc->builder.build(net, s, t, opt);
+  sc->sync_suurballe_generation();
   tel.split(WDM_TEL_HIST("rwa.approx.aux_build_ns"),
             WDM_TEL_NAME("rwa.approx.aux_build"));
 
-  graph::DisjointPair pair;
-  if (policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0) {
+  if (srlg_path) {
     SrlgPairResult sp = srlg_disjoint_pair(net, aux);
-    pair = std::move(sp.pair);
-    result.srlg_exhaustive = sp.exhaustive;
+    sc->pair = std::move(sp.pair);
+    out->srlg_exhaustive = sp.exhaustive;
   } else {
-    pair = graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+    const auto& ws = sc->suurballe.stats();
+    const auto builds0 = ws.tree_builds;
+    const auto repairs0 = ws.tree_repairs;
+    const auto hits0 = ws.tree_hits;
+    const graph::WeightPatchFeed feed = sc->builder.patch_feed();
+    sc->suurballe.solve_into(aux.g, aux.w, aux.s_prime, aux.t_second,
+                             /*tree_key=*/static_cast<std::uint64_t>(s),
+                             &sc->pair, &feed);
+    WDM_TEL_COUNT_N("rwa.approx.warm_builds", ws.tree_builds - builds0);
+    WDM_TEL_COUNT_N("rwa.approx.warm_repairs", ws.tree_repairs - repairs0);
+    WDM_TEL_COUNT_N("rwa.approx.warm_hits", ws.tree_hits - hits0);
   }
+  graph::DisjointPair& pair = sc->pair;
   tel.split(WDM_TEL_HIST("rwa.approx.suurballe_ns"),
             WDM_TEL_NAME("rwa.approx.suurballe"));
   if (!pair.found) {
     WDM_TEL_COUNT("rwa.approx.blocked");
     tel.total(WDM_TEL_HIST("rwa.approx.route_ns"));
-    return result;  // no two edge-disjoint routes exist in G'
+    return;  // no two edge-disjoint routes exist in G'
   }
-  result.aux_cost = pair.total_cost();
+  out->aux_cost = pair.total_cost();
 
   // Projection + realization. With refinement (Lemma 2): per-subgraph
   // optimal semilightpath. Without: first-fit wavelength assignment along
-  // the projected link sequence.
-  net::Semilightpath p1, p2;
+  // the projected link sequence, written straight into the recycled result.
+  net::Semilightpath& p1 = out->route.primary;
+  net::Semilightpath& p2 = out->route.backup;
   if (refine_) {
-    const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
-    const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+    aux.induced_link_mask_into(pair.first, net.num_links(), &sc->mask1);
+    aux.induced_link_mask_into(pair.second, net.num_links(), &sc->mask2);
     if (fp != nullptr && !fp->opaque) {
-      fp->add_exact_mask(mask1);
-      fp->add_exact_mask(mask2);
+      fp->add_exact_mask(sc->mask1);
+      fp->add_exact_mask(sc->mask2);
     }
-    p1 = optimal_semilightpath(net, s, t, mask1);
-    p2 = optimal_semilightpath(net, s, t, mask2);
+    p1 = optimal_semilightpath(net, s, t, sc->mask1);
+    p2 = optimal_semilightpath(net, s, t, sc->mask2);
   } else {
-    const auto links1 = aux.project(pair.first);
-    const auto links2 = aux.project(pair.second);
+    aux.project_into(pair.first, &sc->links1);
+    aux.project_into(pair.second, &sc->links2);
     if (fp != nullptr && !fp->opaque) {
-      for (graph::EdgeId e : links1) fp->add_exact_link(e);
-      for (graph::EdgeId e : links2) fp->add_exact_link(e);
+      for (graph::EdgeId e : sc->links1) fp->add_exact_link(e);
+      for (graph::EdgeId e : sc->links2) fp->add_exact_link(e);
     }
-    p1 = first_fit_assign(net, links1);
-    p2 = first_fit_assign(net, links2);
+    assign_wavelengths_into(net, sc->links1, WaPolicy::kFirstFit, nullptr, &p1);
+    assign_wavelengths_into(net, sc->links2, WaPolicy::kFirstFit, nullptr, &p2);
   }
   tel.split(WDM_TEL_HIST("rwa.approx.liang_shen_ns"),
             WDM_TEL_NAME("rwa.approx.liang_shen"));
@@ -85,16 +99,13 @@ RouteResult ApproxDisjointRouter::route(const net::WdmNetwork& net,
     // convertibility, not a consistent end-to-end wavelength assignment, so
     // the induced subgraph can be infeasible. Treat as blocked.
     WDM_TEL_COUNT("rwa.approx.blocked");
-    return result;
+    return;
   }
   WDM_DCHECK(net::edge_disjoint(p1, p2));
   WDM_TEL_COUNT("rwa.approx.found");
-  result.found = true;
+  out->found = true;
   if (p2.cost(net) < p1.cost(net)) std::swap(p1, p2);
-  result.route.primary = std::move(p1);
-  result.route.backup = std::move(p2);
-  result.route.found = true;
-  return result;
+  out->route.found = true;
 }
 
 }  // namespace wdm::rwa

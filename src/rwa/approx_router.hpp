@@ -17,6 +17,7 @@
 #pragma once
 
 #include "rwa/aux_graph.hpp"
+#include "rwa/route_scratch.hpp"
 #include "rwa/router.hpp"
 
 namespace wdm::rwa {
@@ -44,7 +45,22 @@ class ApproxDisjointRouter final : public Router {
   /// masks as exact links). SRLG-with-groups and partial-protection paths
   /// stay opaque.
   RouteResult route(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
-                    RouteFootprint* fp) const override;
+                    RouteFootprint* fp) const override {
+    RouteResult result;
+    route_into(net, s, t, &result, fp);
+    return result;
+  }
+
+  /// Recycled-result entry point: fills `*out` in place (capacity kept via
+  /// RouteResult::reset_keep_capacity). On the default configuration —
+  /// kFull policy without refinement — a warm steady-state call performs
+  /// zero heap allocations end to end: stable-arena aux build, warm-tree
+  /// Suurballe, pooled projection buffers, and in-place first-fit
+  /// assignment (tests/test_route_alloc.cpp holds the line). Refinement,
+  /// SRLG-with-groups, and partial protection delegate to their (allocating)
+  /// sub-algorithms but share the same scratch where they can.
+  void route_into(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
+                  RouteResult* out, RouteFootprint* fp) const;
 
   std::string name() const override {
     return refine_ ? "approx-cost(§3.3)" : "approx-cost(no-refine)";
@@ -53,9 +69,11 @@ class ApproxDisjointRouter final : public Router {
  private:
   bool refine_;
   net::ProtectPolicy policy_;
-  /// Warm auxiliary-graph builders reused across route() calls; a pool
-  /// (rather than one builder) keeps concurrent route() calls safe.
-  mutable AuxGraphBuilderPool builders_;
+  /// Warm per-route scratches (aux builder + Suurballe engine + buffers)
+  /// reused across route() calls; a pool (rather than one scratch) keeps
+  /// concurrent route() calls safe, keyed so each caller's network gets its
+  /// own warm state back.
+  mutable RouteScratchPool scratch_;
 };
 
 }  // namespace wdm::rwa

@@ -40,6 +40,9 @@ void AuxGraphBuilder::bind(const net::WdmNetwork& net) {
   net_uid_ = net.uid();
   bound_nodes_ = net.num_nodes();
   bound_links_ = net.num_links();
+  // The stable-arena structure is keyed on the bound topology.
+  uni_ready_ = false;
+  uni_weights_valid_ = false;
 
   const auto& pg = net.graph();
   pair_base_.assign(static_cast<std::size_t>(pg.num_nodes()) + 1, 0);
@@ -66,6 +69,8 @@ void AuxGraphBuilder::invalidate() {
   net_uid_ = 0;
   bound_nodes_ = -1;
   bound_links_ = -1;
+  uni_ready_ = false;
+  uni_weights_valid_ = false;
 }
 
 bool AuxGraphBuilder::transit_mean(const net::WdmNetwork& net, net::NodeId v,
@@ -131,6 +136,31 @@ const AuxGraph& AuxGraphBuilder::build(const net::WdmNetwork& net,
   support::telemetry::SplitTimer tel_timer;
   const CacheStats tel_before = tel_timer.on() ? stats_ : CacheStats{};
   (void)tel_before;  // referenced only from macro expansions when compiled in
+
+  if (opt.stable_arena) {
+    build_stable(net, s, t, opt);
+    if (tel_timer.on()) {
+      tel_timer.total(WDM_TEL_HIST("rwa.aux_builder.build_ns"),
+                      WDM_TEL_NAME("rwa.aux_builder.build"));
+      WDM_TEL_COUNT("rwa.aux_builder.builds");
+      WDM_TEL_COUNT_N("rwa.aux_builder.conv_hits",
+                      stats_.conv_hits - tel_before.conv_hits);
+      WDM_TEL_COUNT_N("rwa.aux_builder.conv_misses",
+                      stats_.conv_misses - tel_before.conv_misses);
+      WDM_TEL_COUNT_N("rwa.aux_builder.link_hits",
+                      stats_.link_hits - tel_before.link_hits);
+      WDM_TEL_COUNT_N("rwa.aux_builder.link_misses",
+                      stats_.link_misses - tel_before.link_misses);
+      WDM_TEL_COUNT_N("rwa.aux_builder.rebinds",
+                      stats_.rebinds - tel_before.rebinds);
+    }
+    return aux_;
+  }
+
+  // A compacted build recycles the same arena, so any stable-arena structure
+  // living there is gone after this.
+  uni_ready_ = false;
+  uni_weights_valid_ = false;
 
   AuxGraph& aux = aux_;
   aux.g.clear_keep_capacity();
@@ -328,6 +358,387 @@ const AuxGraph& AuxGraphBuilder::build(const net::WdmNetwork& net,
   return aux_;
 }
 
+bool AuxGraphBuilder::stable_usable(const net::WdmNetwork& net,
+                                    graph::EdgeId e,
+                                    const AuxGraphOptions& opt) const {
+  if (!opt.link_enabled.empty() &&
+      !opt.link_enabled[static_cast<std::size_t>(e)]) {
+    return false;
+  }
+  if (net.available(e).empty()) return false;
+  if (opt.weighting != AuxWeighting::kCost) {
+    const double load = net.link_load(e);
+    if (opt.include_at_threshold ? load > opt.theta : load >= opt.theta) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AuxGraphBuilder::stable_structure(const net::WdmNetwork& net,
+                                       bool protect) {
+  const auto& pg = net.graph();
+  const EdgeId m = pg.num_edges();
+  const NodeId n = pg.num_nodes();
+  const std::size_t pairs = pair_base_[static_cast<std::size_t>(n)];
+
+  AuxGraph& aux = aux_;
+  aux.g.clear_keep_capacity();
+  aux.phys_edge_of_node.clear();
+  aux.is_in_node.clear();
+  const NodeId num_nodes =
+      2 * m + 2 + (protect ? 2 * n : 0);
+  const auto num_arcs = static_cast<std::size_t>(m) + pairs +
+                        (protect ? static_cast<std::size_t>(n) +
+                                       2 * static_cast<std::size_t>(m)
+                                 : 0) +
+                        2 * static_cast<std::size_t>(m);
+  aux.g.reserve(num_nodes, static_cast<EdgeId>(num_arcs));
+
+  auto new_node = [&](EdgeId e, bool is_in) {
+    const NodeId v = aux.g.add_node();
+    aux.phys_edge_of_node.push_back(e);
+    aux.is_in_node.push_back(is_in ? 1 : 0);
+    return v;
+  };
+  // Computed ids: u_out^e = 2e, v_in^e = 2e + 1, then the two hubs, then the
+  // protect gadget nodes (hub_in(v) = 2m + 2 + 2v, hub_out(v) one above).
+  for (EdgeId e = 0; e < m; ++e) {
+    new_node(e, false);
+    new_node(e, true);
+  }
+  aux.s_prime = new_node(graph::kInvalidEdge, false);
+  aux.t_second = new_node(graph::kInvalidEdge, true);
+  if (protect) {
+    for (NodeId v = 0; v < n; ++v) {
+      new_node(graph::kInvalidEdge, true);   // hub_in(v)
+      new_node(graph::kInvalidEdge, false);  // hub_out(v)
+    }
+  }
+
+  // Arc table, fixed order. Weights come later (stable_patch_*).
+  // 1. Link arcs: arc id e = link arc of physical link e.
+  for (EdgeId e = 0; e < m; ++e) {
+    aux.g.add_edge(2 * e, 2 * e + 1);
+  }
+  // 2. Pair transit arcs: m + pair_base_[v] + i * out_deg(v) + j.
+  for (NodeId v = 0; v < n; ++v) {
+    for (const EdgeId e : pg.in_edges(v)) {
+      for (const EdgeId e2 : pg.out_edges(v)) {
+        aux.g.add_edge(2 * e + 1, 2 * e2);
+      }
+    }
+  }
+  // 3. Protect gadget: one hub arc per node, then one fan arc per link end.
+  if (protect) {
+    uni_hub_arc_base_ = aux.g.num_edges();
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId hub_in = 2 * m + 2 + 2 * v;
+      aux.g.add_edge(hub_in, hub_in + 1);
+    }
+    uni_fan_in_arc_.assign(static_cast<std::size_t>(m), graph::kInvalidEdge);
+    uni_fan_out_arc_.assign(static_cast<std::size_t>(m), graph::kInvalidEdge);
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId hub_in = 2 * m + 2 + 2 * v;
+      for (const EdgeId e : pg.in_edges(v)) {
+        uni_fan_in_arc_[static_cast<std::size_t>(e)] =
+            aux.g.add_edge(2 * e + 1, hub_in);
+      }
+      for (const EdgeId e2 : pg.out_edges(v)) {
+        uni_fan_out_arc_[static_cast<std::size_t>(e2)] =
+            aux.g.add_edge(hub_in + 1, 2 * e2);
+      }
+    }
+  }
+  // 4./5. Query wiring: one s' arc and one t'' arc per link, id = base + e.
+  uni_sprime_arc_base_ = aux.g.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    aux.g.add_edge(aux.s_prime, 2 * e);
+  }
+  uni_tsec_arc_base_ = aux.g.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    aux.g.add_edge(2 * e + 1, aux.t_second);
+  }
+  aux.g.finalize_csr();
+
+  aux.w.assign(static_cast<std::size_t>(aux.g.num_edges()), graph::kInf);
+  aux.phys_edge_of_arc.assign(static_cast<std::size_t>(aux.g.num_edges()),
+                              graph::kInvalidEdge);
+  for (EdgeId e = 0; e < m; ++e) {
+    aux.phys_edge_of_arc[static_cast<std::size_t>(e)] = e;
+  }
+  aux.num_edge_nodes = 0;
+  aux.num_link_arcs = 0;
+  aux.num_transit_arcs = 0;
+  uni_usable_.assign(static_cast<std::size_t>(m), 0);
+  uni_node_transit_.assign(static_cast<std::size_t>(n), 0);
+  uni_link_rev_.assign(static_cast<std::size_t>(m), kNoRevision);
+  uni_conv_rev_.assign(static_cast<std::size_t>(n), kNoRevision);
+  uni_node_mark_.assign(static_cast<std::size_t>(n), 0);
+  uni_protect_ = protect;
+  uni_ready_ = true;
+  uni_weights_valid_ = false;
+  ++uni_gen_;
+  // Dirty-hint log: a fresh structure starts a fresh epoch (all weights are
+  // about to be repatched anyway). The cap bounds both consumer scan work
+  // and memory; reserving it here keeps steady-state appends allocation-free.
+  patch_log_cap_ = std::max<std::size_t>(1024, num_arcs / 8);
+  patch_log_.clear();
+  patch_log_.reserve(patch_log_cap_);
+  patch_overflow_ = false;
+  ++patch_epoch_;
+}
+
+void AuxGraphBuilder::log_patch(graph::EdgeId begin, graph::EdgeId count) {
+  if (patch_log_.size() < patch_log_cap_) {
+    patch_log_.push_back({begin, count});
+  } else {
+    patch_overflow_ = true;
+  }
+}
+
+void AuxGraphBuilder::stable_patch_link(const net::WdmNetwork& net,
+                                        graph::EdgeId e, net::NodeId s,
+                                        net::NodeId t,
+                                        const AuxGraphOptions& opt) {
+  const auto& pg = net.graph();
+  const auto i = static_cast<std::size_t>(e);
+  const bool usable = stable_usable(net, e, opt);
+  double weight = graph::kInf;
+  if (usable) {
+    switch (opt.weighting) {
+      case AuxWeighting::kCost: {
+        double sum = 0.0;
+        int count = 0;
+        link_costs(net, e, &sum, &count);
+        WDM_DCHECK(count > 0);
+        weight = sum / count;
+        break;
+      }
+      case AuxWeighting::kLoadExponential: {
+        const double u = net.usage(e);
+        const double cap = net.capacity(e);
+        weight = std::pow(opt.load_base, (u + 1.0) / cap) -
+                 std::pow(opt.load_base, u / cap);
+        break;
+      }
+      case AuxWeighting::kCostLoadFiltered: {
+        double sum = 0.0;
+        int count = 0;
+        link_costs(net, e, &sum, &count);
+        weight =
+            sum / (opt.grc_mean_over_available ? count : net.capacity(e));
+        break;
+      }
+    }
+  }
+  aux_.w[i] = weight;
+  aux_.w[static_cast<std::size_t>(uni_sprime_arc_base_ + e)] =
+      (usable && pg.tail(e) == s) ? 0.0 : graph::kInf;
+  aux_.w[static_cast<std::size_t>(uni_tsec_arc_base_ + e)] =
+      (usable && pg.head(e) == t) ? 0.0 : graph::kInf;
+  log_patch(e, 1);
+  log_patch(uni_sprime_arc_base_ + e, 1);
+  log_patch(uni_tsec_arc_base_ + e, 1);
+  const bool was = uni_usable_[i] != 0;
+  if (was != usable) {
+    aux_.num_link_arcs += usable ? 1 : -1;
+    aux_.num_edge_nodes += usable ? 2 : -2;
+    uni_usable_[i] = usable ? 1 : 0;
+  }
+}
+
+void AuxGraphBuilder::stable_patch_node(const net::WdmNetwork& net,
+                                        net::NodeId v, net::NodeId s,
+                                        net::NodeId t,
+                                        const AuxGraphOptions& opt) {
+  const auto& pg = net.graph();
+  const EdgeId m = pg.num_edges();
+  const auto in_edges = pg.in_edges(v);
+  const auto out_edges = pg.out_edges(v);
+  const std::size_t base = pair_base_[static_cast<std::size_t>(v)];
+  const std::size_t out_deg = out_edges.size();
+  const bool protect = opt.protect_nodes;
+  const bool pair_enabled = !protect || v == s || v == t;
+
+  if (in_edges.size() * out_deg > 0) {
+    log_patch(static_cast<graph::EdgeId>(static_cast<std::size_t>(m) + base),
+              static_cast<graph::EdgeId>(in_edges.size() * out_deg));
+  }
+  int contrib = 0;
+  double hub_sum = 0.0;
+  int hub_pairs = 0;
+  for (std::size_t i = 0; i < in_edges.size(); ++i) {
+    const EdgeId e = in_edges[i];
+    const bool in_ok = uni_usable_[static_cast<std::size_t>(e)] != 0;
+    for (std::size_t j = 0; j < out_deg; ++j) {
+      const EdgeId e2 = out_edges[j];
+      const std::size_t idx = base + i * out_deg + j;
+      const auto arc = static_cast<std::size_t>(m) + idx;
+      double weight = graph::kInf;
+      if (in_ok && uni_usable_[static_cast<std::size_t>(e2)] != 0) {
+        double mean = 0.0;
+        if (transit_mean(net, v, idx, e, e2, &mean)) {
+          if (pair_enabled) {
+            weight = (opt.weighting == AuxWeighting::kLoadExponential)
+                         ? 0.0
+                         : mean;
+            ++contrib;
+          } else {
+            // Aggregated into the node gadget's hub arc, (i, j) order —
+            // bit-identical to the compacted builder's accumulation.
+            hub_sum += mean;
+            ++hub_pairs;
+          }
+        }
+      }
+      aux_.w[arc] = weight;
+    }
+  }
+
+  if (protect) {
+    const bool hub_on = !pair_enabled && hub_pairs > 0;
+    double hub_weight = graph::kInf;
+    if (hub_on) {
+      hub_weight = (opt.weighting == AuxWeighting::kLoadExponential)
+                       ? 0.0
+                       : hub_sum / hub_pairs;
+      ++contrib;
+    }
+    aux_.w[static_cast<std::size_t>(uni_hub_arc_base_ + v)] = hub_weight;
+    log_patch(uni_hub_arc_base_ + v, 1);
+    for (const EdgeId e : in_edges) {
+      const EdgeId fan = uni_fan_in_arc_[static_cast<std::size_t>(e)];
+      aux_.w[static_cast<std::size_t>(fan)] =
+          (hub_on && uni_usable_[static_cast<std::size_t>(e)] != 0)
+              ? 0.0
+              : graph::kInf;
+      log_patch(fan, 1);
+    }
+    for (const EdgeId e2 : out_edges) {
+      const EdgeId fan = uni_fan_out_arc_[static_cast<std::size_t>(e2)];
+      aux_.w[static_cast<std::size_t>(fan)] =
+          (hub_on && uni_usable_[static_cast<std::size_t>(e2)] != 0)
+              ? 0.0
+              : graph::kInf;
+      log_patch(fan, 1);
+    }
+  }
+  aux_.num_transit_arcs += contrib - uni_node_transit_[static_cast<std::size_t>(v)];
+  uni_node_transit_[static_cast<std::size_t>(v)] = contrib;
+}
+
+void AuxGraphBuilder::build_stable(const net::WdmNetwork& net, net::NodeId s,
+                                   net::NodeId t, const AuxGraphOptions& opt) {
+  const auto& pg = net.graph();
+  const EdgeId m = pg.num_edges();
+  const NodeId n = pg.num_nodes();
+  const bool protect = opt.protect_nodes;
+  if (!uni_ready_ || uni_protect_ != protect) {
+    stable_structure(net, protect);
+  }
+
+  const bool mask_now = !opt.link_enabled.empty();
+  const bool full =
+      !uni_weights_valid_ || mask_now || uni_had_mask_ ||
+      uni_opt_.weighting != opt.weighting || uni_opt_.theta != opt.theta ||
+      uni_opt_.include_at_threshold != opt.include_at_threshold ||
+      uni_opt_.load_base != opt.load_base ||
+      uni_opt_.grc_mean_over_available != opt.grc_mean_over_available;
+  const std::uint64_t now_rev = net.revision();
+
+  if (!full && now_rev == uni_net_rev_ && s == uni_s_ && t == uni_t_) {
+    return;  // weights already bit-identical for this query
+  }
+
+  if (full) {
+    for (EdgeId e = 0; e < m; ++e) {
+      uni_link_rev_[static_cast<std::size_t>(e)] = net.link_revision(e);
+      stable_patch_link(net, e, s, t, opt);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      uni_conv_rev_[static_cast<std::size_t>(v)] = net.conversion_revision(v);
+      stable_patch_node(net, v, s, t, opt);
+    }
+  } else {
+    uni_changed_nodes_.clear();
+    auto mark = [&](NodeId v) {
+      if (!uni_node_mark_[static_cast<std::size_t>(v)]) {
+        uni_node_mark_[static_cast<std::size_t>(v)] = 1;
+        uni_changed_nodes_.push_back(v);
+      }
+    };
+    // Query rewiring: only arcs touching the old/new endpoints move, and in
+    // protect mode the gadgets at those four nodes flip between hub and
+    // direct-pair form.
+    if (s != uni_s_) {
+      for (const EdgeId e : pg.out_edges(uni_s_)) {
+        stable_patch_link(net, e, s, t, opt);
+      }
+      for (const EdgeId e : pg.out_edges(s)) {
+        stable_patch_link(net, e, s, t, opt);
+      }
+      if (protect) {
+        mark(uni_s_);
+        mark(s);
+      }
+    }
+    if (t != uni_t_) {
+      for (const EdgeId e : pg.in_edges(uni_t_)) {
+        stable_patch_link(net, e, s, t, opt);
+      }
+      for (const EdgeId e : pg.in_edges(t)) {
+        stable_patch_link(net, e, s, t, opt);
+      }
+      if (protect) {
+        mark(uni_t_);
+        mark(t);
+      }
+    }
+    // Residual churn: only links whose revision moved, plus their endpoints'
+    // transit structures; only nodes whose conversion table was swapped.
+    if (now_rev != uni_net_rev_) {
+      for (EdgeId e = 0; e < m; ++e) {
+        const std::uint64_t rev = net.link_revision(e);
+        auto& seen = uni_link_rev_[static_cast<std::size_t>(e)];
+        if (seen == rev) continue;
+        seen = rev;
+        stable_patch_link(net, e, s, t, opt);
+        mark(pg.tail(e));
+        mark(pg.head(e));
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t rev = net.conversion_revision(v);
+        auto& seen = uni_conv_rev_[static_cast<std::size_t>(v)];
+        if (seen == rev) continue;
+        seen = rev;
+        mark(v);
+      }
+    }
+    for (const NodeId v : uni_changed_nodes_) {
+      uni_node_mark_[static_cast<std::size_t>(v)] = 0;
+      stable_patch_node(net, v, s, t, opt);
+    }
+  }
+
+  // A full repatch (or an overflowed log) means the spans no longer cover
+  // everything that changed this epoch — end it so hint consumers fall
+  // back to a full diff once, then resync.
+  if (full || patch_overflow_) {
+    ++patch_epoch_;
+    patch_log_.clear();
+    patch_overflow_ = false;
+  }
+
+  uni_opt_ = opt;
+  uni_opt_.link_enabled = {};  // never hold the caller's span across builds
+  uni_had_mask_ = mask_now;
+  uni_s_ = s;
+  uni_t_ = t;
+  uni_net_rev_ = now_rev;
+  uni_weights_valid_ = true;
+}
+
 void AuxGraphBuilder::build_batch(
     const net::WdmNetwork& net,
     std::span<const std::pair<net::NodeId, net::NodeId>> queries,
@@ -341,6 +752,9 @@ void AuxGraphBuilder::build_batch(
 AuxGraph AuxGraphBuilder::take_last() {
   AuxGraph out = std::move(aux_);
   aux_ = AuxGraph{};
+  // The stable-arena index arrays referenced the donated graph.
+  uni_ready_ = false;
+  uni_weights_valid_ = false;
   return out;
 }
 
@@ -412,11 +826,30 @@ std::vector<EdgeId> AuxGraph::project(const graph::Path& p) const {
   return links;
 }
 
+void AuxGraph::project_into(const graph::Path& p,
+                            std::vector<EdgeId>* out) const {
+  out->clear();
+  for (EdgeId arc : p.edges) {
+    const EdgeId phys = phys_edge_of_arc[static_cast<std::size_t>(arc)];
+    if (phys != graph::kInvalidEdge) out->push_back(phys);
+  }
+}
+
 std::vector<std::uint8_t> AuxGraph::induced_link_mask(
     const graph::Path& p, graph::EdgeId num_links) const {
   std::vector<std::uint8_t> mask(static_cast<std::size_t>(num_links), 0);
   for (EdgeId link : project(p)) mask[static_cast<std::size_t>(link)] = 1;
   return mask;
+}
+
+void AuxGraph::induced_link_mask_into(const graph::Path& p,
+                                      graph::EdgeId num_links,
+                                      std::vector<std::uint8_t>* out) const {
+  out->assign(static_cast<std::size_t>(num_links), 0);
+  for (EdgeId arc : p.edges) {
+    const EdgeId phys = phys_edge_of_arc[static_cast<std::size_t>(arc)];
+    if (phys != graph::kInvalidEdge) (*out)[static_cast<std::size_t>(phys)] = 1;
+  }
 }
 
 }  // namespace wdm::rwa

@@ -32,6 +32,7 @@
 
 #include "graph/digraph.hpp"
 #include "graph/path.hpp"
+#include "graph/suurballe_warm.hpp"
 #include "wdm/network.hpp"
 
 namespace wdm::rwa {
@@ -61,6 +62,22 @@ struct AuxGraphOptions {
   /// instead (a true mean, removing the discount partially-loaded links get
   /// under the paper's formula). See bench_ablations.
   bool grc_mean_over_available = false;
+
+  /// Stable-arena ("universe") layout — the continental-scale hot path
+  /// (ROADMAP item 4). Instead of compacting the graph to currently-usable
+  /// links, the builder materializes every structural arc the topology can
+  /// ever need — node ids computed from the link id (u_out^e = 2e,
+  /// v_in^e = 2e+1), one link arc per physical link, one transit arc per
+  /// (in-link, out-link) pair — finalizes the adjacency into CSR once, and
+  /// thereafter every rebuild only *re-weights* arcs: disabled arcs carry
+  /// +inf, and only arcs whose link_revision / conversion_revision moved
+  /// (plus the O(deg) s'/t'' wiring on a query change) are touched. Weights
+  /// of enabled arcs are bit-identical to the compacted layout, +inf arcs
+  /// are unreachable under Dijkstra's strict-improvement relaxation, so
+  /// shortest paths, Suurballe pairs, and projections agree with the
+  /// compacted graph; node/arc *ids* differ, which is why this is opt-in
+  /// rather than the default (structure-pinning tests use the compact form).
+  bool stable_arena = false;
 
   /// Node-protection gadget (extension beyond the paper): route all transit
   /// at an intermediate physical node through a single hub arc, so
@@ -92,11 +109,17 @@ struct AuxGraph {
 
   /// Physical links traversed by an aux path, in order.
   std::vector<graph::EdgeId> project(const graph::Path& p) const;
+  /// Allocation-free variant: clears `*out` (keeping capacity) and appends.
+  void project_into(const graph::Path& p,
+                    std::vector<graph::EdgeId>* out) const;
 
   /// Enabled-mask over physical links containing exactly the projection of
   /// `p` — the induced subgraph G_i of §3.3.2.
   std::vector<std::uint8_t> induced_link_mask(const graph::Path& p,
                                               graph::EdgeId num_links) const;
+  /// Allocation-free variant: resizes `*out` to num_links and rewrites it.
+  void induced_link_mask_into(const graph::Path& p, graph::EdgeId num_links,
+                              std::vector<std::uint8_t>* out) const;
 };
 
 /// Builds the auxiliary graph for a query s -> t over the current residual
@@ -174,6 +197,25 @@ class AuxGraphBuilder {
   /// snapshot copies and the live network interleave (ParallelBatchEngine).
   std::uint64_t bound_uid() const { return net_uid_; }
 
+  /// Monotone counter bumped every time the stable-arena *structure* (node
+  /// and arc tables) is materialized. While it holds still, arc ids in the
+  /// universe graph keep their meaning across builds — the invariant that
+  /// lets a graph::SuurballeEngine keep warm trees against the arena. A
+  /// caller pairing this builder with such an engine must invalidate() the
+  /// engine whenever this value moves (RouteScratch does).
+  std::uint64_t stable_structure_generation() const { return uni_gen_; }
+
+  /// Dirty hints for a paired graph::SuurballeEngine: every weight the
+  /// stable-arena path has patched since the current epoch began, as arc
+  /// spans in append order. The epoch moves whenever span coverage lapses
+  /// (structure rebuild, full repatch, log overflow) — consumers holding a
+  /// cursor from an older epoch must fall back to a full diff. Capture the
+  /// feed *after* build(); it then covers exactly the patches between the
+  /// previous build and this one.
+  graph::WeightPatchFeed patch_feed() const {
+    return {patch_epoch_, std::span<const graph::WeightPatchSpan>(patch_log_)};
+  }
+
   struct CacheStats {
     std::uint64_t builds = 0;
     std::uint64_t rebinds = 0;      // network changed -> full cache drop
@@ -193,6 +235,23 @@ class AuxGraphBuilder {
   /// Cached Σ_{λ∈Λ_avail(e)} w(e, λ) and |Λ_avail(e)|.
   void link_costs(const net::WdmNetwork& net, graph::EdgeId e, double* sum,
                   int* count);
+
+  // --- Stable-arena (universe) path; see AuxGraphOptions::stable_arena ----
+  void build_stable(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
+                    const AuxGraphOptions& opt);
+  /// Materializes the full structural arc table and finalizes it into CSR.
+  void stable_structure(const net::WdmNetwork& net, bool protect);
+  bool stable_usable(const net::WdmNetwork& net, graph::EdgeId e,
+                     const AuxGraphOptions& opt) const;
+  /// Re-weights link arc e plus its s'/t'' wiring; maintains counters.
+  void stable_patch_link(const net::WdmNetwork& net, graph::EdgeId e,
+                         net::NodeId s, net::NodeId t,
+                         const AuxGraphOptions& opt);
+  /// Re-weights every transit structure at v (pair arcs; hub + fan arcs in
+  /// protect mode); maintains the transit-arc counter.
+  void stable_patch_node(const net::WdmNetwork& net, net::NodeId v,
+                         net::NodeId s, net::NodeId t,
+                         const AuxGraphOptions& opt);
 
   static constexpr std::uint64_t kNoRevision = ~std::uint64_t{0};
 
@@ -219,6 +278,37 @@ class AuxGraphBuilder {
   AuxGraph aux_;
   std::vector<graph::NodeId> out_node_;
   std::vector<graph::NodeId> in_node_;
+
+  // Stable-arena state. Structure (node/arc ids) is a pure function of the
+  // bound topology and the protect flag; weights are patched per build.
+  bool uni_ready_ = false;
+  bool uni_protect_ = false;
+  std::uint64_t uni_gen_ = 0;       // bumped on every structure rebuild
+  // Weight-patch log for engine dirty hints (see patch_feed()). Bounded by
+  // patch_log_cap_: appends past it set the overflow flag and build_stable
+  // ends the epoch, so the reserve in stable_structure is never exceeded.
+  void log_patch(graph::EdgeId begin, graph::EdgeId count);
+  std::vector<graph::WeightPatchSpan> patch_log_;
+  std::uint64_t patch_epoch_ = 0;
+  std::size_t patch_log_cap_ = 0;
+  bool patch_overflow_ = false;
+  bool uni_weights_valid_ = false;  // false until the first weight patch
+  bool uni_had_mask_ = false;       // last build used a link_enabled mask
+  AuxGraphOptions uni_opt_;         // options of the last weight patch
+  net::NodeId uni_s_ = graph::kInvalidNode;
+  net::NodeId uni_t_ = graph::kInvalidNode;
+  std::uint64_t uni_net_rev_ = 0;   // revision() at last patch (fast skip)
+  std::vector<std::uint64_t> uni_link_rev_;  // per-link revision last seen
+  std::vector<std::uint64_t> uni_conv_rev_;  // per-node conversion revision
+  std::vector<std::uint8_t> uni_usable_;     // usable(e) at last patch
+  std::vector<int> uni_node_transit_;   // finite transit arcs contributed by v
+  std::vector<graph::EdgeId> uni_fan_in_arc_;   // protect: arc v_in^e -> hub
+  std::vector<graph::EdgeId> uni_fan_out_arc_;  // protect: arc hub -> u_out^e
+  graph::EdgeId uni_hub_arc_base_ = 0;  // protect: hub arc of v = base + v
+  graph::EdgeId uni_sprime_arc_base_ = 0;  // s' arc of link e = base + e
+  graph::EdgeId uni_tsec_arc_base_ = 0;    // t'' arc of link e = base + e
+  std::vector<std::uint8_t> uni_node_mark_;   // scratch: dedup changed nodes
+  std::vector<net::NodeId> uni_changed_nodes_;  // scratch
 
   CacheStats stats_;
 };

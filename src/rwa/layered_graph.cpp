@@ -29,16 +29,47 @@ LayeredGraph LayeredGraph::build_with(
   const int W = net.W();
   const NodeId n = pg.num_nodes();
 
-  LayeredGraph lg;
-  // Layout: in-copy of (v, λ) = 2*(v*W + λ), out-copy = 2*(v*W + λ) + 1.
-  lg.g = graph::Digraph(2 * n * W + 2);
-  lg.source_hub = 2 * n * W;
-  lg.sink_hub = 2 * n * W + 1;
-  auto in_copy = [W](NodeId v, net::Wavelength l) {
-    return 2 * (v * W + l);
+  // Active-node compaction: with a confining mask (the §3.3.2 refinement
+  // runs inside an induced subgraph of a handful of links), only nodes
+  // incident to an enabled link — plus the query endpoints — can appear on
+  // any S->T path. Skipping the rest drops the n·W² conversion-arc term to
+  // (active)·W², which is what makes per-request refinement affordable at
+  // continental scale. Unmasked builds keep the historical dense layout
+  // (every node is active anyway), so ids — and with them Dijkstra
+  // tie-breaking — stay bit-for-bit.
+  const bool compacted = !link_enabled.empty();
+  std::vector<NodeId> layer_of;  // physical node -> layer slot
+  NodeId n_active = n;
+  if (compacted) {
+    layer_of.assign(static_cast<std::size_t>(n), graph::kInvalidNode);
+    n_active = 0;
+    auto touch = [&](NodeId v) {
+      if (layer_of[static_cast<std::size_t>(v)] == graph::kInvalidNode) {
+        layer_of[static_cast<std::size_t>(v)] = n_active++;
+      }
+    };
+    touch(s);
+    touch(t);
+    for (EdgeId e = 0; e < pg.num_edges(); ++e) {
+      if (!link_on(link_enabled, e)) continue;
+      touch(pg.tail(e));
+      touch(pg.head(e));
+    }
+  }
+  const auto slot = [&](NodeId v) {
+    return compacted ? layer_of[static_cast<std::size_t>(v)] : v;
   };
-  auto out_copy = [W](NodeId v, net::Wavelength l) {
-    return 2 * (v * W + l) + 1;
+
+  LayeredGraph lg;
+  // Layout: in-copy of (v, λ) = 2*(slot(v)*W + λ), out-copy = +1.
+  lg.g = graph::Digraph(2 * n_active * W + 2);
+  lg.source_hub = 2 * n_active * W;
+  lg.sink_hub = 2 * n_active * W + 1;
+  auto in_copy = [&](NodeId v, net::Wavelength l) {
+    return 2 * (slot(v) * W + l);
+  };
+  auto out_copy = [&](NodeId v, net::Wavelength l) {
+    return 2 * (slot(v) * W + l) + 1;
   };
   const net::Hop no_hop{};
   auto add = [&](NodeId a, NodeId b, double weight, net::Hop hop) {
@@ -49,6 +80,9 @@ LayeredGraph LayeredGraph::build_with(
 
   // Conversion arcs (including the free λ -> λ pass-through).
   for (NodeId v = 0; v < n; ++v) {
+    if (compacted && layer_of[static_cast<std::size_t>(v)] == graph::kInvalidNode) {
+      continue;
+    }
     const auto& table = net.conversion(v);
     for (net::Wavelength a = 0; a < W; ++a) {
       for (net::Wavelength b = 0; b < W; ++b) {

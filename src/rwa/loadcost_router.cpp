@@ -26,10 +26,15 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
       policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0;
   const bool band_footprint =
       fp != nullptr && !srlg_path && opt_.search != ThetaSearch::kLinearScan;
-  auto builder = builders_.lease(net);
+  auto sc = scratch_.lease(net);
 
-  // Phase 1: minimum feasible network-load threshold.
-  const MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
+  // Phase 1: minimum feasible network-load threshold. Probes go through the
+  // scratch builder's stable arena so phase 2 (and the next request) finds
+  // the universe structure intact.
+  MinCogOptions mopt = opt_;
+  mopt.stable_arena = true;
+  const MinCogResult mc =
+      find_two_paths_mincog(net, s, t, mopt, &sc->builder);
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
   if (band_footprint) {
@@ -54,17 +59,22 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   aopt.weighting = AuxWeighting::kCostLoadFiltered;
   aopt.theta = mc.theta;
   aopt.grc_mean_over_available = grc_mean_over_available_;
-  const AuxGraph& aux = builder->build(net, s, t, aopt);
+  aopt.stable_arena = true;
+  const AuxGraph& aux = sc->builder.build(net, s, t, aopt);
+  sc->sync_suurballe_generation();
   tel.split(WDM_TEL_HIST("rwa.loadcost.aux_build_ns"),
             WDM_TEL_NAME("rwa.loadcost.aux_build"));
-  graph::DisjointPair pair;
-  if (policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0) {
+  if (srlg_path) {
     SrlgPairResult sp = srlg_disjoint_pair(net, aux);
-    pair = std::move(sp.pair);
+    sc->pair = std::move(sp.pair);
     result.srlg_exhaustive = sp.exhaustive;
   } else {
-    pair = graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+    const graph::WeightPatchFeed feed = sc->builder.patch_feed();
+    sc->suurballe.solve_into(aux.g, aux.w, aux.s_prime, aux.t_second,
+                             /*tree_key=*/static_cast<std::uint64_t>(s),
+                             &sc->pair, &feed);
   }
+  graph::DisjointPair& pair = sc->pair;
   tel.split(WDM_TEL_HIST("rwa.loadcost.suurballe_ns"),
             WDM_TEL_NAME("rwa.loadcost.suurballe"));
   // G_rc(ϑ) has the same topology as the G_c(ϑ) phase 1 accepted, so a pair
@@ -76,14 +86,14 @@ RouteResult LoadCostRouter::route(const net::WdmNetwork& net, net::NodeId s,
   }
   result.aux_cost = pair.total_cost();
 
-  const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
-  const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+  aux.induced_link_mask_into(pair.first, net.num_links(), &sc->mask1);
+  aux.induced_link_mask_into(pair.second, net.num_links(), &sc->mask2);
   if (fp != nullptr && !fp->opaque) {
-    fp->add_exact_mask(mask1);
-    fp->add_exact_mask(mask2);
+    fp->add_exact_mask(sc->mask1);
+    fp->add_exact_mask(sc->mask2);
   }
-  net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
-  net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
+  net::Semilightpath p1 = optimal_semilightpath(net, s, t, sc->mask1);
+  net::Semilightpath p2 = optimal_semilightpath(net, s, t, sc->mask2);
   tel.split(WDM_TEL_HIST("rwa.loadcost.liang_shen_ns"),
             WDM_TEL_NAME("rwa.loadcost.liang_shen"));
   tel.total(WDM_TEL_HIST("rwa.loadcost.route_ns"));

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "rwa/mincog.hpp"
+#include "rwa/route_scratch.hpp"
 #include "rwa/router.hpp"
 
 namespace wdm::rwa {
@@ -48,9 +49,10 @@ class LoadCostRouter final : public Router {
   MinCogOptions opt_;
   bool grc_mean_over_available_;
   net::ProtectPolicy policy_;
-  /// One leased builder serves both phases of a route() call: the G_c(ϑ)
-  /// probes and the final G_rc(ϑ) share their conversion-mean cache.
-  mutable AuxGraphBuilderPool builders_;
+  /// One leased scratch serves both phases of a route() call: the G_c(ϑ)
+  /// probes and the final G_rc(ϑ) share the builder's stable arena and
+  /// conversion-mean cache, and phase 2 reuses the warm Suurballe trees.
+  mutable RouteScratchPool scratch_;
 };
 
 }  // namespace wdm::rwa

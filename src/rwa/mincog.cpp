@@ -18,15 +18,16 @@ namespace {
 /// Feasible iff a pair exists. The network is untouched between probes, so
 /// only the first probe of a search pays the transit-arc scans.
 bool probe(const net::WdmNetwork& net, net::NodeId s, net::NodeId t,
-           double theta, double load_base, AuxGraphBuilder& builder,
+           double theta, const MinCogOptions& opt, AuxGraphBuilder& builder,
            MinCogResult* into, bool inclusive = false) {
   WDM_TEL_COUNT("rwa.mincog.probes");
   support::telemetry::SplitTimer tel;
   AuxGraphOptions aopt;
   aopt.weighting = AuxWeighting::kLoadExponential;
   aopt.theta = theta;
-  aopt.load_base = load_base;
+  aopt.load_base = opt.load_base;
   aopt.include_at_threshold = inclusive;
+  aopt.stable_arena = opt.stable_arena;
   const AuxGraph& aux = builder.build(net, s, t, aopt);
   tel.split(WDM_TEL_HIST("rwa.mincog.aux_build_ns"),
             WDM_TEL_NAME("rwa.mincog.aux_build"));
@@ -64,7 +65,7 @@ MinCogResult mincog_linear_scan(const net::WdmNetwork& net, net::NodeId s,
   for (double theta : grid) {
     ++result.iterations;
     result.probes.push_back(theta);
-    if (probe(net, s, t, theta, opt.load_base, builder, &result)) {
+    if (probe(net, s, t, theta, opt, builder, &result)) {
       result.found = true;
       result.theta = theta;
       return result;
@@ -84,7 +85,7 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
   double hi = net.theta_max();
   ++result.iterations;
   result.probes.push_back(lo);
-  if (probe(net, s, t, lo, opt.load_base, builder, &result)) {
+  if (probe(net, s, t, lo, opt, builder, &result)) {
     result.found = true;
     result.theta = lo;
     return result;
@@ -92,7 +93,7 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
   result.last_infeasible_theta = lo;
   ++result.iterations;
   result.probes.push_back(hi);
-  if (!probe(net, s, t, hi, opt.load_base, builder, &result)) {
+  if (!probe(net, s, t, hi, opt, builder, &result)) {
     result.last_infeasible_theta = hi;
     return result;  // drop: infeasible even with every link admitted
   }
@@ -102,7 +103,7 @@ MinCogResult mincog_bisection(const net::WdmNetwork& net, net::NodeId s,
     ++result.iterations;
     result.probes.push_back(mid);
     MinCogResult probe_result;
-    if (probe(net, s, t, mid, opt.load_base, builder, &probe_result)) {
+    if (probe(net, s, t, mid, opt, builder, &probe_result)) {
       hi = mid;
       best = mid;
       result.aux_pair = std::move(probe_result.aux_pair);
@@ -144,7 +145,7 @@ MinCogResult find_two_paths_mincog(const net::WdmNetwork& net, net::NodeId s,
   while (true) {
     ++result.iterations;
     result.probes.push_back(theta);
-    if (probe(net, s, t, theta, opt.load_base, b, &result)) {
+    if (probe(net, s, t, theta, opt, b, &result)) {
       result.found = true;
       result.theta = theta;
       return result;
@@ -171,7 +172,7 @@ bool exact_min_threshold(const net::WdmNetwork& net, net::NodeId s,
   }
   AuxGraphBuilder builder;  // warm across the probe sweep
   for (double load : candidates) {
-    if (probe(net, s, t, load, 2.0, builder, nullptr, /*inclusive=*/true)) {
+    if (probe(net, s, t, load, MinCogOptions{}, builder, nullptr, /*inclusive=*/true)) {
       if (theta_out != nullptr) *theta_out = load;
       return true;
     }
@@ -194,8 +195,10 @@ RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
       policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0;
   const bool band_footprint =
       fp != nullptr && !srlg_path && opt_.search != ThetaSearch::kLinearScan;
-  auto builder = builders_.lease(net);
-  MinCogResult mc = find_two_paths_mincog(net, s, t, opt_, builder.get());
+  auto sc = scratch_.lease(net);
+  MinCogOptions mopt = opt_;
+  mopt.stable_arena = true;
+  MinCogResult mc = find_two_paths_mincog(net, s, t, mopt, &sc->builder);
   result.theta = mc.theta;
   result.theta_iterations = mc.iterations;
   if (band_footprint) {
@@ -227,15 +230,16 @@ RouteResult MinLoadRouter::route(const net::WdmNetwork& net, net::NodeId s,
   }
   result.aux_cost = mc.aux_pair.total_cost();
 
-  const auto mask1 = mc.aux.induced_link_mask(mc.aux_pair.first, net.num_links());
-  const auto mask2 =
-      mc.aux.induced_link_mask(mc.aux_pair.second, net.num_links());
+  mc.aux.induced_link_mask_into(mc.aux_pair.first, net.num_links(),
+                                &sc->mask1);
+  mc.aux.induced_link_mask_into(mc.aux_pair.second, net.num_links(),
+                                &sc->mask2);
   if (fp != nullptr && !fp->opaque) {
-    fp->add_exact_mask(mask1);
-    fp->add_exact_mask(mask2);
+    fp->add_exact_mask(sc->mask1);
+    fp->add_exact_mask(sc->mask2);
   }
-  net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
-  net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
+  net::Semilightpath p1 = optimal_semilightpath(net, s, t, sc->mask1);
+  net::Semilightpath p2 = optimal_semilightpath(net, s, t, sc->mask2);
   tel.split(WDM_TEL_HIST("rwa.minload.liang_shen_ns"),
             WDM_TEL_NAME("rwa.minload.liang_shen"));
   tel.total(WDM_TEL_HIST("rwa.minload.route_ns"));

@@ -14,6 +14,7 @@
 
 #include "graph/suurballe.hpp"
 #include "rwa/aux_graph.hpp"
+#include "rwa/route_scratch.hpp"
 #include "rwa/router.hpp"
 
 namespace wdm::rwa {
@@ -32,6 +33,12 @@ struct MinCogOptions {
   ThetaSearch search = ThetaSearch::kDoubling;
   /// Bisection stops when the bracket is narrower than this.
   double bisection_tolerance = 1e-3;
+  /// Build every G_c(ϑ) probe in the builder's stable arena
+  /// (AuxGraphOptions::stable_arena). The routers set this when probing
+  /// through a RouteScratch builder: the arena and a compact build cannot
+  /// coexist in one builder, so mixing modes would rebuild the universe
+  /// structure every request and defeat the warm Suurballe trees.
+  bool stable_arena = false;
 };
 
 struct MinCogResult {
@@ -100,7 +107,9 @@ class MinLoadRouter final : public Router {
  private:
   MinCogOptions opt_;
   net::ProtectPolicy policy_;
-  mutable AuxGraphBuilderPool builders_;
+  /// Probes share the scratch builder's stable arena; the copied-out final
+  /// G_c keeps the projection masks in the scratch's recycled buffers.
+  mutable RouteScratchPool scratch_;
 };
 
 }  // namespace wdm::rwa

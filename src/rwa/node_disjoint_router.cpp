@@ -34,19 +34,24 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
   AuxGraphOptions opt;
   opt.weighting = AuxWeighting::kCost;
   opt.protect_nodes = true;
-  auto builder = builders_.lease(net);
-  const AuxGraph& aux = builder->build(net, s, t, opt);
+  opt.stable_arena = true;
+  auto sc = scratch_.lease(net);
+  const AuxGraph& aux = sc->builder.build(net, s, t, opt);
+  sc->sync_suurballe_generation();
   tel.split(WDM_TEL_HIST("rwa.node_disjoint.aux_build_ns"),
             WDM_TEL_NAME("rwa.node_disjoint.aux_build"));
 
-  graph::DisjointPair pair;
-  if (policy_.kind == net::ProtectKind::kSrlg && net.num_srlgs() > 0) {
+  if (srlg_path) {
     SrlgPairResult sp = srlg_disjoint_pair(net, aux);
-    pair = std::move(sp.pair);
+    sc->pair = std::move(sp.pair);
     result.srlg_exhaustive = sp.exhaustive;
   } else {
-    pair = graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+    const graph::WeightPatchFeed feed = sc->builder.patch_feed();
+    sc->suurballe.solve_into(aux.g, aux.w, aux.s_prime, aux.t_second,
+                             /*tree_key=*/static_cast<std::uint64_t>(s),
+                             &sc->pair, &feed);
   }
+  graph::DisjointPair& pair = sc->pair;
   tel.split(WDM_TEL_HIST("rwa.node_disjoint.suurballe_ns"),
             WDM_TEL_NAME("rwa.node_disjoint.suurballe"));
   if (!pair.found) {
@@ -56,14 +61,14 @@ RouteResult NodeDisjointRouter::route(const net::WdmNetwork& net,
   }
   result.aux_cost = pair.total_cost();
 
-  const auto mask1 = aux.induced_link_mask(pair.first, net.num_links());
-  const auto mask2 = aux.induced_link_mask(pair.second, net.num_links());
+  aux.induced_link_mask_into(pair.first, net.num_links(), &sc->mask1);
+  aux.induced_link_mask_into(pair.second, net.num_links(), &sc->mask2);
   if (fp != nullptr && !fp->opaque) {
-    fp->add_exact_mask(mask1);
-    fp->add_exact_mask(mask2);
+    fp->add_exact_mask(sc->mask1);
+    fp->add_exact_mask(sc->mask2);
   }
-  net::Semilightpath p1 = optimal_semilightpath(net, s, t, mask1);
-  net::Semilightpath p2 = optimal_semilightpath(net, s, t, mask2);
+  net::Semilightpath p1 = optimal_semilightpath(net, s, t, sc->mask1);
+  net::Semilightpath p2 = optimal_semilightpath(net, s, t, sc->mask2);
   tel.split(WDM_TEL_HIST("rwa.node_disjoint.liang_shen_ns"),
             WDM_TEL_NAME("rwa.node_disjoint.liang_shen"));
   tel.total(WDM_TEL_HIST("rwa.node_disjoint.route_ns"));

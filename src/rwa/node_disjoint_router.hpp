@@ -9,6 +9,7 @@
 #pragma once
 
 #include "rwa/aux_graph.hpp"
+#include "rwa/route_scratch.hpp"
 #include "rwa/router.hpp"
 
 namespace wdm::rwa {
@@ -36,7 +37,9 @@ class NodeDisjointRouter final : public Router {
 
  private:
   net::ProtectPolicy policy_;
-  mutable AuxGraphBuilderPool builders_;
+  /// Warm per-route scratches (stable-arena builder + warm-tree Suurballe),
+  /// keyed by network uid like every router's pool.
+  mutable RouteScratchPool scratch_;
 };
 
 }  // namespace wdm::rwa

@@ -33,6 +33,24 @@ struct RouteResult {
   double total_cost(const net::WdmNetwork& net) const {
     return route.total_cost(net);
   }
+
+  /// Restores the default-constructed state while keeping the capacity of
+  /// every nested vector — the recycled-result side of the allocation-free
+  /// route path (ApproxDisjointRouter::route_into).
+  void reset_keep_capacity() {
+    route.primary.hops.clear();
+    route.primary.found = false;
+    route.backup.hops.clear();
+    route.backup.found = false;
+    route.avoid.clear();
+    route.found = false;
+    route.policy = net::ProtectPolicy{};
+    found = false;
+    theta = std::numeric_limits<double>::quiet_NaN();
+    theta_iterations = 0;
+    aux_cost = std::numeric_limits<double>::quiet_NaN();
+    srlg_exhaustive = false;
+  }
 };
 
 class Router {

@@ -81,7 +81,18 @@ net::Semilightpath assign_wavelengths(const net::WdmNetwork& net,
                                       const std::vector<graph::EdgeId>& links,
                                       WaPolicy policy, support::Rng* rng) {
   net::Semilightpath slp;
-  if (links.empty()) return slp;
+  assign_wavelengths_into(net, links, policy, rng, &slp);
+  return slp;
+}
+
+bool assign_wavelengths_into(const net::WdmNetwork& net,
+                             const std::vector<graph::EdgeId>& links,
+                             WaPolicy policy, support::Rng* rng,
+                             net::Semilightpath* out) {
+  net::Semilightpath& slp = *out;
+  slp.hops.clear();
+  slp.found = false;
+  if (links.empty()) return false;
 
   std::vector<int> usage;
   if (policy == WaPolicy::kMostUsed || policy == WaPolicy::kLeastUsed) {
@@ -116,7 +127,11 @@ net::Semilightpath assign_wavelengths(const net::WdmNetwork& net,
       });
       base = convertible;
     }
-    if (base.empty()) return net::Semilightpath::not_found();
+    if (base.empty()) {
+      slp.hops.clear();
+      slp.found = false;
+      return false;
+    }
     // Extend the segment as far as the intersection stays nonempty.
     net::WavelengthSet run = base;
     std::size_t j = i;
@@ -135,7 +150,7 @@ net::Semilightpath assign_wavelengths(const net::WdmNetwork& net,
     i = j + 1;
   }
   slp.found = true;
-  return slp;
+  return true;
 }
 
 }  // namespace wdm::rwa

@@ -39,4 +39,13 @@ net::Semilightpath assign_wavelengths(const net::WdmNetwork& net,
                                       WaPolicy policy,
                                       support::Rng* rng = nullptr);
 
+/// Allocation-free variant: `out->hops` is cleared (keeping capacity) and
+/// refilled; `out->found` mirrors the return value. kFirstFit / kLastFit /
+/// kRandom touch the heap only while hop capacity is still growing;
+/// most/least-used still build their network-wide usage census per call.
+bool assign_wavelengths_into(const net::WdmNetwork& net,
+                             const std::vector<graph::EdgeId>& links,
+                             WaPolicy policy, support::Rng* rng,
+                             net::Semilightpath* out);
+
 }  // namespace wdm::rwa

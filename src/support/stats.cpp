@@ -49,17 +49,33 @@ double RunningStats::min() const { return n_ ? min_ : 0.0; }
 
 double RunningStats::max() const { return n_ ? max_ : 0.0; }
 
+double percentile_sorted(std::span<const double> sorted, double q) {
+  WDM_CHECK(q >= 0.0 && q <= 1.0);
+  WDM_DCHECK(std::is_sorted(sorted.begin(), sorted.end()));
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 double percentile(std::span<const double> xs, double q) {
   WDM_CHECK(q >= 0.0 && q <= 1.0);
-  if (xs.empty()) return 0.0;
-  if (xs.size() == 1) return xs[0];
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
-  const double pos = q * static_cast<double>(v.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  return percentile_sorted(v, q);
+}
+
+std::vector<double> percentiles(std::span<const double> xs,
+                                std::span<const double> qs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(percentile_sorted(v, q));
+  return out;
 }
 
 double mean_of(std::span<const double> xs) {

@@ -38,6 +38,18 @@ class RunningStats {
 /// reporting, not hot paths.
 double percentile(std::span<const double> xs, double q);
 
+/// percentile() over a span the caller has already sorted ascending —
+/// no copy, no allocation. Same interpolation and degenerate-input
+/// contract; the precondition is checked in debug builds only.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Batch evaluation: sorts the sample once and returns one percentile per
+/// entry of `qs` (each in [0, 1], any order). Equivalent to calling
+/// percentile() per q but with a single sort, which is what the scale
+/// benches want when reporting p50/p90/p99 ladders over large latency sets.
+std::vector<double> percentiles(std::span<const double> xs,
+                                std::span<const double> qs);
+
 double mean_of(std::span<const double> xs);
 double stddev_of(std::span<const double> xs);
 

@@ -255,21 +255,65 @@ Topology waxman(int n, double alpha, double beta, support::Rng& rng) {
     }
   }
   // Overlay a spanning chain through a random permutation so the graph is
-  // always connected regardless of the draw.
+  // always connected regardless of the draw. Dedup against the drawn links
+  // through a sorted key vector (as random_connected does) — the linear scan
+  // this replaces made the overlay O(n·m), dominating generation at n >= 500.
+  auto key = [n](int a, int b) {
+    return static_cast<long long>(std::min(a, b)) * n + std::max(a, b);
+  };
+  std::vector<long long> used;
+  used.reserve(links.size());
+  for (const auto& [a, b] : links) used.push_back(key(a, b));
+  std::sort(used.begin(), used.end());
   std::vector<int> perm(static_cast<std::size_t>(n));
   std::iota(perm.begin(), perm.end(), 0);
   rng.shuffle(std::span<int>(perm));
   for (int i = 0; i + 1 < n; ++i) {
     const int a = perm[static_cast<std::size_t>(i)];
     const int b = perm[static_cast<std::size_t>(i + 1)];
-    const auto already = std::any_of(
-        links.begin(), links.end(), [&](const std::pair<int, int>& l) {
-          return (l.first == a && l.second == b) ||
-                 (l.first == b && l.second == a);
-        });
-    if (!already) links.emplace_back(a, b);
+    if (!std::binary_search(used.begin(), used.end(), key(a, b))) {
+      links.emplace_back(a, b);
+    }
   }
   return assemble("waxman" + std::to_string(n), std::move(coords), links);
+}
+
+Topology geo_grid(int rows, int cols, double chord_p, support::Rng& rng) {
+  WDM_CHECK(rows >= 2 && cols >= 2);
+  WDM_CHECK(chord_p >= 0.0 && chord_p <= 1.0);
+  std::vector<std::pair<double, double>> coords;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      coords.emplace_back(static_cast<double>(c), static_cast<double>(r));
+    }
+  }
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<std::pair<int, int>> links;
+  // Backbone grid — present unconditionally, so the result is connected for
+  // every draw.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  // Probabilistic diagonal chords: each unit cell gains one of its two
+  // diagonals with probability chord_p (direction chosen by a fair coin),
+  // modelling the express links real continental backbones overlay on a
+  // regional mesh.
+  for (int r = 0; r + 1 < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c) {
+      if (!rng.bernoulli(chord_p)) continue;
+      if (rng.bernoulli(0.5)) {
+        links.emplace_back(id(r, c), id(r + 1, c + 1));
+      } else {
+        links.emplace_back(id(r, c + 1), id(r + 1, c));
+      }
+    }
+  }
+  return assemble(
+      "geo" + std::to_string(rows) + "x" + std::to_string(cols),
+      std::move(coords), links);
 }
 
 }  // namespace wdm::topo

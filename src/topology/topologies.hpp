@@ -62,8 +62,17 @@ Topology complete(int n);
 Topology random_connected(int n, int extra_links, support::Rng& rng);
 
 /// Waxman geometric random graph on the unit square: P(u,v) =
-/// alpha * exp(-d(u,v) / (beta * d_max)), re-drawn until connected, with a
-/// spanning tree overlaid to bound the retry count.
+/// alpha * exp(-d(u,v) / (beta * d_max)). The probabilistic draw happens
+/// exactly once (never re-drawn); connectivity is guaranteed by overlaying
+/// a spanning chain through a random node permutation, skipping chain hops
+/// the draw already produced. Deterministic given the RNG.
 Topology waxman(int n, double alpha, double beta, support::Rng& rng);
+
+/// Geographic grid mesh: a rows × cols backbone grid plus probabilistic
+/// diagonal chords (each unit cell independently gains one of its two
+/// diagonals with probability `chord_p`). Connected by construction
+/// (the grid backbone is always present); deterministic given the RNG.
+/// The regular-with-shortcuts family for continental-scale sweeps (E22).
+Topology geo_grid(int rows, int cols, double chord_p, support::Rng& rng);
 
 }  // namespace wdm::topo

@@ -1,0 +1,161 @@
+// Differential proof obligation for the warm-startable SuurballeEngine:
+// under randomized residual-state churn over the stable-arena auxiliary
+// graph, a long-lived engine (whose round-1 trees survive and get repaired
+// across solves) must produce a DisjointPair bit-for-bit identical — edge
+// ids, per-path costs, total cost — to a cold engine solving the same graph
+// from scratch. This is the warm == cold contract the routers rely on; any
+// drift here silently changes routing decisions.
+//
+// A second check cross-validates found/total_cost against the classic
+// graph::suurballe() on the same universe graph. Classic predecessors are
+// heap-order-dependent so equal-cost path *sets* may differ; total cost is
+// compared with a tight relative tolerance instead of bitwise.
+//
+// Budget knob: WDM_FUZZ_ITERATIONS scales the instance count (default 500,
+// used as instances = max(15, WDM_FUZZ_ITERATIONS / 8)).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "graph/suurballe.hpp"
+#include "graph/suurballe_warm.hpp"
+#include "rwa/aux_graph.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::fuzz {
+namespace {
+
+using graph::DisjointPair;
+using rwa::AuxGraph;
+using rwa::AuxGraphBuilder;
+using rwa::AuxGraphOptions;
+using rwa::AuxWeighting;
+
+void expect_bitwise_equal(const DisjointPair& cold, const DisjointPair& warm,
+                          const std::string& context) {
+  ASSERT_EQ(cold.found, warm.found) << context;
+  if (!cold.found) return;
+  ASSERT_EQ(cold.first.edges, warm.first.edges) << context;
+  ASSERT_EQ(cold.second.edges, warm.second.edges) << context;
+  // Bitwise: same edges traversed in the same order sum identically.
+  ASSERT_EQ(cold.first.cost, warm.first.cost) << context;
+  ASSERT_EQ(cold.second.cost, warm.second.cost) << context;
+}
+
+/// One random residual-state mutation (reserve / release / fail-toggle).
+void churn_step(net::WdmNetwork& net, support::Rng& rng) {
+  const graph::EdgeId e = static_cast<graph::EdgeId>(
+      rng.index(static_cast<std::size_t>(net.num_links())));
+  const double dice = rng.uniform();
+  if (dice < 0.1) {
+    net.set_link_failed(e, !net.link_failed(e));
+    return;
+  }
+  if (dice < 0.55) {
+    const std::vector<net::Wavelength> avail = net.available(e).to_vector();
+    if (!avail.empty()) net.reserve(e, avail[rng.index(avail.size())]);
+    return;
+  }
+  std::vector<net::Wavelength> used;
+  net.installed(e).for_each([&](net::Wavelength l) {
+    if (net.is_used(e, l)) used.push_back(l);
+  });
+  if (!used.empty()) net.release(e, used[rng.index(used.size())]);
+}
+
+int instance_budget() {
+  const auto iters = support::env_int("WDM_FUZZ_ITERATIONS", 500);
+  return std::max<int>(15, static_cast<int>(iters / 8));
+}
+
+struct Arm {
+  const char* label;
+  AuxWeighting weighting;
+  bool protect_nodes;
+};
+
+constexpr Arm kArms[] = {
+    {"G'", AuxWeighting::kCost, false},
+    {"G_rc", AuxWeighting::kCostLoadFiltered, false},
+    {"G'+protect", AuxWeighting::kCost, true},
+};
+
+TEST(SuurballeWarmDifferential, WarmEqualsColdBitForBitUnderChurn) {
+  const int instances = instance_budget();
+  for (int i = 0; i < instances; ++i) {
+    const std::uint64_t seed = 0x5bbe0000ull + static_cast<std::uint64_t>(i);
+    FuzzInstance inst = generate_instance(seed);
+    support::Rng rng(seed ^ 0x77a3ull);
+
+    for (std::size_t a = 0; a < std::size(kArms); ++a) {
+      // One long-lived builder+engine pair survives the churn sequence —
+      // exactly a pooled RouteScratch's lifecycle. Trees accumulate across
+      // sources and get repaired as weights drift.
+      AuxGraphBuilder warm_builder;
+      graph::SuurballeEngine warm;
+      const int steps = 10;
+      for (int step = 0; step < steps; ++step) {
+        for (int k = 0; k < 2; ++k) churn_step(inst.network, rng);
+        // Rotate the source over a few values so tree slots are shared,
+        // repaired, and LRU-recycled rather than rebuilt fresh each solve.
+        const net::NodeId s = static_cast<net::NodeId>(
+            rng.index(std::min<std::size_t>(
+                4, static_cast<std::size_t>(inst.network.num_nodes()))));
+        net::NodeId t = inst.t;
+        if (t == s) t = (t + 1) % inst.network.num_nodes();
+
+        AuxGraphOptions opt;
+        opt.weighting = kArms[a].weighting;
+        opt.protect_nodes = kArms[a].protect_nodes;
+        opt.stable_arena = true;
+        if (opt.weighting != AuxWeighting::kCost) {
+          opt.theta = 0.25 + 0.75 * rng.uniform();
+        }
+        const AuxGraph& aux = warm_builder.build(inst.network, s, t, opt);
+
+        const std::string context =
+            std::string("seed ") + std::to_string(seed) + " family " +
+            inst.family + " step " + std::to_string(step) + " arm " +
+            kArms[a].label;
+
+        // Cold reference: fresh engine, no history, same graph.
+        graph::SuurballeEngine cold_engine;
+        const DisjointPair cold = cold_engine.solve(
+            aux.g, aux.w, aux.s_prime, aux.t_second,
+            static_cast<std::uint64_t>(s));
+        const DisjointPair warm_pair = warm.solve(
+            aux.g, aux.w, aux.s_prime, aux.t_second,
+            static_cast<std::uint64_t>(s));
+        expect_bitwise_equal(cold, warm_pair, context);
+        if (HasFatalFailure()) return;
+
+        // Cross-check against the classic one-shot implementation: path
+        // sets may legitimately differ under cost ties, but feasibility and
+        // optimal total cost may not.
+        const DisjointPair classic =
+            graph::suurballe(aux.g, aux.w, aux.s_prime, aux.t_second);
+        ASSERT_EQ(classic.found, warm_pair.found) << context;
+        if (classic.found) {
+          const double c = classic.total_cost();
+          const double wsum = warm_pair.total_cost();
+          ASSERT_NEAR(wsum, c, 1e-9 * std::max(1.0, std::abs(c))) << context;
+        }
+      }
+      // The engine must actually have exercised the warm path; otherwise
+      // this differential proves nothing.
+      const auto& st = warm.stats();
+      EXPECT_GT(st.tree_repairs + st.tree_hits, 0u)
+          << "arm " << kArms[a].label << " never warm-started (seed " << seed
+          << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdm::fuzz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "graph/heaps.hpp"
@@ -109,6 +110,84 @@ TYPED_TEST(HeapTest, RandomizedAgainstReferenceMultimap) {
       ref.erase(id);
     }
     ASSERT_EQ(h.size(), ref.size());
+  }
+}
+
+// Cross-backend differential: the same operation sequence driven through all
+// three backends plus a std::map reference in lockstep. Keys are drawn unique
+// (and decrease-key targets stay unique), so min-extraction order is fully
+// determined and every backend must produce the IDENTICAL (id, key) pop
+// sequence — any divergence pins the faulty backend immediately, which the
+// per-backend multimap test above cannot do.
+TEST(HeapDifferential, BackendsAgreeInLockstepUnderUniqueKeys) {
+  for (const std::uint64_t seed : {7u, 19u, 101u, 4242u}) {
+    support::Rng rng(seed);
+    const std::size_t universe = 128;
+    BinaryHeap bin(universe);
+    QuadHeap quad(universe);
+    PairingHeap pair(universe);
+    std::map<std::size_t, double> ref;  // id -> key
+    std::set<double> used_keys;
+    auto fresh_key = [&](double hi) {
+      double k;
+      do {
+        k = rng.uniform(0.0, hi);
+      } while (!used_keys.insert(k).second);
+      return k;
+    };
+    for (int step = 0; step < 5000; ++step) {
+      const int op = static_cast<int>(rng.uniform_int(0, 3));
+      if (op <= 1) {  // push (weighted: keep the heaps populated)
+        const std::size_t id = rng.index(universe);
+        if (ref.count(id)) continue;
+        const double k = fresh_key(1000.0);
+        bin.push(id, k);
+        quad.push(id, k);
+        pair.push(id, k);
+        ref[id] = k;
+      } else if (op == 2 && !ref.empty()) {
+        auto it = ref.begin();
+        std::advance(it, static_cast<long>(rng.index(ref.size())));
+        const double nk = fresh_key(it->second);
+        bin.decrease_key(it->first, nk);
+        quad.decrease_key(it->first, nk);
+        pair.decrease_key(it->first, nk);
+        it->second = nk;
+      } else if (!ref.empty()) {
+        const auto [bid, bk] = bin.pop_min();
+        const auto [qid, qk] = quad.pop_min();
+        const auto [pid, pk] = pair.pop_min();
+        const auto min_it = std::min_element(
+            ref.begin(), ref.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+        ASSERT_EQ(bid, min_it->first);
+        ASSERT_EQ(qid, min_it->first);
+        ASSERT_EQ(pid, min_it->first);
+        ASSERT_EQ(bk, min_it->second);
+        ASSERT_EQ(qk, min_it->second);
+        ASSERT_EQ(pk, min_it->second);
+        ref.erase(min_it);
+      }
+      ASSERT_EQ(bin.size(), ref.size());
+      ASSERT_EQ(quad.size(), ref.size());
+      ASSERT_EQ(pair.size(), ref.size());
+    }
+    // Drain: the full residual pop order must agree across backends.
+    while (!ref.empty()) {
+      const auto [bid, bk] = bin.pop_min();
+      const auto [qid, qk] = quad.pop_min();
+      const auto [pid, pk] = pair.pop_min();
+      ASSERT_EQ(bid, qid);
+      ASSERT_EQ(qid, pid);
+      ASSERT_EQ(bk, qk);
+      ASSERT_EQ(qk, pk);
+      ASSERT_EQ(ref.count(bid), 1u);
+      ASSERT_EQ(ref[bid], bk);
+      ref.erase(bid);
+    }
+    EXPECT_TRUE(bin.empty());
+    EXPECT_TRUE(quad.empty());
+    EXPECT_TRUE(pair.empty());
   }
 }
 

@@ -116,10 +116,12 @@ TEST(Integration, ProvisionTearDownCycleLeavesNetworkClean) {
 
 TEST(Integration, LoadAwareRoutingKeepsNetworkLoadLower) {
   // Same arrival sequence; the §4.2 router should end with lower sampled ρ
-  // than the cost-only §3.3 router under pressure.
+  // than the cost-only §3.3 router under pressure. The load is heavy but
+  // below saturation: past ρ ≈ 0.95 both routers pin the network and the
+  // comparison degenerates into tie-breaking noise.
   const auto run = [](const rwa::Router& router) {
     sim::SimOptions opt;
-    opt.traffic.arrival_rate = 30.0;
+    opt.traffic.arrival_rate = 20.0;
     opt.traffic.mean_holding = 1.0;
     opt.duration = 60.0;
     opt.seed = 11;

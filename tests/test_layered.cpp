@@ -119,6 +119,55 @@ TEST(OptimalSemilightpath, RespectsLinkMask) {
   EXPECT_EQ(p.length(), 2u);
 }
 
+TEST(LayeredGraph, MaskedBuildCompactsToActiveNodes) {
+  // With a confining mask only nodes incident to enabled links (plus the
+  // endpoints) receive wavelength layers; the rest of the topology must not
+  // contribute conversion arcs or node copies.
+  net::WdmNetwork n(6, 2);
+  n.add_link(0, 1, net::WavelengthSet::all(2), 1.0);
+  n.add_link(1, 2, net::WavelengthSet::all(2), 1.0);
+  n.add_link(2, 3, net::WavelengthSet::all(2), 1.0);
+  n.add_link(3, 4, net::WavelengthSet::all(2), 1.0);
+  n.add_link(4, 5, net::WavelengthSet::all(2), 1.0);
+  std::vector<std::uint8_t> mask{1, 1, 0, 0, 0};  // links 0-1, 1-2 only
+  const LayeredGraph lg = LayeredGraph::build(n, 0, 2, mask);
+  // Active nodes: {0, 2} (endpoints) ∪ {0, 1, 2} = 3 of 6.
+  EXPECT_EQ(lg.g.num_nodes(), 2 * 3 * 2 + 2);
+  const LayeredGraph dense = LayeredGraph::build(n, 0, 2);
+  EXPECT_EQ(dense.g.num_nodes(), 2 * 6 * 2 + 2);
+}
+
+TEST(OptimalSemilightpath, CompactionIsBehaviorallyInvisible) {
+  // The compacted masked build must find paths of identical cost to the
+  // dense unmasked build whenever the mask admits every link (all-ones mask
+  // vs empty mask take the compacted and historical code paths
+  // respectively).
+  support::Rng rng(77);
+  for (int inst = 0; inst < 8; ++inst) {
+    net::WdmNetwork n(8, 3);
+    for (int i = 0; i + 1 < 8; ++i) {
+      n.add_link(i, i + 1, net::WavelengthSet::all(3), rng.uniform(1.0, 5.0));
+    }
+    for (int k = 0; k < 5; ++k) {
+      const auto a = static_cast<net::NodeId>(rng.index(8));
+      const auto b = static_cast<net::NodeId>(rng.index(8));
+      if (a == b || n.graph().find_edge(a, b) != graph::kInvalidEdge) continue;
+      n.add_link(a, b, net::WavelengthSet::all(3), rng.uniform(1.0, 5.0));
+    }
+    n.set_conversion(3, net::ConversionTable::full(3, 0.2));
+    const std::vector<std::uint8_t> all_on(
+        static_cast<std::size_t>(n.num_links()), 1);
+    for (net::NodeId t = 1; t < 8; ++t) {
+      const net::Semilightpath dense = optimal_semilightpath(n, 0, t);
+      const net::Semilightpath compact = optimal_semilightpath(n, 0, t, all_on);
+      ASSERT_EQ(dense.found, compact.found) << "t=" << t;
+      if (dense.found) {
+        EXPECT_DOUBLE_EQ(dense.cost(n), compact.cost(n)) << "t=" << t;
+      }
+    }
+  }
+}
+
 TEST(OptimalSemilightpath, SingleConversionPerNodeEnforced) {
   // Table allows 0->1 and 1->2 but NOT 0->2. If conversion chains inside a
   // node were possible, the path below would exist.

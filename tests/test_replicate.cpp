@@ -48,10 +48,12 @@ TEST(Replicate, DeterministicGivenBaseSeed) {
 TEST(Replicate, IntervalShrinksWithMoreReplicas) {
   rwa::ApproxDisjointRouter router;
   const net::WdmNetwork base = topo::nsfnet_network(4, 0.5);
-  const ReplicationSummary few = replicate(base, router, fast_options(), 3);
-  const ReplicationSummary many = replicate(base, router, fast_options(), 12);
+  const ReplicationSummary few = replicate(base, router, fast_options(), 6);
+  const ReplicationSummary many = replicate(base, router, fast_options(), 24);
   // Not guaranteed sample-by-sample, but with 4x the replicas the interval
-  // should not grow substantially.
+  // should not grow substantially. (The lower count is 6, not 2–3: a
+  // 2-dof variance estimate can land freakishly small and make any honest
+  // larger sample look "worse".)
   EXPECT_LT(many.blocking.ci95, few.blocking.ci95 * 2.0 + 1e-12);
 }
 

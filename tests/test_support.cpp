@@ -192,6 +192,35 @@ TEST(Percentile, StillRejectsBadQuantile) {
   EXPECT_THROW(percentile(xs, 1.1), std::logic_error);
 }
 
+TEST(Percentile, SortedOverloadEqualsCopyingVersion) {
+  support::Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform(-50.0, 50.0));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(xs, q)) << q;
+  }
+  // Degenerate inputs follow the same contract.
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.5), 42.0);
+}
+
+TEST(Percentile, BatchMatchesPerQuantileCalls) {
+  support::Rng rng(32);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(0.0, 1000.0));
+  const std::vector<double> qs{0.5, 0.9, 0.99, 0.0, 1.0};
+  const std::vector<double> batch = percentiles(xs, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(xs, qs[i])) << "q=" << qs[i];
+  }
+  EXPECT_TRUE(percentiles(xs, {}).empty());
+  EXPECT_EQ(percentiles({}, qs), std::vector<double>(qs.size(), 0.0));
+}
+
 TEST(RunningStats, MinMaxWellDefinedAtZeroCount) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);

@@ -1,0 +1,195 @@
+// Unit battery for graph::SuurballeEngine — the warm-startable Suurballe.
+//
+// The engine's contract (suurballe_warm.hpp): a warm solve over a graph
+// whose weights drifted since the cached round-1 tree was built returns a
+// DisjointPair bit-for-bit identical to a cold solve of the same instance.
+// These tests pin the contract on hand-built graphs where every interesting
+// repair case is reachable deliberately: weight increases on tree arcs
+// (subtree invalidation), decreases off-tree (new shortcuts), the identical
+// re-solve (pure tree hit), source rotation through the LRU slots, and
+// structural invalidation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/suurballe.hpp"
+#include "graph/suurballe_warm.hpp"
+#include "support/rng.hpp"
+
+namespace wdm::graph {
+namespace {
+
+void expect_bitwise(const DisjointPair& a, const DisjointPair& b) {
+  ASSERT_EQ(a.found, b.found);
+  if (!a.found) return;
+  EXPECT_EQ(a.first.edges, b.first.edges);
+  EXPECT_EQ(a.second.edges, b.second.edges);
+  EXPECT_EQ(a.first.cost, b.first.cost);
+  EXPECT_EQ(a.second.cost, b.second.cost);
+}
+
+/// The classic two-diamond graph: two edge-disjoint 0 -> 3 paths exist and
+/// Suurballe must trade the naive shortest path away to find them.
+struct Diamond {
+  Digraph g{4};
+  std::vector<double> w;
+  Diamond() {
+    auto add = [&](NodeId a, NodeId b, double weight) {
+      g.add_edge(a, b);
+      w.push_back(weight);
+    };
+    add(0, 1, 1.0);  // e0
+    add(1, 3, 1.0);  // e1
+    add(0, 2, 2.0);  // e2
+    add(2, 3, 2.0);  // e3
+    add(1, 2, 0.1);  // e4 — tempts the shortest path through both branches
+  }
+};
+
+TEST(SuurballeEngine, MatchesClassicOnFirstSolve) {
+  Diamond d;
+  SuurballeEngine eng;
+  const DisjointPair warm = eng.solve(d.g, d.w, 0, 3, /*tree_key=*/0);
+  const DisjointPair classic = suurballe(d.g, d.w, 0, 3);
+  ASSERT_TRUE(warm.found);
+  ASSERT_EQ(classic.found, warm.found);
+  EXPECT_DOUBLE_EQ(classic.total_cost(), warm.total_cost());
+  EXPECT_EQ(eng.stats().tree_builds, 1u);
+}
+
+TEST(SuurballeEngine, IdenticalResolveIsATreeHit) {
+  Diamond d;
+  SuurballeEngine eng;
+  const DisjointPair a = eng.solve(d.g, d.w, 0, 3, 0);
+  const DisjointPair b = eng.solve(d.g, d.w, 0, 3, 0);
+  expect_bitwise(a, b);
+  EXPECT_EQ(eng.stats().tree_builds, 1u);
+  EXPECT_EQ(eng.stats().tree_hits, 1u);
+  EXPECT_EQ(eng.stats().tree_repairs, 0u);
+}
+
+TEST(SuurballeEngine, WeightIncreaseOnTreeArcRepairsToColdResult) {
+  Diamond d;
+  SuurballeEngine eng;
+  eng.solve(d.g, d.w, 0, 3, 0);
+  // e0 sits on the round-1 shortest path; raising it invalidates the
+  // subtree below node 1.
+  d.w[0] = 5.0;
+  const DisjointPair warm = eng.solve(d.g, d.w, 0, 3, 0);
+  SuurballeEngine cold;
+  const DisjointPair reference = cold.solve(d.g, d.w, 0, 3, 0);
+  expect_bitwise(reference, warm);
+  EXPECT_EQ(eng.stats().tree_repairs, 1u);
+}
+
+TEST(SuurballeEngine, WeightDecreaseOffTreeRepairsToColdResult) {
+  Diamond d;
+  SuurballeEngine eng;
+  eng.solve(d.g, d.w, 0, 3, 0);
+  // e2 is off the round-1 tree path to 3; making it nearly free reroutes.
+  d.w[2] = 0.01;
+  const DisjointPair warm = eng.solve(d.g, d.w, 0, 3, 0);
+  SuurballeEngine cold;
+  expect_bitwise(cold.solve(d.g, d.w, 0, 3, 0), warm);
+}
+
+TEST(SuurballeEngine, InfeasibleThenFeasibleAgain) {
+  Diamond d;
+  SuurballeEngine eng;
+  ASSERT_TRUE(eng.solve(d.g, d.w, 0, 3, 0).found);
+  // Price one branch out entirely: only one finite path remains, so no
+  // disjoint pair. (kInf arcs are how the stable arena disables links.)
+  const double save2 = d.w[2];
+  const double save3 = d.w[3];
+  d.w[2] = kInf;
+  d.w[3] = kInf;
+  EXPECT_FALSE(eng.solve(d.g, d.w, 0, 3, 0).found);
+  d.w[2] = save2;
+  d.w[3] = save3;
+  const DisjointPair back = eng.solve(d.g, d.w, 0, 3, 0);
+  SuurballeEngine cold;
+  expect_bitwise(cold.solve(d.g, d.w, 0, 3, 0), back);
+}
+
+TEST(SuurballeEngine, LruRecyclesBeyondMaxTrees) {
+  // A wheel: hub 0 plus a cycle through 1..k, rich enough that every source
+  // admits a disjoint pair to its antipode.
+  const NodeId n = 12;
+  Digraph g(n);
+  std::vector<double> w;
+  auto add = [&](NodeId a, NodeId b, double weight) {
+    g.add_edge(a, b);
+    g.add_edge(b, a);
+    w.push_back(weight);
+    w.push_back(weight);
+  };
+  for (NodeId v = 1; v < n; ++v) add(0, v, 2.0);
+  for (NodeId v = 1; v < n; ++v) add(v, (v % (n - 1)) + 1, 1.0);
+
+  SuurballeEngine eng;
+  // More distinct keys than kMaxTrees: slots must recycle without
+  // corrupting results.
+  for (int round = 0; round < 2; ++round) {
+    for (NodeId s = 1; s + 1 < n; ++s) {
+      const NodeId t = s + 1;
+      const DisjointPair warm =
+          eng.solve(g, w, s, t, static_cast<std::uint64_t>(s));
+      SuurballeEngine cold;
+      expect_bitwise(cold.solve(g, w, s, t, static_cast<std::uint64_t>(s)),
+                     warm);
+    }
+  }
+  EXPECT_GT(eng.stats().tree_builds,
+            static_cast<std::uint64_t>(SuurballeEngine::kMaxTrees));
+}
+
+TEST(SuurballeEngine, InvalidateDropsTrees) {
+  Diamond d;
+  SuurballeEngine eng;
+  eng.solve(d.g, d.w, 0, 3, 0);
+  eng.invalidate();
+  eng.solve(d.g, d.w, 0, 3, 0);
+  EXPECT_EQ(eng.stats().tree_builds, 2u);
+  EXPECT_EQ(eng.stats().tree_hits, 0u);
+}
+
+TEST(SuurballeEngine, RandomizedDriftMatchesColdBitForBit) {
+  // Random layered graphs under random weight drift; every solve compared
+  // bitwise against a fresh engine. Complements the aux-graph fuzz arm with
+  // plain graphs where the weight diff is dense rather than structured.
+  support::Rng rng(2024);
+  for (int inst = 0; inst < 10; ++inst) {
+    const NodeId n = 16;
+    Digraph g(n);
+    std::vector<double> w;
+    for (NodeId a = 0; a < n; ++a) {
+      for (int k = 0; k < 4; ++k) {
+        const NodeId b = static_cast<NodeId>(
+            rng.index(static_cast<std::size_t>(n)));
+        if (b == a) continue;
+        g.add_edge(a, b);
+        w.push_back(rng.uniform(0.5, 10.0));
+      }
+    }
+    SuurballeEngine eng;
+    for (int step = 0; step < 12; ++step) {
+      // Drift ~20% of the weights, both directions.
+      for (std::size_t e = 0; e < w.size(); ++e) {
+        if (rng.uniform() < 0.2) w[e] = rng.uniform(0.5, 10.0);
+      }
+      const NodeId s = 0;
+      const NodeId t = n - 1;
+      const DisjointPair warm = eng.solve(g, w, s, t, 0);
+      SuurballeEngine cold;
+      const DisjointPair reference = cold.solve(g, w, s, t, 0);
+      expect_bitwise(reference, warm);
+      if (HasFatalFailure()) return;
+    }
+    EXPECT_GT(eng.stats().tree_repairs, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace wdm::graph

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "topology/network_builder.hpp"
 #include "topology/topologies.hpp"
 
@@ -115,6 +118,59 @@ TEST(Topologies, WaxmanConnectedAndSeeded) {
   EXPECT_EQ(t.num_nodes(), 20);
   EXPECT_TRUE(t.g.strongly_connected());
   expect_valid_duplex(t);
+}
+
+TEST(Topologies, WaxmanDeterministicAndConnectedAtScale) {
+  // n = 500 exercises the sorted-key overlay dedup on a draw large enough
+  // that the old linear scan was the bottleneck; determinism given the RNG
+  // is part of the documented contract (topologies.hpp).
+  support::Rng rng1(23), rng2(23);
+  const Topology a = waxman(500, 0.10, 0.15, rng1);
+  const Topology b = waxman(500, 0.10, 0.15, rng2);
+  EXPECT_EQ(a.num_nodes(), 500);
+  EXPECT_TRUE(a.g.strongly_connected());
+  ASSERT_EQ(a.g.num_edges(), b.g.num_edges());
+  for (graph::EdgeId e = 0; e < a.g.num_edges(); ++e) {
+    ASSERT_EQ(a.g.tail(e), b.g.tail(e));
+    ASSERT_EQ(a.g.head(e), b.g.head(e));
+  }
+  expect_valid_duplex(a);
+  // No duplicate duplex pair may survive the chain overlay.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  for (graph::EdgeId e = 0; e < a.g.num_edges(); ++e) {
+    if (a.g.tail(e) < a.g.head(e)) {
+      EXPECT_TRUE(seen.emplace(a.g.tail(e), a.g.head(e)).second)
+          << "duplicate duplex link " << a.g.tail(e) << "-" << a.g.head(e);
+    }
+  }
+}
+
+TEST(Topologies, GeoGridConnectedByConstruction) {
+  // Even at chord_p extremes the backbone grid guarantees connectivity.
+  for (const double p : {0.0, 0.35, 1.0}) {
+    support::Rng rng(5);
+    const Topology t = geo_grid(10, 25, p, rng);
+    EXPECT_EQ(t.num_nodes(), 250);
+    EXPECT_TRUE(t.g.strongly_connected());
+    expect_valid_duplex(t);
+    // Backbone size is fixed; chords only add.
+    const int backbone = 10 * 24 + 9 * 25;
+    EXPECT_GE(t.num_duplex_links(), backbone);
+    EXPECT_LE(t.num_duplex_links(), backbone + 9 * 24);
+    if (p == 0.0) EXPECT_EQ(t.num_duplex_links(), backbone);
+    if (p == 1.0) EXPECT_EQ(t.num_duplex_links(), backbone + 9 * 24);
+  }
+}
+
+TEST(Topologies, GeoGridDeterministicGivenRng) {
+  support::Rng rng1(99), rng2(99);
+  const Topology a = geo_grid(8, 8, 0.4, rng1);
+  const Topology b = geo_grid(8, 8, 0.4, rng2);
+  ASSERT_EQ(a.g.num_edges(), b.g.num_edges());
+  for (graph::EdgeId e = 0; e < a.g.num_edges(); ++e) {
+    ASSERT_EQ(a.g.tail(e), b.g.tail(e));
+    ASSERT_EQ(a.g.head(e), b.g.head(e));
+  }
 }
 
 TEST(Topologies, InvalidSizesRejected) {

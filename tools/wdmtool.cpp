@@ -87,12 +87,43 @@ int usage() {
       "   (0 = auto, negative = off), and --flight-recorder k to retain\n"
       "   only the last k + worst-k-latency request traces)\n"
       "topologies: nsfnet | arpanet | eon | usnet | ring<n> | grid<r>x<c> | torus<r>x<c>\n"
+      "            geo<r>x<c>[@seed] | waxman<n>[@seed]  (random; seeded "
+      "draws, default @1)\n"
       "routers: approx minload loadcost node-disjoint two-step physical "
       "unprotected exact\n");
   return 2;
 }
 
 bool parse_topology(const std::string& name, topo::Topology* out) {
+  // Random families take an optional "@<seed>" suffix (default seed 1) so a
+  // drawn instance is reproducible from its name alone, independent of the
+  // --seed flag (which keeps governing occupancy and traffic).
+  std::string base = name;
+  std::uint64_t topo_seed = 1;
+  if (const auto at = base.find('@'); at != std::string::npos) {
+    int sv = 0;
+    if (!parse_cli_int(base.c_str() + at + 1, &sv) || sv < 0) return false;
+    topo_seed = static_cast<std::uint64_t>(sv);
+    base.resize(at);
+  }
+  if (base.rfind("waxman", 0) == 0) {
+    int n = 0;
+    if (!parse_cli_int(base.c_str() + 6, &n) || n < 3) return false;
+    support::Rng rng(topo_seed);
+    // E22 parameters: continental sparsity (mean degree ~8 at n=250).
+    *out = topo::waxman(n, /*alpha=*/0.08, /*beta=*/0.12, rng);
+    return true;
+  }
+  if (base.rfind("geo", 0) == 0) {
+    int r = 0, c = 0, used = 0;
+    if (std::sscanf(base.c_str() + 3, "%dx%d%n", &r, &c, &used) != 2 ||
+        base[3 + static_cast<std::size_t>(used)] != '\0' || r < 2 || c < 2) {
+      return false;
+    }
+    support::Rng rng(topo_seed);
+    *out = topo::geo_grid(r, c, /*chord_p=*/0.3, rng);
+    return true;
+  }
   if (name == "nsfnet") {
     *out = topo::nsfnet();
   } else if (name == "arpanet") {
@@ -466,6 +497,8 @@ int run(int argc, char** argv) {
     std::printf("eon       19 nodes, 37 duplex fibers (European Optical)\n");
     std::printf("ring<n>   bidirectional ring\n");
     std::printf("grid<r>x<c> mesh\n");
+    std::printf("geo<r>x<c>[@seed]  grid + diagonal chords (E22 family)\n");
+    std::printf("waxman<n>[@seed]   geometric random WAN (E22 family)\n");
     return 0;
   }
   if (cmd == "route") return cmd_route(argc, argv);
