@@ -176,17 +176,14 @@ ArmResult run_arm(const ArmSpec& spec, int wavelengths, int requests,
   }
 
   // Deterministic outcome counters for the teldiff gate; timings stay out.
-  // Direct registry calls, not WDM_TEL_COUNT_N: the macro caches a static
-  // reference per call site, which would fold all six arms into the first
-  // arm's counter names.
-  if (support::telemetry::enabled()) {
+  // WDM_TEL_COUNT_DYN, not WDM_TEL_COUNT_N: the per-arm names are
+  // runtime-built, and the static-handle macro would fold all six arms into
+  // the first arm's counters (debug builds now abort on that misuse).
+  {
     const std::string prefix = std::string("rwa.scale.") + spec.label;
-    support::telemetry::counter(prefix + ".requests")
-        .add(static_cast<std::uint64_t>(r.requests));
-    support::telemetry::counter(prefix + ".found")
-        .add(static_cast<std::uint64_t>(r.found));
-    support::telemetry::counter(prefix + ".links")
-        .add(static_cast<std::uint64_t>(r.links));
+    WDM_TEL_COUNT_DYN(prefix + ".requests", r.requests);
+    WDM_TEL_COUNT_DYN(prefix + ".found", r.found);
+    WDM_TEL_COUNT_DYN(prefix + ".links", r.links);
   }
 
   const std::vector<double> qs{0.5, 0.9, 0.99};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace wdm::graph {
 
@@ -422,6 +423,23 @@ void SuurballeEngine::solve_into(const Digraph& g, std::span<const double> w,
   } else {
     tr.feed_synced = false;
   }
+
+  // Live cache-health gauges: LRU occupancy and the hinted share of diff
+  // scopings so far. Engines are per-thread objects, so with several engines
+  // the published value is last-writer-wins — a sample of *an* engine's
+  // health, which is what a live monitor needs (exact totals stay in Stats).
+  if (support::telemetry::enabled()) {
+    int live = 0;
+    for (const Tree& tcur : trees_) live += tcur.valid ? 1 : 0;
+    WDM_TEL_GAUGE_SET("rwa.suurballe.warm_trees", live);
+    const long long diffs = stats_.hinted_diffs + stats_.full_diffs;
+    if (diffs > 0) {
+      WDM_TEL_GAUGE_SET("rwa.suurballe.hinted_diff_rate",
+                        static_cast<double>(stats_.hinted_diffs) /
+                            static_cast<double>(diffs));
+    }
+  }
+
   if (tr.dist[static_cast<std::size_t>(t)] == kInf) return;
   round_two(g, w, s, t, tr, out);
 }

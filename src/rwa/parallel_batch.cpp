@@ -96,19 +96,37 @@ class WorkerPool {
 void worker_loop(Shared& sh, int widx, const Router& router,
                  const std::vector<BatchRequest>& batch,
                  const std::vector<std::size_t>& perm) {
+  // Per-worker cumulative busy/idle time. The names are runtime-built
+  // (worker index), so the handles are resolved here — once per pool entry,
+  // off the hot path — never through the static-caching macros.
+  support::telemetry::Counter* c_busy = nullptr;
+  support::telemetry::Counter* c_idle = nullptr;
   if (support::telemetry::enabled()) {
     support::telemetry::set_thread_name("batch-worker-" +
                                         std::to_string(widx));
+    const std::string prefix =
+        "rwa.parallel_batch.worker." + std::to_string(widx);
+    c_busy = &support::telemetry::counter(prefix + ".busy_ns");
+    c_idle = &support::telemetry::counter(prefix + ".idle_ns");
   }
   std::unique_lock<std::mutex> lk(sh.mu);
   for (;;) {
+    const std::uint64_t t_idle0 =
+        support::telemetry::enabled() ? support::telemetry::now_ns() : 0;
     sh.work_cv.wait(lk, [&] { return sh.stop || sh.claimable(); });
+    if (t_idle0 != 0) {
+      const std::uint64_t idle = support::telemetry::now_ns() - t_idle0;
+      WDM_TEL_HIST("rwa.parallel_batch.worker_idle_ns").record_ns(idle);
+      if (c_idle != nullptr) c_idle->add(idle);
+    }
     if (sh.stop) return;
     std::size_t i;
     if (!sh.retry_q.empty()) {
       i = sh.retry_q.front();
       sh.retry_q.pop_front();
       sh.slots[i].queued = false;
+      WDM_TEL_GAUGE_SET("rwa.parallel_batch.retry_queue_depth",
+                        sh.retry_q.size());
     } else {
       i = sh.cursor++;
     }
@@ -124,6 +142,9 @@ void worker_loop(Shared& sh, int widx, const Router& router,
       // it alive (and un-reusable by the pool) for the duration.
       std::shared_ptr<const net::WdmNetwork> snap = sh.snap;
       lk.unlock();
+      const std::uint64_t t_busy0 =
+          support::telemetry::enabled() ? support::telemetry::now_ns() : 0;
+      WDM_TEL_GAUGE_ADD("rwa.parallel_batch.busy_workers", 1.0);
       RouteResult r;
       RouteFootprint fp;
       std::uint64_t spec_span_id = 0;
@@ -136,6 +157,7 @@ void worker_loop(Shared& sh, int widx, const Router& router,
         spec_span.flow_out(spec_span_id);
         r = router.route(*snap, req.s, req.t, &fp);
       } catch (...) {
+        WDM_TEL_GAUGE_ADD("rwa.parallel_batch.busy_workers", -1.0);
         lk.lock();
         if (!sh.first_exception) sh.first_exception = std::current_exception();
         sh.stop = true;
@@ -143,6 +165,12 @@ void worker_loop(Shared& sh, int widx, const Router& router,
         sh.work_cv.notify_all();
         sh.result_cv.notify_all();
         return;
+      }
+      WDM_TEL_GAUGE_ADD("rwa.parallel_batch.busy_workers", -1.0);
+      if (t_busy0 != 0) {
+        const std::uint64_t busy = support::telemetry::now_ns() - t_busy0;
+        WDM_TEL_HIST("rwa.parallel_batch.worker_busy_ns").record_ns(busy);
+        if (c_busy != nullptr) c_busy->add(busy);
       }
       lk.lock();
       ++sh.st.speculations;
@@ -163,6 +191,8 @@ void worker_loop(Shared& sh, int widx, const Router& router,
         if (sl.attempts < sh.max_attempts && !sl.queued) {
           sh.retry_q.push_back(i);
           sl.queued = true;
+          WDM_TEL_GAUGE_SET("rwa.parallel_batch.retry_queue_depth",
+                            sh.retry_q.size());
           sh.work_cv.notify_one();
         }
       }
@@ -295,12 +325,22 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
           if (sl.attempts < sh.max_attempts && !sl.queued) {
             sh.retry_q.push_back(k);
             sl.queued = true;
+            WDM_TEL_GAUGE_SET("rwa.parallel_batch.retry_queue_depth",
+                              sh.retry_q.size());
             sh.work_cv.notify_one();
           }
           continue;
         }
         if (sl.in_flight > 0) {
+          // Commit-thread stall: the serial order needs this slot and a
+          // speculation for it is still in flight.
+          const std::uint64_t t_w0 =
+              support::telemetry::enabled() ? support::telemetry::now_ns() : 0;
           sh.result_cv.wait(lk);  // a speculation is landing soon
+          if (t_w0 != 0) {
+            WDM_TEL_HIST("rwa.parallel_batch.commit_wait_ns")
+                .record_ns(support::telemetry::now_ns() - t_w0);
+          }
           continue;
         }
         // No speculation in flight: route on the commit thread against the
@@ -311,6 +351,8 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
           WDM_DCHECK(it != sh.retry_q.end());
           sh.retry_q.erase(it);
           sl.queued = false;
+          WDM_TEL_GAUGE_SET("rwa.parallel_batch.retry_queue_depth",
+                            sh.retry_q.size());
         }
         if (sl.attempts >= sh.max_attempts) ++sh.st.serial_fallbacks;
         ++sh.st.commit_reroutes;
@@ -360,6 +402,8 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
             s2.queued = true;
           }
         }
+        WDM_TEL_GAUGE_SET("rwa.parallel_batch.retry_queue_depth",
+                          sh.retry_q.size());
         sh.snap = pool_->publish(net, sh.st);
         sh.work_cv.notify_all();
       } else if (capture) {
@@ -391,6 +435,10 @@ BatchOutcome ParallelBatchEngine::run(net::WdmNetwork& net,
   // on scheduling (thread count, timing) and are intentionally outside the
   // deterministic `sim.*` counter namespace.
   if (support::telemetry::enabled()) {
+    // The run is over: the live gauges must read empty, not whatever depth
+    // the last mutation happened to leave behind.
+    WDM_TEL_GAUGE_SET("rwa.parallel_batch.retry_queue_depth", 0.0);
+    WDM_TEL_GAUGE_SET("rwa.parallel_batch.busy_workers", 0.0);
     WDM_TEL_COUNT_N("rwa.parallel_batch.requests", batch.size());
     WDM_TEL_COUNT_N("rwa.parallel_batch.speculations", sh.st.speculations);
     WDM_TEL_COUNT_N("rwa.parallel_batch.spec_commits", sh.st.spec_commits);

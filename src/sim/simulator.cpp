@@ -176,6 +176,20 @@ void Simulator::sample_load(double now) {
   metrics_.mean_link_load.add(net_.mean_load());
   metrics_.peak_load = std::max(metrics_.peak_load, rho);
   if (opt_.record_load_series) metrics_.load_series.emplace_back(now, rho);
+  update_gauges(now);
+}
+
+/// Live-state gauges for the streaming publisher: how many lightpaths are up
+/// right now and the realized offered rate (requests per sim-time unit) so
+/// far. Updated on every provisioning/teardown event — unlike the
+/// `sim.series.*` samples these track wall-clock "now", which is the point
+/// of a gauge.
+void Simulator::update_gauges(double now) {
+  WDM_TEL_GAUGE_SET("sim.gauge.live_connections", live_.size());
+  if (now > 0.0) {
+    WDM_TEL_GAUGE_SET("sim.gauge.offered_rate",
+                      static_cast<double>(metrics_.offered) / now);
+  }
 }
 
 void Simulator::advance_series(double t) {
@@ -358,6 +372,7 @@ void Simulator::handle_departure(double now, long conn_id) {
   finish_connection(it->second, now, /*completed=*/true);
   release_connection(it->second);
   live_.erase(it);
+  update_gauges(now);
 }
 
 void Simulator::handle_link_fail(double now, long duplex_index) {

@@ -249,6 +249,9 @@ class Simulator {
   void handle_arrival(double now);
   void handle_batch_provision(double now);
   void sample_load(double now);
+  /// Publishes sim.gauge.* live-state gauges (active connections, realized
+  /// offered rate) for the telemetry stream.
+  void update_gauges(double now);
   /// Emits telemetry series points for every sampling boundary <= t.
   void advance_series(double t);
   void sample_series(double t);

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -124,6 +125,34 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Named gauge: a *current-value* metric (queue depth, cache occupancy,
+/// live-connection count, a rate) with set/add semantics — unlike Counter it
+/// is not monotone and may go down or negative. The value is a double stored
+/// as its bit pattern in one relaxed atomic, so set() is a single store and
+/// concurrent readers (the SnapshotPublisher, write_json) never see a torn
+/// value. Obtain through gauge() once and cache the reference (the
+/// WDM_TEL_GAUGE_* macros below do this with function-local statics).
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend void reset();
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
 /// Sampled time series: (t, value) points, where `t` is caller time (the
 /// simulator samples at *simulation*-time boundaries, which keeps `sim.*`
 /// series deterministic across thread counts). Bounded: past kMaxPoints new
@@ -134,6 +163,11 @@ class Series {
 
   void add(double t, double v);
   std::vector<std::pair<double, double>> points() const;
+  /// Appends points [from, size) to `out` and returns the current size —
+  /// the SnapshotPublisher's cursored tail read, which avoids copying the
+  /// whole (possibly 2^16-point) vector once per frame.
+  std::size_t tail_into(std::size_t from,
+                        std::vector<std::pair<double, double>>& out) const;
   std::uint64_t dropped() const;
 
  private:
@@ -147,6 +181,7 @@ class Series {
 /// the reference (the macros below do this with function-local statics).
 /// Returned references stay valid for the process lifetime.
 Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
 LatencyHistogram& histogram(std::string_view name);
 Series& series(std::string_view name);
 
@@ -157,6 +192,9 @@ std::uint32_t intern(std::string_view name);
 /// Snapshot of every registered counter (name -> value). For tests and
 /// report generation, not hot paths.
 std::map<std::string, std::uint64_t> counter_values();
+
+/// Snapshot of every registered gauge (name -> value). Tests/reports only.
+std::map<std::string, double> gauge_values();
 
 /// Snapshot of every registered series (name -> points). Tests/reports only.
 std::map<std::string, std::vector<std::pair<double, double>>> series_values();
@@ -196,6 +234,13 @@ namespace detail {
 RequestCtx& tls_ctx();
 /// Process-unique span id (relaxed atomic increment; never 0).
 std::uint64_t new_span_id();
+/// Debug backstop for the static-handle macros (WDM_TEL_COUNTER/HIST/GAUGE
+/// and everything built on them): the name is evaluated once and cached in a
+/// function-local static, so a *runtime-built* name silently folds every
+/// subsequent call into the first-seen metric. In debug builds the macros
+/// re-evaluate the name expression and call this; on mismatch it prints both
+/// names and aborts, pointing at WDM_TEL_COUNT_DYN. Compiled away in NDEBUG.
+void check_static_name(const std::string& cached, std::string_view now);
 }  // namespace detail
 
 /// Reads the calling thread's active request context.
@@ -264,6 +309,62 @@ bool write_file(const std::string& path);
 /// sim-time point events as instants under a separate clock (pid 2).
 void write_chrome_trace(std::ostream& out);
 bool write_chrome_trace_file(const std::string& path);
+
+/// Writes every counter, gauge, and histogram in Prometheus text exposition
+/// format (metric names are prefixed "robustwdm_" with non-identifier
+/// characters folded to '_'; histograms export cumulative power-of-two
+/// buckets plus _sum/_count). A future `wdmd` daemon serves this verbatim
+/// from a /metrics handler; `wdmtool --prom out.prom` and the benches dump
+/// it at exit for scrape-file ingestion.
+void write_prometheus(std::ostream& out);
+bool write_prometheus_file(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Live streaming (SnapshotPublisher).
+
+/// Configuration for the background snapshot publisher: where the JSONL
+/// stream goes and how often a frame is captured. Exactly one of `path`
+/// (truncated on start) or `fd` (an already-open descriptor, e.g. a pipe to
+/// a collector; never closed by the publisher) selects the sink.
+struct StreamOptions {
+  std::string path;
+  int fd = -1;
+  double interval_s = 1.0;  // wall-clock capture stride, > 0
+};
+
+/// Starts the background SnapshotPublisher: a thread that, every
+/// `interval_s` of wall time, captures a coherent *delta* frame — counter
+/// increments since the previous frame, current gauge values, histogram
+/// quantiles, and the tail of every time series — and appends it to the
+/// sink as one JSONL record (schema "robustwdm-telemetry-stream-v1",
+/// DESIGN.md §8.5). Frames that fail to write are dropped and counted
+/// (tel.stream.dropped_frames + the final frame), never blocked on.
+/// Enables collection (set_enabled(true)) as a side effect — a stream of
+/// zeros helps nobody. Returns false (and starts nothing) when a stream is
+/// already active, the sink cannot be opened, interval_s <= 0, or telemetry
+/// is compiled out.
+bool start_stream(const StreamOptions& opt);
+
+/// Stops the publisher: joins the thread, then appends one *final* frame
+/// ("kind": "final") carrying cumulative counters, gauges, full histogram
+/// stats, run metadata, and drop totals — the frame tools/teldiff gates on.
+/// Idempotent; no-op when no stream is active.
+void stop_stream();
+
+/// True while a publisher thread is running.
+bool stream_active();
+
+/// RAII wrapper: entry points hold one so the final frame is flushed on
+/// every exit path, including exception unwind (tested in
+/// tests/test_stream.cpp). The default constructor is inert.
+class StreamScope {
+ public:
+  StreamScope() = default;
+  explicit StreamScope(const StreamOptions& opt) { start_stream(opt); }
+  StreamScope(const StreamScope&) = delete;
+  StreamScope& operator=(const StreamScope&) = delete;
+  ~StreamScope() { stop_stream(); }
+};
 
 // ---------------------------------------------------------------------------
 // RAII helpers (compiled-in versions; no-op twins live in the #else branch).
@@ -398,12 +499,31 @@ class SplitTimer {
 
 // Instrumentation macros. All of them cache registry handles in
 // function-local statics, so the steady-state cost is the enabled() branch.
+// That cache makes the name expression a one-shot: runtime-built names fold
+// into the first-seen metric. The lambdas are deliberately *captureless* so
+// names referencing locals fail to compile, and debug builds additionally
+// verify (WDM_TEL_DEBUG_STATIC_NAME) that the name expression is stable —
+// use WDM_TEL_COUNT_DYN for genuinely dynamic names.
 #if ROBUSTWDM_TELEMETRY
+
+#ifdef NDEBUG
+#define WDM_TEL_DEBUG_STATIC_NAME(name) \
+  do {                                  \
+  } while (0)
+#else
+#define WDM_TEL_DEBUG_STATIC_NAME(name)                   \
+  do {                                                    \
+    static const std::string wdm_tel_name0(name);         \
+    ::wdm::support::telemetry::detail::check_static_name( \
+        wdm_tel_name0, (name));                           \
+  } while (0)
+#endif
 
 /// Expression yielding the (static, interned) counter for `name`.
 #define WDM_TEL_COUNTER(name)                                       \
   ([]() -> ::wdm::support::telemetry::Counter& {                    \
     static auto& wdm_tel_c = ::wdm::support::telemetry::counter(name); \
+    WDM_TEL_DEBUG_STATIC_NAME(name);                                \
     return wdm_tel_c;                                               \
   }())
 
@@ -411,8 +531,31 @@ class SplitTimer {
 #define WDM_TEL_HIST(name)                                          \
   ([]() -> ::wdm::support::telemetry::LatencyHistogram& {           \
     static auto& wdm_tel_h = ::wdm::support::telemetry::histogram(name); \
+    WDM_TEL_DEBUG_STATIC_NAME(name);                                \
     return wdm_tel_h;                                               \
   }())
+
+/// Expression yielding the (static, interned) gauge for `name`.
+#define WDM_TEL_GAUGE(name)                                         \
+  ([]() -> ::wdm::support::telemetry::Gauge& {                      \
+    static auto& wdm_tel_g = ::wdm::support::telemetry::gauge(name); \
+    WDM_TEL_DEBUG_STATIC_NAME(name);                                \
+    return wdm_tel_g;                                               \
+  }())
+
+#define WDM_TEL_GAUGE_SET(name, v)                                  \
+  do {                                                              \
+    if (::wdm::support::telemetry::enabled()) {                     \
+      WDM_TEL_GAUGE(name).set(static_cast<double>(v));              \
+    }                                                               \
+  } while (0)
+
+#define WDM_TEL_GAUGE_ADD(name, d)                                  \
+  do {                                                              \
+    if (::wdm::support::telemetry::enabled()) {                     \
+      WDM_TEL_GAUGE(name).add(static_cast<double>(d));              \
+    }                                                               \
+  } while (0)
 
 /// Expression yielding the (static) interned id for a span/event `name`.
 #define WDM_TEL_NAME(name)                                          \
@@ -430,6 +573,19 @@ class SplitTimer {
     }                                                               \
   } while (0)
 #define WDM_TEL_COUNT(name) WDM_TEL_COUNT_N(name, 1)
+
+/// Dynamic-name counter increment: resolves the registry entry on *every*
+/// call (a mutex + map lookup), so each runtime-built name gets its own
+/// counter. ~100x the cost of WDM_TEL_COUNT_N — use only off the hot path
+/// (per-arm bench summaries, per-worker totals), and keep literal names on
+/// the cached macros.
+#define WDM_TEL_COUNT_DYN(name, n)                                  \
+  do {                                                              \
+    if (::wdm::support::telemetry::enabled()) {                     \
+      ::wdm::support::telemetry::counter(name).add(                 \
+          static_cast<std::uint64_t>(n));                           \
+    }                                                               \
+  } while (0)
 
 /// Point event with caller-defined timestamp (e.g. simulation time).
 #define WDM_TEL_EVENT(name, t)                                      \
@@ -454,18 +610,32 @@ namespace wdm::support::telemetry::detail {
 struct NullSink {
   void add(std::uint64_t = 1) {}
   void record_ns(std::uint64_t) {}
+  void set(double) {}
 };
 inline NullSink g_null_sink;
 }  // namespace wdm::support::telemetry::detail
 
+#define WDM_TEL_DEBUG_STATIC_NAME(name) \
+  do {                                  \
+  } while (0)
 #define WDM_TEL_COUNTER(name) (::wdm::support::telemetry::detail::g_null_sink)
 #define WDM_TEL_HIST(name) (::wdm::support::telemetry::detail::g_null_sink)
+#define WDM_TEL_GAUGE(name) (::wdm::support::telemetry::detail::g_null_sink)
 #define WDM_TEL_NAME(name) (std::uint32_t{0})
 #define WDM_TEL_COUNT_N(name, n) \
   do {                           \
   } while (0)
 #define WDM_TEL_COUNT(name) \
   do {                      \
+  } while (0)
+#define WDM_TEL_COUNT_DYN(name, n) \
+  do {                             \
+  } while (0)
+#define WDM_TEL_GAUGE_SET(name, v) \
+  do {                             \
+  } while (0)
+#define WDM_TEL_GAUGE_ADD(name, d) \
+  do {                             \
   } while (0)
 #define WDM_TEL_EVENT(name, t) \
   do {                         \

@@ -1,0 +1,91 @@
+#!/bin/sh
+# check_stream_overhead.sh — asserts the live-streaming overhead bar (E23).
+#
+#   sh tools/check_stream_overhead.sh <bench> [bar_pct] [runs] [interval_s]
+#
+# Times the same binary streaming (--stream) against the dump path
+# (--telemetry to /dev/null). Telemetry is runtime-enabled in both arms and
+# both serialize the full registry exactly once — the stream's final frame
+# is the dump's twin — so the difference isolates the SnapshotPublisher
+# itself: the background thread, its once-per-interval registry walk, and
+# the interval-frame writes. (The cost of enabling telemetry at all is
+# E18/E19's bar, not this one.) Interleaves the arms A/B and takes
+# minimum-of-N per round,
+# accumulating minima across rounds like check_overhead.sh: scheduler noise
+# only ever adds time, so a noise-driven excess collapses while a real
+# overhead persists. Default bar: 5%, runs: 5, stream interval: 0.25 s.
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <bench> [bar_pct] [runs] [interval_s]" >&2
+  exit 2
+fi
+
+BENCH="$1"
+BAR_PCT="${2:-5}"
+RUNS="${3:-5}"
+INTERVAL="${4:-0.25}"
+STREAM_OUT="${TMPDIR:-/tmp}/check_stream_overhead.$$.jsonl"
+trap 'rm -f "$STREAM_OUT"' EXIT
+
+if [ ! -x "$BENCH" ]; then
+  echo "check_stream_overhead: $BENCH is not executable" >&2
+  exit 2
+fi
+
+now_ms() {
+  if date +%s%N >/dev/null 2>&1 && [ "$(date +%N)" != "N" ]; then
+    echo $(( $(date +%s%N) / 1000000 ))
+  else
+    awk 'BEGIN { srand(); printf "%d\n", srand() * 1000 }'
+  fi
+}
+
+time_stream() {
+  start=$(now_ms)
+  "$BENCH" --quick \
+      --stream "$STREAM_OUT" --stream-interval "$INTERVAL" >/dev/null 2>&1
+  end=$(now_ms)
+  echo $((end - start))
+}
+
+time_plain() {
+  start=$(now_ms)
+  "$BENCH" --quick --telemetry /dev/null >/dev/null 2>&1
+  end=$(now_ms)
+  echo $((end - start))
+}
+
+MAX_ROUNDS=4
+with_ms=""
+without_ms=""
+round=0
+overhead_pct=""
+while [ "$round" -lt "$MAX_ROUNDS" ]; do
+  round=$((round + 1))
+  i=0
+  while [ "$i" -lt "$RUNS" ]; do
+    t=$(time_stream)
+    if [ -z "$with_ms" ] || [ "$t" -lt "$with_ms" ]; then with_ms="$t"; fi
+    t=$(time_plain)
+    if [ -z "$without_ms" ] || [ "$t" -lt "$without_ms" ]; then without_ms="$t"; fi
+    i=$((i + 1))
+  done
+  if [ "$without_ms" -le 0 ]; then
+    echo "check_stream_overhead: baseline too fast to time; passing vacuously" >&2
+    exit 0
+  fi
+  overhead_pct=$(awk -v w="$with_ms" -v o="$without_ms" \
+    'BEGIN { printf "%.2f", 100.0 * (w - o) / o }')
+  echo "check_stream_overhead: round ${round}: min-stream ${with_ms} ms," \
+       "min-plain ${without_ms} ms, overhead ${overhead_pct}%"
+  if awk -v p="$overhead_pct" -v bar="$BAR_PCT" 'BEGIN { exit !(p <= bar) }'; then
+    echo "check_stream_overhead: OK — streaming overhead ${overhead_pct}%" \
+         "within ${BAR_PCT}% bar"
+    exit 0
+  fi
+done
+
+echo "check_stream_overhead: FAIL — streaming overhead ${overhead_pct}%" \
+     "exceeds ${BAR_PCT}% after ${MAX_ROUNDS} rounds" >&2
+exit 1

@@ -1,0 +1,327 @@
+// wdmtop — live terminal monitor for a robustwdm telemetry stream
+// (DESIGN.md §8.5). Point it at the JSONL file a running `wdmtool --stream`
+// or bench process is appending to; it tails the file, folds each interval
+// frame into its state, and redraws rate / gauge / percentile panels:
+//
+//   wdmtool simulate nsfnet --erlang 60 --duration 2000 --stream run.jsonl &
+//   wdmtop run.jsonl
+//
+// Options:
+//   --once          render the latest state once and exit (scripts, ctest)
+//   --interval MS   poll period in follow mode (default 200)
+//   --counters N    rows in the counter panel (default 10)
+//
+// Follow mode exits when the stream's final frame arrives (the producer shut
+// down) or on EOF in --once mode. Output is a full-screen ANSI redraw on a
+// TTY and a plain sequential dump otherwise, so piping to a file stays
+// readable. Reads are line-atomic: a partially-written last line (no '\n'
+// yet) is left in the file until the producer finishes it, which is why the
+// publisher writes each frame with a single fwrite.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_mini.hpp"
+
+namespace {
+
+using wdm::tools::json::Json;
+using wdm::tools::json::JsonPtr;
+using wdm::tools::json::Parser;
+
+constexpr const char* kStreamSchema = "robustwdm-telemetry-stream-v1";
+
+struct HistStats {
+  double count = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Folded view of every frame seen so far.
+struct Monitor {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;
+  std::uint64_t frames = 0;
+  double last_dt_s = 0.0;  // wall-clock span of the latest interval frame
+  bool finished = false;   // final frame observed
+  double dropped_frames = 0.0;
+  std::map<std::string, double> totals;      // counter -> cumulative sum
+  std::map<std::string, double> last_delta;  // counter -> latest frame delta
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistStats> hists;
+  std::map<std::string, std::pair<double, double>> series_latest;  // (t, v)
+};
+
+double num_or(const Json& obj, const char* key, double fallback) {
+  const JsonPtr* p = obj.find(key);
+  return p != nullptr && (*p)->is(Json::Type::kNumber) ? (*p)->num : fallback;
+}
+
+void fold_frame(Monitor& m, const Json& f) {
+  const JsonPtr* kind = f.find("kind");
+  const bool final_frame = kind != nullptr &&
+                           (*kind)->is(Json::Type::kString) &&
+                           (*kind)->str == "final";
+  const auto t_ns = static_cast<std::uint64_t>(num_or(f, "t_ns", 0.0));
+  if (!final_frame) {
+    m.last_dt_s = m.t_ns > 0 && t_ns > m.t_ns
+                      ? static_cast<double>(t_ns - m.t_ns) / 1e9
+                      : 0.0;
+    ++m.frames;
+  }
+  m.seq = static_cast<std::uint64_t>(num_or(f, "seq", 0.0));
+  m.t_ns = t_ns;
+
+  const JsonPtr* counters = f.find("counters");
+  if (counters != nullptr && (*counters)->is(Json::Type::kObject)) {
+    if (!final_frame) m.last_delta.clear();
+    for (const auto& [name, v] : (*counters)->obj) {
+      if (!v->is(Json::Type::kNumber)) continue;
+      if (final_frame) {
+        m.totals[name] = v->num;  // cumulative truth supersedes the sum
+      } else {
+        m.totals[name] += v->num;
+        m.last_delta[name] = v->num;
+      }
+    }
+  }
+  const JsonPtr* gauges = f.find("gauges");
+  if (gauges != nullptr && (*gauges)->is(Json::Type::kObject)) {
+    for (const auto& [name, v] : (*gauges)->obj) {
+      if (v->is(Json::Type::kNumber)) m.gauges[name] = v->num;
+    }
+  }
+  const JsonPtr* hists = f.find("histograms");
+  if (hists != nullptr && (*hists)->is(Json::Type::kObject)) {
+    for (const auto& [name, v] : (*hists)->obj) {
+      if (!v->is(Json::Type::kObject)) continue;
+      HistStats& h = m.hists[name];
+      h.count = num_or(*v, "count", 0.0);
+      h.p50 = num_or(*v, "p50", 0.0);
+      h.p90 = num_or(*v, "p90", 0.0);
+      h.p99 = num_or(*v, "p99", 0.0);
+    }
+  }
+  const JsonPtr* series = f.find("series");
+  if (series != nullptr && (*series)->is(Json::Type::kObject)) {
+    for (const auto& [name, v] : (*series)->obj) {
+      // Interval frames carry a bare point array; the final frame carries
+      // the v2 {dropped, points} object shape.
+      const Json* pts = nullptr;
+      if (v->is(Json::Type::kArray)) {
+        pts = v.get();
+      } else if (v->is(Json::Type::kObject)) {
+        const JsonPtr* pp = v->find("points");
+        if (pp != nullptr && (*pp)->is(Json::Type::kArray)) pts = pp->get();
+      }
+      if (pts == nullptr || pts->arr.empty()) continue;
+      const Json& last = *pts->arr.back();
+      if (last.is(Json::Type::kArray) && last.arr.size() == 2 &&
+          last.arr[0]->is(Json::Type::kNumber) &&
+          last.arr[1]->is(Json::Type::kNumber)) {
+        m.series_latest[name] = {last.arr[0]->num, last.arr[1]->num};
+      }
+    }
+  }
+  if (final_frame) {
+    m.finished = true;
+    m.dropped_frames = num_or(f, "dropped_frames", 0.0);
+  }
+}
+
+/// 1234567 ns -> "1.23ms": engineers read durations, not digit strings.
+std::string human_ns(double ns) {
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string human_count(double v) {
+  char buf[32];
+  if (v < 1e4) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (v < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  }
+  return buf;
+}
+
+void render(const Monitor& m, bool tty, int counter_rows) {
+  if (tty) std::fputs("\x1b[H\x1b[J", stdout);  // home + clear
+  std::printf("wdmtop — robustwdm telemetry stream   seq %llu   t %s   "
+              "frames %llu   dropped %.0f%s\n",
+              static_cast<unsigned long long>(m.seq),
+              human_ns(static_cast<double>(m.t_ns)).c_str(),
+              static_cast<unsigned long long>(m.frames), m.dropped_frames,
+              m.finished ? "   [run finished]" : "");
+
+  if (!m.gauges.empty()) {
+    std::printf("\n  gauges\n");
+    for (const auto& [name, v] : m.gauges) {
+      std::printf("    %-48s %14.4g\n", name.c_str(), v);
+    }
+  }
+
+  // Counter panel: the busiest counters this interval (by delta/s), total
+  // alongside so stalls (rate 0, total high) are visible at a glance.
+  if (!m.totals.empty()) {
+    std::vector<std::pair<double, std::string>> by_rate;
+    for (const auto& [name, d] : m.last_delta) {
+      by_rate.emplace_back(m.last_dt_s > 0.0 ? d / m.last_dt_s : d, name);
+    }
+    std::sort(by_rate.rbegin(), by_rate.rend());
+    std::printf("\n  counters (top by rate)                       "
+                "      rate/s          total\n");
+    int rows = 0;
+    for (const auto& [rate, name] : by_rate) {
+      if (rows++ >= counter_rows) break;
+      const auto it = m.totals.find(name);
+      std::printf("    %-48s %10s %14s\n", name.c_str(),
+                  human_count(rate).c_str(),
+                  human_count(it != m.totals.end() ? it->second : 0.0).c_str());
+    }
+    if (by_rate.empty()) std::printf("    (idle interval)\n");
+  }
+
+  if (!m.hists.empty()) {
+    std::printf("\n  latency percentiles                          "
+                "     p50        p90        p99      count\n");
+    for (const auto& [name, h] : m.hists) {
+      std::printf("    %-44s %9s  %9s  %9s %10s\n", name.c_str(),
+                  human_ns(h.p50).c_str(), human_ns(h.p90).c_str(),
+                  human_ns(h.p99).c_str(), human_count(h.count).c_str());
+    }
+  }
+
+  if (!m.series_latest.empty()) {
+    std::printf("\n  series (latest sample)                       "
+                "       sim-t          value\n");
+    for (const auto& [name, tv] : m.series_latest) {
+      std::printf("    %-48s %10.4g %14.6g\n", name.c_str(), tv.first,
+                  tv.second);
+    }
+  }
+  std::fflush(stdout);
+}
+
+/// Consumes complete new lines past `offset`; returns false on read error.
+bool drain(std::ifstream& in, std::streampos& offset, std::string& partial,
+           Monitor& m, bool* folded_any) {
+  in.clear();  // past-EOF flag from the previous poll
+  in.seekg(offset);
+  std::string chunk;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    chunk.append(buf, static_cast<std::size_t>(in.gcount()));
+  }
+  offset += static_cast<std::streamoff>(chunk.size());
+  partial += chunk;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t eol = partial.find('\n', start);
+    if (eol == std::string::npos) break;
+    const std::string line = partial.substr(start, eol - start);
+    start = eol + 1;
+    if (line.empty()) continue;
+    try {
+      const JsonPtr frame = Parser(line).parse();
+      if (frame->is(Json::Type::kObject)) {
+        fold_frame(m, *frame);
+        if (folded_any != nullptr) *folded_any = true;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wdmtop: skipping malformed line: %s\n", e.what());
+    }
+  }
+  partial.erase(0, start);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  int interval_ms = 200;
+  int counter_rows = 10;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wdmtop: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--once") {
+      once = true;
+    } else if (a == "--interval") {
+      interval_ms = std::atoi(next());
+    } else if (a == "--counters") {
+      counter_rows = std::atoi(next());
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "wdmtop: unknown option %s\n", a.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      std::fprintf(stderr, "wdmtop: one stream file at a time\n");
+      return 2;
+    }
+  }
+  if (path.empty() || interval_ms <= 0 || counter_rows <= 0) {
+    std::fprintf(stderr,
+                 "usage: wdmtop [--once] [--interval MS] [--counters N] "
+                 "<stream.jsonl>\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "wdmtop: cannot open %s\n", path.c_str());
+    return 2;
+  }
+
+  const bool tty = ::isatty(::fileno(stdout)) != 0;
+  Monitor m;
+  std::streampos offset = 0;
+  std::string partial;
+
+  bool folded = false;
+  drain(in, offset, partial, m, &folded);
+  if (folded && m.seq == 0 && m.totals.empty() && m.gauges.empty()) {
+    // Parsed lines but nothing stream-shaped landed: wrong file.
+    std::fprintf(stderr, "wdmtop: %s does not look like a %s capture\n",
+                 path.c_str(), kStreamSchema);
+  }
+  render(m, tty, counter_rows);
+  if (once) return 0;
+
+  while (!m.finished) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    folded = false;
+    drain(in, offset, partial, m, &folded);
+    if (folded) render(m, tty, counter_rows);
+  }
+  return 0;
+}
